@@ -1,0 +1,109 @@
+// Benchmarks that regenerate every experiment of the reproduction (E1..E12)
+// and the design ablations (A1..A3), one benchmark per experiment, matching
+// the per-experiment index in DESIGN.md. Each benchmark iteration runs the
+// experiment in Quick mode (shortened horizons); the cmd/experiments binary
+// runs the same code at full size. The reported ns/op is therefore the cost
+// of regenerating the experiment's table, and the benchmark body also
+// verifies that no check column reports a violation, so `go test -bench=.`
+// doubles as an end-to-end validation pass.
+package repro
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+)
+
+// runExperiment executes one registry entry b.N times in Quick mode and fails
+// the benchmark if any check column reports a violation.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	for i := 0; i < b.N; i++ {
+		table := exp.Run(harness.RunConfig{Quick: true, Seed: uint64(42 + i)})
+		if table == nil || len(table.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		if s := table.String(); strings.Contains(s, "NO") {
+			b.Fatalf("%s reports a violated check:\n%s", id, s)
+		}
+	}
+}
+
+// BenchmarkE1HypercubeDelayVsD regenerates E1: greedy hypercube delay versus
+// dimension and load, against the Prop. 12/13 envelope.
+func BenchmarkE1HypercubeDelayVsD(b *testing.B) { runExperiment(b, "E1") }
+
+// BenchmarkE2StabilityBoundary regenerates E2: queue-growth diagnosis around
+// rho = 1.
+func BenchmarkE2StabilityBoundary(b *testing.B) { runExperiment(b, "E2") }
+
+// BenchmarkE3HeavyTraffic regenerates E3: (1-rho)*T as rho approaches 1.
+func BenchmarkE3HeavyTraffic(b *testing.B) { runExperiment(b, "E3") }
+
+// BenchmarkE4ButterflyDelay regenerates E4: butterfly delay versus the
+// Prop. 14/17 envelope.
+func BenchmarkE4ButterflyDelay(b *testing.B) { runExperiment(b, "E4") }
+
+// BenchmarkE5FIFOvsPS regenerates E5: FIFO/PS sample-path domination and the
+// product-form prediction on the equivalent network Q.
+func BenchmarkE5FIFOvsPS(b *testing.B) { runExperiment(b, "E5") }
+
+// BenchmarkE6PerDimensionOccupancy regenerates E6: per-dimension queue
+// occupancy and utilisation.
+func BenchmarkE6PerDimensionOccupancy(b *testing.B) { runExperiment(b, "E6") }
+
+// BenchmarkE7GreedyVsPipelined regenerates E7: greedy versus the §2.3
+// pipelined batch baseline.
+func BenchmarkE7GreedyVsPipelined(b *testing.B) { runExperiment(b, "E7") }
+
+// BenchmarkE8SlottedTime regenerates E8: slotted-time operation versus the
+// §3.4 bound.
+func BenchmarkE8SlottedTime(b *testing.B) { runExperiment(b, "E8") }
+
+// BenchmarkE9QueueTails regenerates E9: per-node queue sizes and population
+// tails.
+func BenchmarkE9QueueTails(b *testing.B) { runExperiment(b, "E9") }
+
+// BenchmarkE10DestinationLocality regenerates E10: the locality sweep over p.
+func BenchmarkE10DestinationLocality(b *testing.B) { runExperiment(b, "E10") }
+
+// BenchmarkE11TrafficModelValidation regenerates E11: packet-level simulator
+// versus the equivalent queueing network.
+func BenchmarkE11TrafficModelValidation(b *testing.B) { runExperiment(b, "E11") }
+
+// BenchmarkE12LowerBoundEnvelope regenerates E12: universal and oblivious
+// lower bounds below the measured delay.
+func BenchmarkE12LowerBoundEnvelope(b *testing.B) { runExperiment(b, "E12") }
+
+// BenchmarkE13GreedyVsDeflection regenerates E13: greedy store-and-forward
+// versus deflection (hot-potato) routing.
+func BenchmarkE13GreedyVsDeflection(b *testing.B) { runExperiment(b, "E13") }
+
+// BenchmarkE14StaticPermutation regenerates E14: static random-permutation
+// routing completes in O(d) time.
+func BenchmarkE14StaticPermutation(b *testing.B) { runExperiment(b, "E14") }
+
+// BenchmarkE15PerDimensionContention regenerates E15: the per-dimension
+// contention profile.
+func BenchmarkE15PerDimensionContention(b *testing.B) { runExperiment(b, "E15") }
+
+// BenchmarkE16TranslationInvariantTraffic regenerates E16: general
+// translation-invariant destination distributions.
+func BenchmarkE16TranslationInvariantTraffic(b *testing.B) { runExperiment(b, "E16") }
+
+// BenchmarkAblationDimensionOrder regenerates A1: canonical versus random
+// dimension order.
+func BenchmarkAblationDimensionOrder(b *testing.B) { runExperiment(b, "A1") }
+
+// BenchmarkAblationArcPriority regenerates A2: FIFO versus random-order arc
+// priority.
+func BenchmarkAblationArcPriority(b *testing.B) { runExperiment(b, "A2") }
+
+// BenchmarkAblationSlotGranularity regenerates A3: continuous versus slotted
+// time at tau = 1.
+func BenchmarkAblationSlotGranularity(b *testing.B) { runExperiment(b, "A3") }

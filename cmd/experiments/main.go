@@ -1,0 +1,71 @@
+// Command experiments regenerates every experiment table listed in DESIGN.md
+// and EXPERIMENTS.md (E1..E12 plus the ablations A1..A3).
+//
+// Examples:
+//
+//	experiments              # run everything at full size
+//	experiments -quick       # shortened horizons, for a fast check
+//	experiments -only E5,E7  # run a subset
+//	experiments -list        # show the registry
+//	experiments -csv         # emit CSV instead of aligned text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "use shortened horizons and fewer replications")
+		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		list     = flag.Bool("list", false, "list the experiment registry and exit")
+		csv      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		seed     = flag.Uint64("seed", 1, "base random seed")
+		parallel = flag.Int("parallel", 0, "max concurrent replications (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	registry := harness.Registry()
+	if *list {
+		table := harness.NewTable("registered experiments", "id", "title", "claim")
+		for _, e := range registry {
+			table.AddRow(e.ID, e.Title, e.Claim)
+		}
+		fmt.Print(table.String())
+		return
+	}
+
+	var selected []harness.Experiment
+	if *only == "" {
+		selected = registry
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := harness.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	cfg := harness.RunConfig{Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(cfg)
+		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+		if *csv {
+			fmt.Print(table.CSV())
+		} else {
+			fmt.Print(table.String())
+		}
+		fmt.Printf("   (%s)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,96 @@
+// Command hyperroute runs one hypercube greedy-routing simulation and prints
+// the measured delay and queue statistics next to the paper's bounds.
+//
+// Example:
+//
+//	hyperroute -d 8 -rho 0.8 -p 0.5 -horizon 5000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/greedy"
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		d        = flag.Int("d", 7, "hypercube dimension")
+		p        = flag.Float64("p", 0.5, "destination bit-flip probability (0.5 = uniform)")
+		rho      = flag.Float64("rho", 0.8, "target load factor rho = lambda*p (ignored if -lambda > 0)")
+		lambda   = flag.Float64("lambda", 0, "per-node generation rate (overrides -rho when positive)")
+		horizon  = flag.Float64("horizon", 5000, "simulated time span")
+		warmup   = flag.Float64("warmup", 0.2, "fraction of the horizon discarded as warm-up")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		router   = flag.String("router", "greedy", "routing scheme: greedy, random-order, valiant")
+		slotted  = flag.Bool("slotted", false, "use slotted-time arrivals (§3.4)")
+		tau      = flag.Float64("tau", 0.5, "slot length for -slotted")
+		quantile = flag.Bool("quantiles", false, "track exact delay quantiles")
+	)
+	flag.Parse()
+
+	cfg := greedy.HypercubeConfig{
+		D:              *d,
+		P:              *p,
+		Horizon:        *horizon,
+		WarmupFraction: *warmup,
+		Seed:           *seed,
+		TrackQuantiles: *quantile,
+	}
+	if *lambda > 0 {
+		cfg.Lambda = *lambda
+	} else {
+		cfg.LoadFactor = *rho
+	}
+	if *slotted {
+		cfg.Slotted = true
+		cfg.Tau = *tau
+	}
+	switch *router {
+	case "greedy":
+		cfg.Router = greedy.GreedyDimensionOrder
+	case "random-order":
+		cfg.Router = greedy.GreedyRandomOrder
+	case "valiant":
+		cfg.Router = greedy.ValiantTwoPhase
+	default:
+		fmt.Fprintf(os.Stderr, "unknown router %q\n", *router)
+		os.Exit(2)
+	}
+
+	res, err := greedy.RunHypercube(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
+		os.Exit(1)
+	}
+
+	table := harness.NewTable(
+		fmt.Sprintf("hypercube d=%d p=%.3g lambda=%.4g rho=%.4g router=%s",
+			res.Params.D, res.Params.P, res.Params.Lambda, res.LoadFactor, cfg.Router),
+		"quantity", "value")
+	table.AddRow("mean delay T", harness.F(res.MeanDelay))
+	table.AddRow("delay 95% CI (half-width)", harness.F(res.Metrics.DelayCI95))
+	table.AddRow("greedy lower bound (Prop 13)", harness.F(res.GreedyLowerBound))
+	table.AddRow("greedy upper bound (Prop 12)", harness.F(res.GreedyUpperBound))
+	table.AddRow("universal lower bound (Prop 2)", harness.F(res.UniversalLowerBound))
+	table.AddRow("oblivious lower bound (Prop 3)", harness.F(res.ObliviousLowerBound))
+	if cfg.Slotted {
+		table.AddRow("slotted upper bound (§3.4)", harness.F(res.SlottedUpperBound))
+	}
+	table.AddRow("within paper bounds", fmt.Sprintf("%v", res.WithinPaperBounds))
+	table.AddRow("mean hops (d*p expected)", harness.F(res.Metrics.MeanHops))
+	table.AddRow("mean packets per node", harness.F(res.MeanPacketsPerNode))
+	table.AddRow("mean total population", harness.F(res.Metrics.MeanPopulation))
+	table.AddRow("throughput (packets/time)", harness.F(res.Metrics.Throughput))
+	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
+	if *quantile {
+		table.AddRow("delay P95", harness.F(res.DelayP95))
+		table.AddRow("delay P99", harness.F(res.DelayP99))
+	}
+	for j, u := range res.PerDimensionUtilization {
+		table.AddRow(fmt.Sprintf("dimension %d arc utilisation", j+1), harness.F(u))
+	}
+	fmt.Print(table.String())
+}

@@ -1,0 +1,107 @@
+// Command sweep produces the two headline curves of the reproduction as CSV
+// plus an ASCII preview:
+//
+//   - "load": mean delay versus load factor rho at fixed dimension, for the
+//     measured system and the Prop. 12 / Prop. 13 bounds (the 1/(1-rho) knee);
+//   - "dimension": mean delay versus d at fixed rho, showing the O(d) scaling.
+//
+// Examples:
+//
+//	sweep -mode load -d 7
+//	sweep -mode dimension -rho 0.8 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/greedy"
+	"repro/internal/asciiplot"
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "load", "sweep mode: load (T vs rho) or dimension (T vs d)")
+		d       = flag.Int("d", 7, "hypercube dimension (load mode) ")
+		rho     = flag.Float64("rho", 0.8, "load factor (dimension mode)")
+		p       = flag.Float64("p", 0.5, "destination bit-flip probability")
+		horizon = flag.Float64("horizon", 4000, "simulated time per point")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		csvOnly = flag.Bool("csv", false, "emit only CSV (no ASCII plot)")
+	)
+	flag.Parse()
+
+	switch *mode {
+	case "load":
+		sweepLoad(*d, *p, *horizon, *seed, *csvOnly)
+	case "dimension":
+		sweepDimension(*rho, *p, *horizon, *seed, *csvOnly)
+	default:
+		fmt.Fprintf(os.Stderr, "sweep: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+}
+
+func sweepLoad(d int, p, horizon float64, seed uint64, csvOnly bool) {
+	rhos := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+	table := harness.NewTable(fmt.Sprintf("mean delay vs rho (d=%d, p=%g)", d, p),
+		"rho", "measured T", "lower (P13)", "upper (P12)")
+	var measured, lower, upper stats.Series
+	measured.Name = "measured T"
+	lower.Name = "lower bound (Prop 13)"
+	upper.Name = "upper bound (Prop 12)"
+	for _, rho := range rhos {
+		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
+			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		table.AddRow(harness.F(rho), harness.F(res.MeanDelay),
+			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound))
+		measured.AddPoint(rho, res.MeanDelay)
+		lower.AddPoint(rho, res.GreedyLowerBound)
+		upper.AddPoint(rho, res.GreedyUpperBound)
+	}
+	fmt.Print(table.CSV())
+	if !csvOnly {
+		fmt.Println()
+		fmt.Print(asciiplot.Render([]stats.Series{measured, lower, upper}, asciiplot.Options{
+			Title: table.Title, Width: 70, Height: 18, XLabel: "rho", YLabel: "mean delay",
+		}))
+	}
+}
+
+func sweepDimension(rho, p, horizon float64, seed uint64, csvOnly bool) {
+	dims := []int{3, 4, 5, 6, 7, 8, 9}
+	table := harness.NewTable(fmt.Sprintf("mean delay vs dimension (rho=%g, p=%g)", rho, p),
+		"d", "measured T", "lower (P13)", "upper (P12)", "T/d")
+	var measured, upper stats.Series
+	measured.Name = "measured T"
+	upper.Name = "upper bound (Prop 12)"
+	for _, d := range dims {
+		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
+			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		table.AddRow(fmt.Sprintf("%d", d), harness.F(res.MeanDelay),
+			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound),
+			harness.F(res.MeanDelay/float64(d)))
+		measured.AddPoint(float64(d), res.MeanDelay)
+		upper.AddPoint(float64(d), res.GreedyUpperBound)
+	}
+	fmt.Print(table.CSV())
+	if !csvOnly {
+		fmt.Println()
+		fmt.Print(asciiplot.Render([]stats.Series{measured, upper}, asciiplot.Options{
+			Title: table.Title, Width: 70, Height: 18, XLabel: "d", YLabel: "mean delay",
+		}))
+	}
+}

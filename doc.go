@@ -1,0 +1,10 @@
+// Package repro reproduces "The Efficiency of Greedy Routing in Hypercubes
+// and Butterflies" (G. D. Stamoulis and J. N. Tsitsiklis, SPAA 1991 /
+// MIT LIDS-P-1999).
+//
+// The public API lives in the repro/greedy package; the experiment registry
+// and benchmark harness live in internal/harness and are exposed through the
+// cmd/experiments binary and the root-level benchmarks in bench_test.go.
+// See README.md for the layout and EXPERIMENTS.md for the paper-versus-
+// measured record of every experiment.
+package repro

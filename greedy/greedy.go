@@ -1,0 +1,79 @@
+// Package greedy is the public facade of the library: a reproduction of
+// "The Efficiency of Greedy Routing in Hypercubes and Butterflies"
+// (Stamoulis & Tsitsiklis, SPAA 1991). It re-exports the experiment API of
+// internal/core and the analytic bounds of internal/bounds so that a
+// downstream user can run hypercube and butterfly routing simulations and
+// compare them against the paper's results without importing internal
+// packages.
+//
+// Quick start:
+//
+//	res, err := greedy.RunHypercube(greedy.HypercubeConfig{
+//	    D: 8, P: 0.5, LoadFactor: 0.8, Horizon: 5000, Seed: 1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.MeanDelay, res.GreedyLowerBound, res.GreedyUpperBound)
+//
+// The measured mean delay of the greedy dimension-order scheme always falls
+// between the Proposition 13 and Proposition 12 bounds for stable loads
+// (rho = lambda*p < 1).
+package greedy
+
+import (
+	"repro/internal/bounds"
+	"repro/internal/core"
+	"repro/internal/network"
+)
+
+// HypercubeConfig configures a hypercube routing simulation; see
+// core.HypercubeConfig for field documentation.
+type HypercubeConfig = core.HypercubeConfig
+
+// HypercubeResult is the outcome of a hypercube simulation.
+type HypercubeResult = core.HypercubeResult
+
+// ButterflyConfig configures a butterfly routing simulation.
+type ButterflyConfig = core.ButterflyConfig
+
+// ButterflyResult is the outcome of a butterfly simulation.
+type ButterflyResult = core.ButterflyResult
+
+// HypercubeParams exposes the paper's closed-form hypercube bounds.
+type HypercubeParams = bounds.HypercubeParams
+
+// ButterflyParams exposes the paper's closed-form butterfly bounds.
+type ButterflyParams = bounds.ButterflyParams
+
+// RouterKind selects a hypercube routing scheme.
+type RouterKind = core.RouterKind
+
+// Routing schemes.
+const (
+	// GreedyDimensionOrder is the paper's greedy scheme (§3).
+	GreedyDimensionOrder = core.GreedyDimensionOrder
+	// GreedyRandomOrder crosses required dimensions in random order.
+	GreedyRandomOrder = core.GreedyRandomOrder
+	// ValiantTwoPhase routes through a random intermediate node.
+	ValiantTwoPhase = core.ValiantTwoPhase
+)
+
+// Discipline selects the per-arc queueing discipline.
+type Discipline = network.Discipline
+
+// Queueing disciplines.
+const (
+	// FIFO serves queued packets in arrival order (the paper's assumption).
+	FIFO = network.FIFO
+	// RandomOrder serves a uniformly random queued packet.
+	RandomOrder = network.RandomOrder
+)
+
+// RunHypercube runs one hypercube simulation.
+func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
+	return core.RunHypercube(cfg)
+}
+
+// RunButterfly runs one butterfly simulation.
+func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
+	return core.RunButterfly(cfg)
+}

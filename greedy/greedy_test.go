@@ -1,0 +1,79 @@
+package greedy_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/greedy"
+)
+
+func TestFacadeHypercubeRun(t *testing.T) {
+	res, err := greedy.RunHypercube(greedy.HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: 0.7, Horizon: 2000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDelay < res.GreedyLowerBound-0.3 || res.MeanDelay > res.GreedyUpperBound {
+		t.Fatalf("delay %v outside [%v, %v]", res.MeanDelay, res.GreedyLowerBound, res.GreedyUpperBound)
+	}
+}
+
+func TestFacadeButterflyRun(t *testing.T) {
+	res, err := greedy.RunButterfly(greedy.ButterflyConfig{
+		D: 4, P: 0.5, LoadFactor: 0.7, Horizon: 2000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDelay < float64(4) {
+		t.Fatalf("butterfly delay %v below the diameter", res.MeanDelay)
+	}
+	if res.MeanDelay > res.GreedyUpperBound {
+		t.Fatalf("delay %v above bound %v", res.MeanDelay, res.GreedyUpperBound)
+	}
+}
+
+func TestFacadeBoundsExposed(t *testing.T) {
+	p := greedy.HypercubeParams{D: 10, Lambda: 1.8, P: 0.5}
+	up, err := p.GreedyUpperBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(up-5/(1-0.9)) > 1e-9 {
+		t.Fatalf("upper bound %v", up)
+	}
+	b := greedy.ButterflyParams{D: 6, Lambda: 1.0, P: 0.5}
+	if !b.Stable() {
+		t.Fatal("expected stable butterfly parameters")
+	}
+}
+
+func TestFacadeRouterAndDisciplineConstants(t *testing.T) {
+	if greedy.GreedyDimensionOrder.String() != "greedy-dimension-order" {
+		t.Fatal("router constant mismatch")
+	}
+	if greedy.FIFO.String() != "fifo" || greedy.RandomOrder.String() != "random-order" {
+		t.Fatal("discipline constants mismatch")
+	}
+	// The alternative router is usable through the facade.
+	res, err := greedy.RunHypercube(greedy.HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.4, Horizon: 800, Seed: 3,
+		Router: greedy.ValiantTwoPhase, Discipline: greedy.RandomOrder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+func TestFacadeErrorsPropagate(t *testing.T) {
+	if _, err := greedy.RunHypercube(greedy.HypercubeConfig{}); err == nil {
+		t.Fatal("expected configuration error")
+	}
+	if _, err := greedy.RunButterfly(greedy.ButterflyConfig{}); err == nil {
+		t.Fatal("expected configuration error")
+	}
+}

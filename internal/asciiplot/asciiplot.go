@@ -1,0 +1,109 @@
+// Package asciiplot renders small text plots of (x, y) series for the
+// command-line tools: delay-versus-load curves, delay-versus-dimension
+// scaling and population traces. It exists so the sweep tool can show the
+// shape of a result (who wins, where the knee is) without any plotting
+// dependency; the same data is also emitted as CSV for real plotting.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// Options controls the plot geometry.
+type Options struct {
+	// Width and Height are the canvas size in characters (defaults 64x16).
+	Width, Height int
+	// Title is printed above the plot.
+	Title string
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+	// YMin/YMax fix the y range; when both are zero the range is computed
+	// from the data.
+	YMin, YMax float64
+}
+
+// markers are assigned to series in order.
+var markers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Render draws one or more series on a shared canvas and returns the plot as
+// a string. Series with fewer than one point are skipped. Points are scaled
+// linearly; x values need not be evenly spaced.
+func Render(series []stats.Series, opts Options) string {
+	if opts.Width <= 0 {
+		opts.Width = 64
+	}
+	if opts.Height <= 0 {
+		opts.Height = 16
+	}
+	var xMin, xMax, yMin, yMax float64
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				xMin, xMax, yMin, yMax = s.X[i], s.X[i], s.Y[i], s.Y[i]
+				first = false
+				continue
+			}
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if first {
+		return opts.Title + "\n(no data)\n"
+	}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		yMin, yMax = opts.YMin, opts.YMax
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	canvas := make([][]byte, opts.Height)
+	for r := range canvas {
+		canvas[r] = []byte(strings.Repeat(" ", opts.Width))
+	}
+	plot := func(x, y float64, marker byte) {
+		col := int(math.Round((x - xMin) / (xMax - xMin) * float64(opts.Width-1)))
+		row := int(math.Round((y - yMin) / (yMax - yMin) * float64(opts.Height-1)))
+		if col < 0 || col >= opts.Width || row < 0 || row >= opts.Height {
+			return
+		}
+		canvas[opts.Height-1-row][col] = marker
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.X {
+			plot(s.X[i], s.Y[i], m)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for si, s := range series {
+		if s.Name != "" {
+			fmt.Fprintf(&b, "  %c = %s\n", markers[si%len(markers)], s.Name)
+		}
+	}
+	labelWidth := 10
+	for r, row := range canvas {
+		yVal := yMax - (yMax-yMin)*float64(r)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%*.3g |%s\n", labelWidth, yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%s  %-*.4g%*.4g\n", strings.Repeat(" ", labelWidth), opts.Width/2, xMin, opts.Width/2, xMax)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s    y: %s\n", strings.Repeat(" ", labelWidth), opts.XLabel, opts.YLabel)
+	}
+	return b.String()
+}

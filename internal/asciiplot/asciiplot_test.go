@@ -1,0 +1,98 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRenderBasic(t *testing.T) {
+	var s stats.Series
+	s.Name = "line"
+	for i := 0; i <= 10; i++ {
+		s.AddPoint(float64(i), float64(2*i))
+	}
+	out := Render([]stats.Series{s}, Options{Title: "demo", Width: 40, Height: 10, XLabel: "x", YLabel: "y"})
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "* = line") {
+		t.Fatal("missing legend")
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("missing data points")
+	}
+	if !strings.Contains(out, "x: x") {
+		t.Fatal("missing axis labels")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	var a, b stats.Series
+	a.Name = "upper"
+	b.Name = "lower"
+	for i := 0; i <= 5; i++ {
+		a.AddPoint(float64(i), 10)
+		b.AddPoint(float64(i), 0)
+	}
+	out := Render([]stats.Series{a, b}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("expected two distinct markers:\n%s", out)
+	}
+	// The upper series must appear above the lower one: first data row with a
+	// '*' should precede the first with a '+'.
+	starRow, plusRow := -1, -1
+	for i, line := range strings.Split(out, "\n") {
+		if starRow < 0 && strings.Contains(line, "*") && strings.Contains(line, "|") {
+			starRow = i
+		}
+		if plusRow < 0 && strings.Contains(line, "+") && strings.Contains(line, "|") {
+			plusRow = i
+		}
+	}
+	if starRow < 0 || plusRow < 0 || starRow >= plusRow {
+		t.Fatalf("series not vertically ordered (star %d, plus %d):\n%s", starRow, plusRow, out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(nil, Options{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("expected 'no data': %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	var s stats.Series
+	s.AddPoint(1, 5)
+	s.AddPoint(2, 5)
+	out := Render([]stats.Series{s}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Fatal("constant series not plotted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var s stats.Series
+	s.AddPoint(3, 7)
+	out := Render([]stats.Series{s}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Fatal("single point not plotted")
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	var s stats.Series
+	s.AddPoint(0, 5)
+	s.AddPoint(1, 15)
+	out := Render([]stats.Series{s}, Options{Width: 20, Height: 5, YMin: 0, YMax: 10})
+	// The out-of-range point (y=15) is clipped, the in-range point plotted.
+	if strings.Count(out, "*") != 1 {
+		t.Fatalf("expected exactly one visible point:\n%s", out)
+	}
+}

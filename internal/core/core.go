@@ -1,0 +1,566 @@
+// Package core is the high-level experiment API of the library: it wires the
+// topology (hypercube or butterfly), the traffic model (per-node Poisson or
+// slotted batch arrivals with bit-flip destinations), a routing scheme and
+// the packet-level simulator together, runs one simulation, and returns the
+// measured delay/queue statistics next to the paper's analytic bounds.
+//
+// The exported facade package "repro/greedy" re-exports these types for
+// library users; the cmd/ binaries, the examples and the benchmark harness
+// are all built on this package.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/butterfly"
+	"repro/internal/hypercube"
+	"repro/internal/network"
+	"repro/internal/routing"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// RouterKind selects the hypercube routing scheme.
+type RouterKind int
+
+const (
+	// GreedyDimensionOrder is the paper's scheme (§3).
+	GreedyDimensionOrder RouterKind = iota
+	// GreedyRandomOrder crosses the required dimensions in random order.
+	GreedyRandomOrder
+	// ValiantTwoPhase routes through a uniformly random intermediate node.
+	ValiantTwoPhase
+)
+
+// String names the routing scheme.
+func (k RouterKind) String() string {
+	switch k {
+	case GreedyDimensionOrder:
+		return "greedy-dimension-order"
+	case GreedyRandomOrder:
+		return "greedy-random-order"
+	case ValiantTwoPhase:
+		return "valiant-two-phase"
+	default:
+		return fmt.Sprintf("router(%d)", int(k))
+	}
+}
+
+func (k RouterKind) router() routing.HypercubeRouter {
+	switch k {
+	case GreedyDimensionOrder:
+		return routing.DimensionOrder{}
+	case GreedyRandomOrder:
+		return routing.RandomDimensionOrder{}
+	case ValiantTwoPhase:
+		return routing.ValiantTwoPhase{}
+	default:
+		panic(fmt.Sprintf("core: unknown router kind %d", int(k)))
+	}
+}
+
+// HypercubeConfig describes one hypercube simulation.
+type HypercubeConfig struct {
+	// D is the cube dimension.
+	D int
+	// P is the destination bit-flip probability (1/2 = uniform traffic).
+	P float64
+	// Lambda is the per-node Poisson generation rate. Exactly one of Lambda
+	// and LoadFactor must be positive; when LoadFactor is set, Lambda is
+	// derived as LoadFactor / P.
+	Lambda float64
+	// LoadFactor is the target rho = Lambda*P.
+	LoadFactor float64
+	// Router selects the routing scheme (default greedy dimension order).
+	Router RouterKind
+	// Discipline selects the per-arc queueing discipline (default FIFO).
+	Discipline network.Discipline
+	// Horizon is the simulated time span (required).
+	Horizon float64
+	// WarmupFraction of the horizon is discarded before measuring
+	// (default 0.2).
+	WarmupFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+	// Slotted switches to the §3.4 slotted-time arrival model with slot
+	// length Tau.
+	Slotted bool
+	// Tau is the slot length when Slotted is true (must divide 1 evenly to
+	// match the paper's assumption; validated loosely).
+	Tau float64
+	// TrackQuantiles stores every delay so exact quantiles can be reported.
+	TrackQuantiles bool
+	// TrackPerDimensionWait records per-dimension arc sojourn times
+	// (queueing wait plus the unit transmission), the contention profile
+	// discussed at the end of §3.3.
+	TrackPerDimensionWait bool
+	// PopulationTraceInterval enables the population trace used by the
+	// stability experiments (0 disables it).
+	PopulationTraceInterval float64
+	// CustomWeights, when non-nil, replaces the bit-flip destination
+	// distribution with the general translation-invariant distribution of
+	// §2.2: CustomWeights[v] is proportional to the probability that a
+	// packet's destination differs from its origin by the vector v
+	// (2^D entries). Lambda must then be given directly, P is ignored for
+	// sampling, and the paper's greedy delay bounds (which are proved for
+	// the bit-flip distribution) are reported as NaN; the per-dimension load
+	// factors lambda*p_j and the stability diagnosis remain available.
+	CustomWeights []float64
+}
+
+// normalize fills defaults and derives Lambda; it returns an error for
+// inconsistent configurations.
+func (c *HypercubeConfig) normalize() error {
+	if c.D < 1 || c.D > hypercube.MaxDimension {
+		return fmt.Errorf("core: dimension %d out of range [1,%d]", c.D, hypercube.MaxDimension)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("core: p = %v outside [0,1]", c.P)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("core: horizon must be positive, got %v", c.Horizon)
+	}
+	if c.Lambda < 0 || c.LoadFactor < 0 {
+		return fmt.Errorf("core: negative rate parameters")
+	}
+	if c.Lambda == 0 && c.LoadFactor == 0 {
+		return fmt.Errorf("core: one of Lambda or LoadFactor must be set")
+	}
+	if c.Lambda > 0 && c.LoadFactor > 0 {
+		return fmt.Errorf("core: set only one of Lambda and LoadFactor")
+	}
+	if c.LoadFactor > 0 {
+		if c.P == 0 {
+			return fmt.Errorf("core: cannot derive Lambda from LoadFactor when p = 0")
+		}
+		c.Lambda = c.LoadFactor / c.P
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("core: warmup fraction %v outside [0,1)", c.WarmupFraction)
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 0.2
+	}
+	if c.Slotted {
+		if c.Tau <= 0 || c.Tau > 1 {
+			return fmt.Errorf("core: slotted mode requires 0 < tau <= 1, got %v", c.Tau)
+		}
+	}
+	if c.CustomWeights != nil {
+		if len(c.CustomWeights) != 1<<uint(c.D) {
+			return fmt.Errorf("core: CustomWeights needs %d entries, got %d", 1<<uint(c.D), len(c.CustomWeights))
+		}
+		if c.LoadFactor > 0 {
+			return fmt.Errorf("core: set Lambda (not LoadFactor) with CustomWeights")
+		}
+		sum := 0.0
+		for i, w := range c.CustomWeights {
+			if w < 0 || math.IsNaN(w) {
+				return fmt.Errorf("core: CustomWeights[%d] = %v is invalid", i, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("core: CustomWeights sum to zero")
+		}
+	}
+	return nil
+}
+
+// HypercubeResult reports one hypercube simulation.
+type HypercubeResult struct {
+	// Params echoes the model parameters in the form used by the bounds.
+	Params bounds.HypercubeParams
+	// LoadFactor is rho = lambda*p.
+	LoadFactor float64
+	// Metrics is the raw measurement snapshot from the simulator.
+	Metrics network.Metrics
+	// MeanDelay is the measured average delay per packet (the paper's T).
+	MeanDelay float64
+	// DelayP95 and DelayP99 are exact delay quantiles when TrackQuantiles
+	// was set (NaN otherwise).
+	DelayP95, DelayP99 float64
+	// MeanPacketsPerNode is the time-averaged total population divided by
+	// the number of nodes.
+	MeanPacketsPerNode float64
+	// PerDimensionMeanQueue is the time-averaged number of packets queued at
+	// a single arc of each dimension (index 0 = dimension 1).
+	PerDimensionMeanQueue []float64
+	// PerDimensionUtilization is the mean busy fraction of an arc of each
+	// dimension; Proposition 5 predicts rho for every dimension.
+	PerDimensionUtilization []float64
+	// PerDimensionMeanWait is the mean time a packet spends at an arc of
+	// each dimension (queueing plus the unit transmission); populated only
+	// when TrackPerDimensionWait was set.
+	PerDimensionMeanWait []float64
+	// PerDimensionLoadFactor is lambda*p_j, the offered load of each
+	// dimension (all equal to rho for the bit-flip distribution, §2.2 in
+	// general).
+	PerDimensionLoadFactor []float64
+	// GreedyLowerBound, GreedyUpperBound, UniversalLowerBound and
+	// ObliviousLowerBound are the paper's analytic bounds evaluated at the
+	// run's parameters (Props 13, 12, 2 and 3). They are NaN when the
+	// system is unstable.
+	GreedyLowerBound, GreedyUpperBound       float64
+	UniversalLowerBound, ObliviousLowerBound float64
+	// SlottedUpperBound is the §3.4 bound (only set in slotted mode).
+	SlottedUpperBound float64
+	// WithinPaperBounds reports whether the measured delay lies in
+	// [GreedyLowerBound - tolerance, GreedyUpperBound + tolerance]; it is
+	// meaningful only for the greedy dimension-order router on a stable
+	// system.
+	WithinPaperBounds bool
+}
+
+// RunHypercube runs one hypercube simulation.
+func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cube := hypercube.New(cfg.D)
+	var dist workload.DestinationDist
+	if cfg.CustomWeights != nil {
+		dist = workload.NewTranslationInvariant(cfg.D, cfg.CustomWeights)
+	} else {
+		dist = workload.NewBitFlip(cfg.D, cfg.P)
+	}
+	router := cfg.Router.router()
+
+	sys := network.NewSystem(network.Config{
+		NumArcs:     cube.NumArcs(),
+		GroupOf:     func(a int) int { return int(cube.DimensionOfArcIndex(a)) - 1 },
+		NumGroups:   cfg.D,
+		Discipline:  cfg.Discipline,
+		ServiceTime: 1,
+		Seed:        cfg.Seed,
+	})
+	if cfg.TrackQuantiles {
+		sys.EnableDelaySample()
+	}
+	if cfg.TrackPerDimensionWait {
+		sys.EnablePerHopWait()
+	}
+	if cfg.PopulationTraceInterval > 0 {
+		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
+	}
+
+	routeRNG := xrand.NewStream(cfg.Seed, 0xA11CE)
+	inject := func(origin hypercube.Node, rng *xrand.Rand) {
+		dest := dist.Sample(origin, rng)
+		sys.Inject(&network.Packet{
+			ID:     sys.NewPacketID(),
+			Origin: int(origin),
+			Dest:   int(dest),
+			Path:   router.Path(cube, origin, dest, routeRNG),
+		})
+	}
+
+	if cfg.Slotted {
+		scheduleSlottedHypercube(sys, cube, cfg, inject)
+	} else {
+		schedulePoissonHypercube(sys, cube, cfg, inject)
+	}
+
+	warmup := cfg.WarmupFraction * cfg.Horizon
+	sys.Sim.RunUntil(warmup)
+	sys.StartMeasurement()
+	sys.Sim.RunUntil(cfg.Horizon)
+	m := sys.Snapshot()
+
+	res := &HypercubeResult{
+		Params:     bounds.HypercubeParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
+		LoadFactor: cfg.Lambda * cfg.P,
+		Metrics:    m,
+		MeanDelay:  m.MeanDelay,
+		DelayP95:   sys.DelayQuantile(0.95),
+		DelayP99:   sys.DelayQuantile(0.99),
+	}
+	nodes := float64(cube.Nodes())
+	res.MeanPacketsPerNode = m.MeanPopulation / nodes
+	res.PerDimensionMeanQueue = make([]float64, cfg.D)
+	res.PerDimensionUtilization = make([]float64, cfg.D)
+	res.PerDimensionLoadFactor = make([]float64, cfg.D)
+	for j := 0; j < cfg.D; j++ {
+		res.PerDimensionMeanQueue[j] = m.GroupMeanPopulation[j] / nodes
+		res.PerDimensionUtilization[j] = m.GroupArcUtilization[j]
+		res.PerDimensionLoadFactor[j] = cfg.Lambda * dist.FlipProbability(hypercube.Dimension(j+1))
+	}
+	if cfg.TrackPerDimensionWait {
+		res.PerDimensionMeanWait = append([]float64(nil), m.GroupMeanWait...)
+	}
+	if cfg.CustomWeights != nil {
+		// The paper's closed-form greedy bounds are proved for the bit-flip
+		// distribution; for general translation-invariant traffic only the
+		// per-dimension load factors (and hence the stability condition of
+		// §2.2) are reported.
+		maxLoad := 0.0
+		for _, l := range res.PerDimensionLoadFactor {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		res.LoadFactor = maxLoad
+		res.Params.P = 0
+		res.GreedyLowerBound = math.NaN()
+		res.GreedyUpperBound = math.NaN()
+		res.UniversalLowerBound = math.NaN()
+		res.ObliviousLowerBound = math.NaN()
+		return res, nil
+	}
+	res.GreedyLowerBound = boundOrNaN(res.Params.GreedyLowerBound)
+	res.GreedyUpperBound = boundOrNaN(res.Params.GreedyUpperBound)
+	res.UniversalLowerBound = boundOrNaN(res.Params.UniversalLowerBound)
+	res.ObliviousLowerBound = boundOrNaN(res.Params.ObliviousLowerBound)
+	if cfg.Slotted {
+		if b, err := res.Params.SlottedUpperBound(cfg.Tau); err == nil {
+			res.SlottedUpperBound = b
+		} else {
+			res.SlottedUpperBound = math.NaN()
+		}
+	}
+	upper := res.GreedyUpperBound
+	if cfg.Slotted && !math.IsNaN(res.SlottedUpperBound) {
+		upper = res.SlottedUpperBound
+	}
+	if !math.IsNaN(res.GreedyLowerBound) && !math.IsNaN(upper) {
+		tol := 3 * m.DelayCI95
+		res.WithinPaperBounds = m.MeanDelay >= res.GreedyLowerBound-tol-1e-9 &&
+			m.MeanDelay <= upper+tol+1e-9
+	}
+	return res, nil
+}
+
+// schedulePoissonHypercube wires one Poisson source per node; each node
+// schedules its own next arrival when the current one fires, keeping the
+// event calendar small.
+func schedulePoissonHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
+	inject func(hypercube.Node, *xrand.Rand)) {
+	for x := 0; x < cube.Nodes(); x++ {
+		src := workload.NewPoissonSource(cfg.Lambda, cfg.Seed, uint64(x))
+		origin := hypercube.Node(x)
+		var schedule func()
+		schedule = func() {
+			next := src.NextArrival()
+			if next > cfg.Horizon {
+				return
+			}
+			src.Advance()
+			sys.Sim.ScheduleAt(next, func() {
+				inject(origin, src.RNG())
+				schedule()
+			})
+		}
+		schedule()
+	}
+}
+
+// scheduleSlottedHypercube wires the §3.4 arrival model: at every slot start
+// each node generates a Poisson(lambda*tau) batch.
+func scheduleSlottedHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
+	inject func(hypercube.Node, *xrand.Rand)) {
+	sources := make([]*workload.SlottedSource, cube.Nodes())
+	for x := range sources {
+		sources[x] = workload.NewSlottedSource(cfg.Lambda, cfg.Tau, cfg.Seed, uint64(x))
+	}
+	var tick func()
+	tick = func() {
+		for x, src := range sources {
+			batch := src.BatchSize()
+			for k := 0; k < batch; k++ {
+				inject(hypercube.Node(x), src.RNG())
+			}
+		}
+		next := sys.Sim.Now() + cfg.Tau
+		if next <= cfg.Horizon {
+			sys.Sim.ScheduleAt(next, tick)
+		}
+	}
+	sys.Sim.ScheduleAt(0, tick)
+}
+
+// boundOrNaN converts a (value, error) bound evaluation into a plain float
+// with NaN marking "not defined" (unstable parameters).
+func boundOrNaN(f func() (float64, error)) float64 {
+	v, err := f()
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// ButterflyConfig describes one butterfly simulation.
+type ButterflyConfig struct {
+	// D is the butterfly dimension (d+1 levels, 2^d rows).
+	D int
+	// P is the row bit-flip probability of the destination distribution.
+	P float64
+	// Lambda is the per-first-level-node generation rate. Exactly one of
+	// Lambda and LoadFactor must be positive; LoadFactor is
+	// lambda*max{p,1-p}.
+	Lambda float64
+	// LoadFactor is the target rho.
+	LoadFactor float64
+	// Discipline selects the per-arc queueing discipline.
+	Discipline network.Discipline
+	// Horizon is the simulated time span (required).
+	Horizon float64
+	// WarmupFraction of the horizon is discarded (default 0.2).
+	WarmupFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+	// TrackQuantiles stores every delay for exact quantiles.
+	TrackQuantiles bool
+	// PopulationTraceInterval enables the population trace.
+	PopulationTraceInterval float64
+}
+
+func (c *ButterflyConfig) normalize() error {
+	if c.D < 1 || c.D > butterfly.MaxDimension {
+		return fmt.Errorf("core: butterfly dimension %d out of range [1,%d]", c.D, butterfly.MaxDimension)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("core: p = %v outside [0,1]", c.P)
+	}
+	if c.Horizon <= 0 {
+		return fmt.Errorf("core: horizon must be positive, got %v", c.Horizon)
+	}
+	if c.Lambda < 0 || c.LoadFactor < 0 {
+		return fmt.Errorf("core: negative rate parameters")
+	}
+	if c.Lambda == 0 && c.LoadFactor == 0 {
+		return fmt.Errorf("core: one of Lambda or LoadFactor must be set")
+	}
+	if c.Lambda > 0 && c.LoadFactor > 0 {
+		return fmt.Errorf("core: set only one of Lambda and LoadFactor")
+	}
+	if c.LoadFactor > 0 {
+		c.Lambda = workload.RequiredLambdaButterfly(c.LoadFactor, c.P)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("core: warmup fraction %v outside [0,1)", c.WarmupFraction)
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 0.2
+	}
+	return nil
+}
+
+// ButterflyResult reports one butterfly simulation.
+type ButterflyResult struct {
+	// Params echoes the model parameters.
+	Params bounds.ButterflyParams
+	// LoadFactor is rho = lambda*max{p, 1-p}.
+	LoadFactor float64
+	// Metrics is the raw measurement snapshot.
+	Metrics network.Metrics
+	// MeanDelay is the measured average delay per packet.
+	MeanDelay float64
+	// DelayP95 and DelayP99 are exact quantiles when requested.
+	DelayP95, DelayP99 float64
+	// StraightUtilization and VerticalUtilization are the mean busy
+	// fractions of the two arc types; Proposition 15 predicts
+	// lambda*(1-p) and lambda*p respectively.
+	StraightUtilization, VerticalUtilization float64
+	// MeanPacketsPerNode is the population divided by the number of
+	// switching nodes (levels 1..d).
+	MeanPacketsPerNode float64
+	// UniversalLowerBound and GreedyUpperBound are the Prop. 14 and Prop. 17
+	// bounds (NaN when unstable).
+	UniversalLowerBound, GreedyUpperBound float64
+	// WithinPaperBounds reports whether the measured delay lies between the
+	// two bounds (with a small statistical tolerance).
+	WithinPaperBounds bool
+}
+
+// RunButterfly runs one butterfly simulation under greedy routing (the only
+// routing scheme the butterfly admits).
+func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	bf := butterfly.New(cfg.D)
+	dist := workload.NewRowBitFlip(cfg.D, cfg.P)
+
+	// Group arcs as (level-1)*2 + kind so per-level and per-kind statistics
+	// can both be recovered.
+	groupOf := func(a int) int {
+		level := int(bf.LevelOfArcIndex(a)) - 1
+		kind := 0
+		if bf.KindOfArcIndex(a) == butterfly.Vertical {
+			kind = 1
+		}
+		return level*2 + kind
+	}
+	sys := network.NewSystem(network.Config{
+		NumArcs:     bf.NumArcs(),
+		GroupOf:     groupOf,
+		NumGroups:   2 * cfg.D,
+		Discipline:  cfg.Discipline,
+		ServiceTime: 1,
+		Seed:        cfg.Seed,
+	})
+	if cfg.TrackQuantiles {
+		sys.EnableDelaySample()
+	}
+	if cfg.PopulationTraceInterval > 0 {
+		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
+	}
+
+	for x := 0; x < bf.Rows(); x++ {
+		src := workload.NewPoissonSource(cfg.Lambda, cfg.Seed, uint64(x))
+		origin := butterfly.Row(x)
+		var schedule func()
+		schedule = func() {
+			next := src.NextArrival()
+			if next > cfg.Horizon {
+				return
+			}
+			src.Advance()
+			sys.Sim.ScheduleAt(next, func() {
+				dest := dist.SampleRow(origin, src.RNG())
+				sys.Inject(&network.Packet{
+					ID:     sys.NewPacketID(),
+					Origin: int(origin),
+					Dest:   int(dest),
+					Path:   routing.ButterflyPath(bf, origin, dest),
+				})
+				schedule()
+			})
+		}
+		schedule()
+	}
+
+	warmup := cfg.WarmupFraction * cfg.Horizon
+	sys.Sim.RunUntil(warmup)
+	sys.StartMeasurement()
+	sys.Sim.RunUntil(cfg.Horizon)
+	m := sys.Snapshot()
+
+	res := &ButterflyResult{
+		Params:     bounds.ButterflyParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
+		LoadFactor: cfg.Lambda * math.Max(cfg.P, 1-cfg.P),
+		Metrics:    m,
+		MeanDelay:  m.MeanDelay,
+		DelayP95:   sys.DelayQuantile(0.95),
+		DelayP99:   sys.DelayQuantile(0.99),
+	}
+	// Aggregate per-kind utilisation across levels.
+	var straight, vertical float64
+	for level := 0; level < cfg.D; level++ {
+		straight += m.GroupArcUtilization[level*2]
+		vertical += m.GroupArcUtilization[level*2+1]
+	}
+	res.StraightUtilization = straight / float64(cfg.D)
+	res.VerticalUtilization = vertical / float64(cfg.D)
+	res.MeanPacketsPerNode = m.MeanPopulation / float64(cfg.D*bf.Rows())
+	res.UniversalLowerBound = boundOrNaN(res.Params.UniversalLowerBound)
+	res.GreedyUpperBound = boundOrNaN(res.Params.GreedyUpperBound)
+	if !math.IsNaN(res.UniversalLowerBound) && !math.IsNaN(res.GreedyUpperBound) {
+		tol := 3 * m.DelayCI95
+		res.WithinPaperBounds = m.MeanDelay >= res.UniversalLowerBound-tol-1e-9 &&
+			m.MeanDelay <= res.GreedyUpperBound+tol+1e-9
+	}
+	return res, nil
+}

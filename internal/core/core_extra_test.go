@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPerDimensionWaitProfile(t *testing.T) {
+	// The per-dimension sojourn time at an arc is at least the unit
+	// transmission time everywhere; dimension 1 arcs are exact M/D/1 queues
+	// (sojourn 1 + rho/(2(1-rho))), and higher dimensions face at least as
+	// much contention on average (the observation behind the conjecture at
+	// the end of §3.3).
+	rho := 0.8
+	res, err := RunHypercube(HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: rho, Horizon: 6000, Seed: 21,
+		TrackPerDimensionWait: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerDimensionMeanWait) != 5 {
+		t.Fatalf("per-dimension wait has %d entries", len(res.PerDimensionMeanWait))
+	}
+	md1 := 1 + rho/(2*(1-rho))
+	if math.Abs(res.PerDimensionMeanWait[0]-md1) > 0.15 {
+		t.Fatalf("dimension 1 sojourn %v, M/D/1 predicts %v", res.PerDimensionMeanWait[0], md1)
+	}
+	for j, w := range res.PerDimensionMeanWait {
+		if w < 1-1e-9 {
+			t.Fatalf("dimension %d sojourn %v below the service time", j+1, w)
+		}
+	}
+	// Later dimensions see feed-through traffic whose arrivals are no longer
+	// Poisson; their mean sojourn should not be dramatically smaller than
+	// dimension 1's.
+	for j := 1; j < len(res.PerDimensionMeanWait); j++ {
+		if res.PerDimensionMeanWait[j] < 0.8*res.PerDimensionMeanWait[0] {
+			t.Fatalf("dimension %d sojourn %v much smaller than dimension 1's %v",
+				j+1, res.PerDimensionMeanWait[j], res.PerDimensionMeanWait[0])
+		}
+	}
+	// Without the flag the slice is absent.
+	res2, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.5, Horizon: 500, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.PerDimensionMeanWait != nil {
+		t.Fatal("per-dimension wait reported without the tracking flag")
+	}
+}
+
+func TestPerDimensionLoadFactorBitFlip(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.6, Horizon: 800, Seed: 22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, l := range res.PerDimensionLoadFactor {
+		if math.Abs(l-0.6) > 1e-9 {
+			t.Fatalf("dimension %d load factor %v, want 0.6", j+1, l)
+		}
+	}
+}
+
+func TestCustomWeightsValidation(t *testing.T) {
+	bad := []HypercubeConfig{
+		{D: 3, Lambda: 1, Horizon: 100, CustomWeights: []float64{1, 2}},                         // wrong length
+		{D: 2, Lambda: 1, Horizon: 100, CustomWeights: []float64{1, -1, 0, 0}},                  // negative
+		{D: 2, Lambda: 1, Horizon: 100, CustomWeights: []float64{0, 0, 0, 0}},                   // all zero
+		{D: 2, P: 0.5, LoadFactor: 0.5, Horizon: 100, CustomWeights: []float64{0.5, 0.5, 0, 0}}, // LoadFactor not allowed
+		{D: 2, Horizon: 100, CustomWeights: []float64{0.5, 0.5, 0, 0}},                          // no Lambda
+		{D: 2, Lambda: 1, Horizon: 100, CustomWeights: []float64{0.5, math.NaN(), 0, 0}},        // NaN weight
+	}
+	for i, cfg := range bad {
+		if _, err := RunHypercube(cfg); err == nil {
+			t.Fatalf("case %d: expected configuration error", i)
+		}
+	}
+}
+
+func TestCustomWeightsAsymmetricTraffic(t *testing.T) {
+	// All traffic crosses dimension 1 only (difference vector 001): the
+	// dimension-1 arcs carry load lambda while every other dimension idles.
+	d := 3
+	weights := make([]float64, 1<<uint(d))
+	weights[1] = 1
+	res, err := RunHypercube(HypercubeConfig{
+		D: d, Lambda: 0.7, Horizon: 4000, Seed: 23, CustomWeights: weights,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LoadFactor-0.7) > 1e-9 {
+		t.Fatalf("load factor %v, want 0.7 (max over dimensions)", res.LoadFactor)
+	}
+	if math.Abs(res.PerDimensionLoadFactor[0]-0.7) > 1e-9 ||
+		res.PerDimensionLoadFactor[1] != 0 || res.PerDimensionLoadFactor[2] != 0 {
+		t.Fatalf("per-dimension load factors %v", res.PerDimensionLoadFactor)
+	}
+	if math.Abs(res.PerDimensionUtilization[0]-0.7) > 0.05 {
+		t.Fatalf("dimension 1 utilisation %v, want ~0.7", res.PerDimensionUtilization[0])
+	}
+	if res.PerDimensionUtilization[1] > 0.01 || res.PerDimensionUtilization[2] > 0.01 {
+		t.Fatalf("idle dimensions show utilisation %v", res.PerDimensionUtilization[1:])
+	}
+	// Every packet crosses exactly one arc, which behaves as an M/D/1 queue.
+	wantDelay := 1 + 0.7/(2*(1-0.7))
+	if math.Abs(res.MeanDelay-wantDelay) > 0.1 {
+		t.Fatalf("delay %v, M/D/1 predicts %v", res.MeanDelay, wantDelay)
+	}
+	// The bit-flip-specific bounds are not reported for custom traffic.
+	if !math.IsNaN(res.GreedyUpperBound) || !math.IsNaN(res.GreedyLowerBound) {
+		t.Fatal("greedy bounds should be NaN for custom traffic")
+	}
+	if math.Abs(res.Metrics.MeanHops-1) > 1e-9 {
+		t.Fatalf("mean hops %v, want exactly 1", res.Metrics.MeanHops)
+	}
+}
+
+func TestCustomWeightsEquivalentToBitFlip(t *testing.T) {
+	// Supplying the bit-flip weight table explicitly must reproduce the same
+	// per-dimension load factors as the built-in distribution.
+	d := 4
+	p := 0.3
+	lambda := 1.5
+	weights := make([]float64, 1<<uint(d))
+	for v := range weights {
+		k := 0
+		for m := 0; m < d; m++ {
+			if v&(1<<uint(m)) != 0 {
+				k++
+			}
+		}
+		weights[v] = math.Pow(p, float64(k)) * math.Pow(1-p, float64(d-k))
+	}
+	res, err := RunHypercube(HypercubeConfig{
+		D: d, Lambda: lambda, Horizon: 2000, Seed: 24, CustomWeights: weights,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, l := range res.PerDimensionLoadFactor {
+		if math.Abs(l-lambda*p) > 1e-9 {
+			t.Fatalf("dimension %d load %v, want %v", j+1, l, lambda*p)
+		}
+	}
+	if math.Abs(res.Metrics.MeanHops-float64(d)*p) > 0.15 {
+		t.Fatalf("mean hops %v, want %v", res.Metrics.MeanHops, float64(d)*p)
+	}
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestHypercubeConfigValidation(t *testing.T) {
+	bad := []HypercubeConfig{
+		{D: 0, P: 0.5, Lambda: 1, Horizon: 100},
+		{D: 25, P: 0.5, Lambda: 1, Horizon: 100},
+		{D: 4, P: -0.1, Lambda: 1, Horizon: 100},
+		{D: 4, P: 1.5, Lambda: 1, Horizon: 100},
+		{D: 4, P: 0.5, Lambda: 1, Horizon: 0},
+		{D: 4, P: 0.5, Lambda: -1, Horizon: 100},
+		{D: 4, P: 0.5, Horizon: 100},                                   // neither rate given
+		{D: 4, P: 0.5, Lambda: 1, LoadFactor: 0.5, Horizon: 100},       // both given
+		{D: 4, P: 0, LoadFactor: 0.5, Horizon: 100},                    // cannot derive lambda
+		{D: 4, P: 0.5, Lambda: 1, Horizon: 100, WarmupFraction: 1.5},   // bad warmup
+		{D: 4, P: 0.5, Lambda: 1, Horizon: 100, Slotted: true},         // missing tau
+		{D: 4, P: 0.5, Lambda: 1, Horizon: 100, Slotted: true, Tau: 2}, // tau > 1
+	}
+	for i, cfg := range bad {
+		if _, err := RunHypercube(cfg); err == nil {
+			t.Fatalf("case %d: expected configuration error", i)
+		}
+	}
+}
+
+func TestButterflyConfigValidation(t *testing.T) {
+	bad := []ButterflyConfig{
+		{D: 0, P: 0.5, Lambda: 1, Horizon: 100},
+		{D: 4, P: 2, Lambda: 1, Horizon: 100},
+		{D: 4, P: 0.5, Lambda: 1, Horizon: -5},
+		{D: 4, P: 0.5, Horizon: 100},
+		{D: 4, P: 0.5, Lambda: 1, LoadFactor: 0.5, Horizon: 100},
+		{D: 4, P: 0.5, Lambda: 1, Horizon: 100, WarmupFraction: -0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := RunButterfly(cfg); err == nil {
+			t.Fatalf("case %d: expected configuration error", i)
+		}
+	}
+}
+
+func TestRouterKindStrings(t *testing.T) {
+	if GreedyDimensionOrder.String() == "" || GreedyRandomOrder.String() == "" ||
+		ValiantTwoPhase.String() == "" || RouterKind(9).String() == "" {
+		t.Fatal("router kind names should not be empty")
+	}
+}
+
+func TestHypercubeGreedyWithinBounds(t *testing.T) {
+	// The headline reproduction: at d=6, p=1/2, rho=0.7 the measured delay
+	// must fall between the Prop. 13 and Prop. 12 bounds.
+	res, err := RunHypercube(HypercubeConfig{
+		D: 6, P: 0.5, LoadFactor: 0.7, Horizon: 4000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LoadFactor-0.7) > 1e-12 {
+		t.Fatalf("load factor %v", res.LoadFactor)
+	}
+	if res.MeanDelay < res.GreedyLowerBound-0.2 {
+		t.Fatalf("delay %v below lower bound %v", res.MeanDelay, res.GreedyLowerBound)
+	}
+	if res.MeanDelay > res.GreedyUpperBound {
+		t.Fatalf("delay %v above upper bound %v", res.MeanDelay, res.GreedyUpperBound)
+	}
+	if !res.WithinPaperBounds {
+		t.Fatalf("WithinPaperBounds false: delay %v, bounds [%v, %v]",
+			res.MeanDelay, res.GreedyLowerBound, res.GreedyUpperBound)
+	}
+	// The delay must also respect the universal and oblivious lower bounds.
+	if res.MeanDelay < res.UniversalLowerBound || res.MeanDelay < res.ObliviousLowerBound {
+		t.Fatalf("delay %v below a universal/oblivious lower bound (%v / %v)",
+			res.MeanDelay, res.UniversalLowerBound, res.ObliviousLowerBound)
+	}
+	// Mean hops must be close to d*p = 3.
+	if math.Abs(res.Metrics.MeanHops-3) > 0.1 {
+		t.Fatalf("mean hops %v", res.Metrics.MeanHops)
+	}
+	// Little's law consistency inside the simulator.
+	if res.Metrics.LittleLawError > 0.05 {
+		t.Fatalf("Little's law error %v", res.Metrics.LittleLawError)
+	}
+}
+
+func TestHypercubePerDimensionUtilizationMatchesProp5(t *testing.T) {
+	// Proposition 5: every dimension's arcs carry total rate rho, so every
+	// arc is busy a fraction rho of the time.
+	res, err := RunHypercube(HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: 0.6, Horizon: 5000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range res.PerDimensionUtilization {
+		if math.Abs(u-0.6) > 0.05 {
+			t.Fatalf("dimension %d utilisation %v, want 0.6", j+1, u)
+		}
+	}
+	// Dimension 1 arcs are pure M/D/1 queues: mean number rho + rho^2/(2(1-rho)).
+	wantDim1 := 0.6 + 0.36/(2*0.4)
+	if math.Abs(res.PerDimensionMeanQueue[0]-wantDim1) > 0.1 {
+		t.Fatalf("dimension 1 mean queue %v, want %v", res.PerDimensionMeanQueue[0], wantDim1)
+	}
+	// Later dimensions hold at least rho packets per arc on average.
+	for j := 1; j < len(res.PerDimensionMeanQueue); j++ {
+		if res.PerDimensionMeanQueue[j] < 0.5 {
+			t.Fatalf("dimension %d mean queue %v suspiciously small", j+1, res.PerDimensionMeanQueue[j])
+		}
+	}
+}
+
+func TestHypercubeLocalizedTraffic(t *testing.T) {
+	// p = 0.25 with the same load factor: shorter paths, smaller delay, and
+	// the bounds still hold.
+	res, err := RunHypercube(HypercubeConfig{
+		D: 6, P: 0.25, LoadFactor: 0.6, Horizon: 4000, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.MeanHops-1.5) > 0.1 {
+		t.Fatalf("mean hops %v, want 1.5", res.Metrics.MeanHops)
+	}
+	if !res.WithinPaperBounds {
+		t.Fatalf("delay %v outside [%v, %v]", res.MeanDelay, res.GreedyLowerBound, res.GreedyUpperBound)
+	}
+}
+
+func TestHypercubeUnstableLoadDiagnosed(t *testing.T) {
+	// rho = 1.2: bounds are undefined and the population grows steadily.
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 1.2, Horizon: 3000, Seed: 4,
+		PopulationTraceInterval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.GreedyUpperBound) || !math.IsNaN(res.GreedyLowerBound) {
+		t.Fatal("bounds should be NaN for an unstable system")
+	}
+	if res.Metrics.PopulationSlope <= 0 {
+		t.Fatalf("expected positive population slope, got %v", res.Metrics.PopulationSlope)
+	}
+	if res.WithinPaperBounds {
+		t.Fatal("WithinPaperBounds must be false for an unstable system")
+	}
+}
+
+func TestHypercubeStableLoadFlatPopulation(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.6, Horizon: 5000, Seed: 5,
+		PopulationTraceInterval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slope of a stable system is tiny compared to the unstable case
+	// (which grows at order (rho-1)*lambda*2^d per unit time).
+	if math.Abs(res.Metrics.PopulationSlope) > 0.05 {
+		t.Fatalf("stable system population slope %v", res.Metrics.PopulationSlope)
+	}
+}
+
+func TestHypercubeValiantRouterLongerPaths(t *testing.T) {
+	greedy, err := RunHypercube(HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: 0.4, Horizon: 3000, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	valiant, err := RunHypercube(HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: 0.4, Horizon: 3000, Seed: 6, Router: ValiantTwoPhase,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valiant paths are about twice as long on average, so at the same
+	// generation rate its delay and per-arc utilisation are higher.
+	if valiant.Metrics.MeanHops < 1.5*greedy.Metrics.MeanHops {
+		t.Fatalf("Valiant mean hops %v vs greedy %v", valiant.Metrics.MeanHops, greedy.Metrics.MeanHops)
+	}
+	if valiant.MeanDelay <= greedy.MeanDelay {
+		t.Fatalf("Valiant delay %v should exceed greedy delay %v at equal load",
+			valiant.MeanDelay, greedy.MeanDelay)
+	}
+}
+
+func TestHypercubeRandomOrderRouterStillStable(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 5, P: 0.5, LoadFactor: 0.7, Horizon: 3000, Seed: 7, Router: GreedyRandomOrder,
+		PopulationTraceInterval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Metrics.PopulationSlope) > 0.05 {
+		t.Fatalf("random dimension order appears unstable: slope %v", res.Metrics.PopulationSlope)
+	}
+	if res.Metrics.MeanHops < 2.4 || res.Metrics.MeanHops > 2.6 {
+		t.Fatalf("mean hops %v, want ~2.5", res.Metrics.MeanHops)
+	}
+}
+
+func TestHypercubeSlottedMode(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.6, Horizon: 4000, Seed: 8,
+		Slotted: true, Tau: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.SlottedUpperBound) {
+		t.Fatal("slotted bound missing")
+	}
+	if res.SlottedUpperBound <= res.GreedyUpperBound {
+		t.Fatal("slotted bound should exceed the continuous-time bound by tau")
+	}
+	if res.MeanDelay > res.SlottedUpperBound {
+		t.Fatalf("slotted delay %v exceeds the §3.4 bound %v", res.MeanDelay, res.SlottedUpperBound)
+	}
+	if res.MeanDelay < res.GreedyLowerBound-0.2 {
+		t.Fatalf("slotted delay %v below the continuous-time lower bound %v",
+			res.MeanDelay, res.GreedyLowerBound)
+	}
+}
+
+func TestHypercubeQuantilesTracked(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.5, Horizon: 2000, Seed: 9, TrackQuantiles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.DelayP95) || math.IsNaN(res.DelayP99) {
+		t.Fatal("quantiles missing")
+	}
+	if res.DelayP95 < res.MeanDelay {
+		t.Fatalf("P95 %v below the mean %v", res.DelayP95, res.MeanDelay)
+	}
+	if res.DelayP99 < res.DelayP95 {
+		t.Fatalf("P99 %v below P95 %v", res.DelayP99, res.DelayP95)
+	}
+	// Without tracking, quantiles are NaN.
+	res2, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.5, Horizon: 500, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res2.DelayP95) {
+		t.Fatal("expected NaN quantiles without tracking")
+	}
+}
+
+func TestHypercubeReproducibleWithSameSeed(t *testing.T) {
+	run := func() *HypercubeResult {
+		res, err := RunHypercube(HypercubeConfig{
+			D: 4, P: 0.5, LoadFactor: 0.6, Horizon: 1000, Seed: 42,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.MeanDelay != b.MeanDelay || a.Metrics.Delivered != b.Metrics.Delivered {
+		t.Fatal("identical seeds produced different results")
+	}
+	c, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.6, Horizon: 1000, Seed: 43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay == a.MeanDelay && c.Metrics.Delivered == a.Metrics.Delivered {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestHypercubeRandomOrderDiscipline(t *testing.T) {
+	res, err := RunHypercube(HypercubeConfig{
+		D: 4, P: 0.5, LoadFactor: 0.7, Horizon: 3000, Seed: 10,
+		Discipline: network.RandomOrder,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mean delay is insensitive to the service order, so the paper's
+	// bounds still hold.
+	if !res.WithinPaperBounds {
+		t.Fatalf("random-order discipline delay %v outside [%v, %v]",
+			res.MeanDelay, res.GreedyLowerBound, res.GreedyUpperBound)
+	}
+}
+
+func TestButterflyGreedyWithinBounds(t *testing.T) {
+	res, err := RunButterfly(ButterflyConfig{
+		D: 5, P: 0.5, LoadFactor: 0.7, Horizon: 5000, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanDelay < res.UniversalLowerBound-0.1 {
+		t.Fatalf("delay %v below the Prop. 14 bound %v", res.MeanDelay, res.UniversalLowerBound)
+	}
+	if res.MeanDelay > res.GreedyUpperBound {
+		t.Fatalf("delay %v above the Prop. 17 bound %v", res.MeanDelay, res.GreedyUpperBound)
+	}
+	if !res.WithinPaperBounds {
+		t.Fatal("WithinPaperBounds false")
+	}
+	// Every packet crosses exactly d arcs.
+	if math.Abs(res.Metrics.MeanHops-5) > 1e-9 {
+		t.Fatalf("mean hops %v, want exactly 5", res.Metrics.MeanHops)
+	}
+	// Proposition 15: both arc types busy a fraction lambda*p = 0.7.
+	if math.Abs(res.VerticalUtilization-0.7) > 0.05 || math.Abs(res.StraightUtilization-0.7) > 0.05 {
+		t.Fatalf("utilisations straight %v vertical %v, want 0.7",
+			res.StraightUtilization, res.VerticalUtilization)
+	}
+}
+
+func TestButterflyAsymmetricTraffic(t *testing.T) {
+	// p = 0.25: straight arcs carry three times the vertical traffic.
+	res, err := RunButterfly(ButterflyConfig{
+		D: 4, P: 0.25, Lambda: 1.0, Horizon: 5000, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.LoadFactor-0.75) > 1e-12 {
+		t.Fatalf("load factor %v", res.LoadFactor)
+	}
+	if math.Abs(res.StraightUtilization-0.75) > 0.05 {
+		t.Fatalf("straight utilisation %v, want 0.75", res.StraightUtilization)
+	}
+	if math.Abs(res.VerticalUtilization-0.25) > 0.05 {
+		t.Fatalf("vertical utilisation %v, want 0.25", res.VerticalUtilization)
+	}
+	if !res.WithinPaperBounds {
+		t.Fatalf("delay %v outside [%v, %v]", res.MeanDelay, res.UniversalLowerBound, res.GreedyUpperBound)
+	}
+}
+
+func TestButterflyUnstable(t *testing.T) {
+	res, err := RunButterfly(ButterflyConfig{
+		D: 4, P: 0.5, LoadFactor: 1.15, Horizon: 2000, Seed: 13,
+		PopulationTraceInterval: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(res.GreedyUpperBound) {
+		t.Fatal("upper bound should be NaN when unstable")
+	}
+	if res.Metrics.PopulationSlope <= 0 {
+		t.Fatalf("expected growing population, slope %v", res.Metrics.PopulationSlope)
+	}
+}
+
+func TestButterflyQuantiles(t *testing.T) {
+	res, err := RunButterfly(ButterflyConfig{
+		D: 3, P: 0.5, LoadFactor: 0.5, Horizon: 2000, Seed: 14, TrackQuantiles: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(res.DelayP95) || res.DelayP95 < float64(3) {
+		t.Fatalf("P95 = %v", res.DelayP95)
+	}
+	if res.MeanPacketsPerNode <= 0 {
+		t.Fatalf("per-node packets %v", res.MeanPacketsPerNode)
+	}
+}
+
+func TestButterflyReproducible(t *testing.T) {
+	run := func(seed uint64) *ButterflyResult {
+		res, err := RunButterfly(ButterflyConfig{
+			D: 3, P: 0.5, LoadFactor: 0.6, Horizon: 1000, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if run(7).MeanDelay != run(7).MeanDelay {
+		t.Fatal("same seed gave different butterfly results")
+	}
+}

@@ -1,0 +1,278 @@
+// Package deflection implements hot-potato (deflection) routing on the
+// hypercube, the alternative dynamic-routing discipline analysed
+// (approximately) by Greenberg and Hajek [GrH89] and discussed in the paper's
+// related-work section (§1.2). It serves as an extra comparison baseline for
+// the greedy store-and-forward scheme: instead of queueing at arcs, every
+// packet present at a node at the start of a slot is forced onto some output
+// port — preferably one that reduces its Hamming distance to the destination,
+// otherwise a "deflection" onto any free port.
+//
+// The simulator is slotted (all transmissions take one slot) and enforces the
+// structural invariant that makes deflection routing lossless on the d-cube:
+// a node has d input and d output ports, so at most d packets can be present
+// at a node when ports are assigned, and every one of them can be sent.
+// Freshly generated packets wait in a per-node injection queue and enter the
+// network only when their origin has a free slot.
+package deflection
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hypercube"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Config parameterises a deflection-routing simulation.
+type Config struct {
+	// D is the hypercube dimension.
+	D int
+	// Lambda is the per-node packet generation rate (packets per slot).
+	Lambda float64
+	// P is the destination bit-flip probability.
+	P float64
+	// Slots is the number of time slots to simulate.
+	Slots int
+	// WarmupFraction of the slots is discarded before measuring
+	// (default 0.2).
+	WarmupFraction float64
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+func (c *Config) normalize() error {
+	if c.D < 1 || c.D > hypercube.MaxDimension {
+		return fmt.Errorf("deflection: dimension %d out of range [1,%d]", c.D, hypercube.MaxDimension)
+	}
+	if c.Lambda < 0 {
+		return fmt.Errorf("deflection: negative lambda %v", c.Lambda)
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("deflection: p = %v outside [0,1]", c.P)
+	}
+	if c.Slots <= 0 {
+		return fmt.Errorf("deflection: Slots must be positive, got %d", c.Slots)
+	}
+	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
+		return fmt.Errorf("deflection: warmup fraction %v outside [0,1)", c.WarmupFraction)
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 0.2
+	}
+	return nil
+}
+
+// Result reports one deflection-routing simulation.
+type Result struct {
+	// MeanDelay is the mean number of slots from generation to delivery for
+	// packets generated after warm-up and delivered before the end.
+	MeanDelay float64
+	// MeanHops is the mean number of arcs traversed by those packets.
+	MeanHops float64
+	// MeanShortest is the mean Hamming distance of those packets (the
+	// minimum possible hop count).
+	MeanShortest float64
+	// MeanDeflections is the mean number of unprofitable (distance
+	// non-decreasing) hops per delivered packet.
+	MeanDeflections float64
+	// Delivered is the number of packets in the delay statistics.
+	Delivered int64
+	// MeanNetworkPopulation is the time-averaged number of packets inside
+	// the network (excluding injection queues).
+	MeanNetworkPopulation float64
+	// MeanInjectionBacklog is the time-averaged number of packets waiting in
+	// injection queues.
+	MeanInjectionBacklog float64
+	// InjectionBacklogSlope is the least-squares slope of the injection
+	// backlog over the measurement window (positive = not keeping up).
+	InjectionBacklogSlope float64
+	// MaxNodeOccupancy is the largest number of packets observed at one node
+	// when ports were assigned; it can never exceed d.
+	MaxNodeOccupancy int
+}
+
+// packet is one in-flight or queued packet.
+type packet struct {
+	dest        hypercube.Node
+	genSlot     int
+	hops        int
+	deflections int
+}
+
+// Run simulates deflection routing.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cube := hypercube.New(cfg.D)
+	n := cube.Nodes()
+	d := cfg.D
+	dist := workload.NewBitFlip(d, cfg.P)
+	rng := xrand.NewStream(cfg.Seed, 0xDEF1)
+	srcRNG := make([]*xrand.Rand, n)
+	for x := range srcRNG {
+		srcRNG[x] = xrand.NewStream(cfg.Seed, uint64(x))
+	}
+
+	// at[x] holds the packets present at node x at the start of the slot.
+	at := make([][]*packet, n)
+	// injection[x] holds generated packets waiting to enter the network.
+	injection := make([][]*packet, n)
+
+	warmupSlot := int(cfg.WarmupFraction * float64(cfg.Slots))
+	var delay, hops, shortest, deflections stats.Tally
+	var netPop, backlog stats.Tally
+	var backlogSeries stats.Series
+	maxOccupancy := 0
+	var delivered int64
+
+	// Scratch buffers reused across nodes and slots.
+	dimUsed := make([]bool, d+1)
+	wantDeflect := make([]*packet, 0, d)
+
+	for slot := 0; slot < cfg.Slots; slot++ {
+		// 1. Generate new packets (Poisson batch per node per slot) into the
+		// injection queues.
+		for x := 0; x < n; x++ {
+			batch := srcRNG[x].Poisson(cfg.Lambda)
+			for k := 0; k < batch; k++ {
+				dest := dist.Sample(hypercube.Node(x), srcRNG[x])
+				p := &packet{dest: dest, genSlot: slot}
+				if dest == hypercube.Node(x) {
+					// Zero-distance packets are delivered immediately.
+					if slot >= warmupSlot {
+						delay.Add(0)
+						hops.Add(0)
+						shortest.Add(0)
+						deflections.Add(0)
+						delivered++
+					}
+					continue
+				}
+				injection[x] = append(injection[x], p)
+			}
+		}
+
+		// 2. Admit queued packets while the node holds fewer than d packets
+		// (so every present packet is guaranteed an output port).
+		for x := 0; x < n; x++ {
+			for len(injection[x]) > 0 && len(at[x]) < d {
+				p := injection[x][0]
+				copy(injection[x], injection[x][1:])
+				injection[x][len(injection[x])-1] = nil
+				injection[x] = injection[x][:len(injection[x])-1]
+				at[x] = append(at[x], p)
+			}
+		}
+
+		// Record occupancy statistics.
+		var inNet, queued int
+		for x := 0; x < n; x++ {
+			inNet += len(at[x])
+			queued += len(injection[x])
+			if len(at[x]) > maxOccupancy {
+				maxOccupancy = len(at[x])
+			}
+			if len(at[x]) > d {
+				return nil, fmt.Errorf("deflection: node %d holds %d > d packets", x, len(at[x]))
+			}
+		}
+		if slot >= warmupSlot {
+			netPop.Add(float64(inNet))
+			backlog.Add(float64(queued))
+			backlogSeries.AddPoint(float64(slot), float64(queued))
+		}
+
+		// 3. Assign output ports node by node and move the packets.
+		next := make([][]*packet, n)
+		for x := 0; x < n; x++ {
+			pkts := at[x]
+			if len(pkts) == 0 {
+				continue
+			}
+			for m := 1; m <= d; m++ {
+				dimUsed[m] = false
+			}
+			wantDeflect = wantDeflect[:0]
+			// Random service order keeps the assignment fair.
+			rng.Shuffle(len(pkts), func(i, j int) { pkts[i], pkts[j] = pkts[j], pkts[i] })
+			// First pass: give each packet a profitable free dimension.
+			for _, p := range pkts {
+				assigned := false
+				diff := uint32(hypercube.Node(x) ^ p.dest)
+				for m := 1; m <= d; m++ {
+					if diff&(1<<uint(m-1)) != 0 && !dimUsed[m] {
+						dimUsed[m] = true
+						moveOne(cube, x, m, p, false, next, &delivered, &delay, &hops, &shortest, &deflections, slot, warmupSlot)
+						assigned = true
+						break
+					}
+				}
+				if !assigned {
+					wantDeflect = append(wantDeflect, p)
+				}
+			}
+			// Second pass: deflect the rest onto arbitrary free dimensions.
+			for _, p := range wantDeflect {
+				placed := false
+				for m := 1; m <= d; m++ {
+					if !dimUsed[m] {
+						dimUsed[m] = true
+						moveOne(cube, x, m, p, true, next, &delivered, &delay, &hops, &shortest, &deflections, slot, warmupSlot)
+						placed = true
+						break
+					}
+				}
+				if !placed {
+					return nil, fmt.Errorf("deflection: no free port at node %d with %d packets", x, len(pkts))
+				}
+			}
+		}
+		at = next
+	}
+
+	res := &Result{
+		MeanDelay:             delay.Mean(),
+		MeanHops:              hops.Mean(),
+		MeanShortest:          shortest.Mean(),
+		MeanDeflections:       deflections.Mean(),
+		Delivered:             delivered,
+		MeanNetworkPopulation: netPop.Mean(),
+		MeanInjectionBacklog:  backlog.Mean(),
+		InjectionBacklogSlope: backlogSeries.LinearSlope(),
+		MaxNodeOccupancy:      maxOccupancy,
+	}
+	if math.IsNaN(res.MeanDelay) {
+		res.MeanDelay = 0
+	}
+	return res, nil
+}
+
+// moveOne advances packet p from node x along dimension m, recording delivery
+// statistics when it reaches its destination. The hop completes at the end of
+// the slot, so a packet delivered in slot s has spent s+1-genSlot slots in
+// the system.
+func moveOne(cube *hypercube.Cube, x, m int, p *packet, deflected bool, next [][]*packet,
+	delivered *int64, delay, hops, shortest, deflections *stats.Tally, slot, warmupSlot int) {
+	to := cube.Flip(hypercube.Node(x), hypercube.Dimension(m))
+	p.hops++
+	if deflected {
+		p.deflections++
+	}
+	if to == p.dest {
+		if p.genSlot >= warmupSlot {
+			delay.Add(float64(slot + 1 - p.genSlot))
+			hops.Add(float64(p.hops))
+			// Every deflection moves the packet one step away from its
+			// destination and must be undone by an extra profitable step, so
+			// the original Hamming distance is hops - 2*deflections.
+			shortest.Add(float64(p.hops - 2*p.deflections))
+			deflections.Add(float64(p.deflections))
+			*delivered++
+		}
+		return
+	}
+	next[to] = append(next[to], p)
+}

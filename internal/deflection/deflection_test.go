@@ -1,0 +1,211 @@
+package deflection
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{D: 0, Lambda: 0.5, P: 0.5, Slots: 100},
+		{D: 25, Lambda: 0.5, P: 0.5, Slots: 100},
+		{D: 4, Lambda: -1, P: 0.5, Slots: 100},
+		{D: 4, Lambda: 0.5, P: 2, Slots: 100},
+		{D: 4, Lambda: 0.5, P: 0.5, Slots: 0},
+		{D: 4, Lambda: 0.5, P: 0.5, Slots: 100, WarmupFraction: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestLowLoadNoDeflections(t *testing.T) {
+	// With a nearly empty network every packet always finds a profitable
+	// port: delay equals the Hamming distance plus nothing, and deflections
+	// are (almost) absent.
+	res, err := Run(Config{D: 5, Lambda: 0.01, P: 0.5, Slots: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.MeanDeflections > 0.05 {
+		t.Fatalf("mean deflections %v at trivial load", res.MeanDeflections)
+	}
+	if math.Abs(res.MeanHops-res.MeanShortest) > 0.1 {
+		t.Fatalf("hops %v vs shortest %v at trivial load", res.MeanHops, res.MeanShortest)
+	}
+	// Delay per packet is its hop count at this load (one hop per slot, no
+	// injection wait), plus at most a fraction of a slot of discretisation.
+	if res.MeanDelay < res.MeanHops-1e-9 || res.MeanDelay > res.MeanHops+1.1 {
+		t.Fatalf("delay %v vs hops %v", res.MeanDelay, res.MeanHops)
+	}
+	if res.MaxNodeOccupancy > 5 {
+		t.Fatalf("occupancy %d exceeds d", res.MaxNodeOccupancy)
+	}
+}
+
+func TestModerateLoadStatistics(t *testing.T) {
+	res, err := Run(Config{D: 5, Lambda: 0.8, P: 0.5, Slots: 3000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	// Hop count always at least the shortest distance, and shortest distance
+	// close to d*p = 2.5 on average.
+	if res.MeanHops < res.MeanShortest-1e-9 {
+		t.Fatalf("hops %v below shortest %v", res.MeanHops, res.MeanShortest)
+	}
+	if math.Abs(res.MeanShortest-2.5) > 0.2 {
+		t.Fatalf("mean shortest %v, want ~2.5", res.MeanShortest)
+	}
+	// Consistency: hops = shortest + 2*deflections.
+	if math.Abs(res.MeanHops-(res.MeanShortest+2*res.MeanDeflections)) > 1e-9 {
+		t.Fatalf("hops %v != shortest %v + 2*deflections %v",
+			res.MeanHops, res.MeanShortest, res.MeanDeflections)
+	}
+	// The node-occupancy invariant d must never be violated.
+	if res.MaxNodeOccupancy > 5 {
+		t.Fatalf("occupancy %d exceeds d = 5", res.MaxNodeOccupancy)
+	}
+	// Delay includes injection wait, so it is at least the hop count.
+	if res.MeanDelay < res.MeanHops-1e-9 {
+		t.Fatalf("delay %v below hops %v", res.MeanDelay, res.MeanHops)
+	}
+}
+
+func TestHigherLoadMoreDeflections(t *testing.T) {
+	low, err := Run(Config{D: 5, Lambda: 0.2, P: 0.5, Slots: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Run(Config{D: 5, Lambda: 1.2, P: 0.5, Slots: 3000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.MeanDeflections <= low.MeanDeflections {
+		t.Fatalf("deflections did not increase with load: %v vs %v",
+			low.MeanDeflections, high.MeanDeflections)
+	}
+	if high.MeanDelay <= low.MeanDelay {
+		t.Fatalf("delay did not increase with load: %v vs %v", low.MeanDelay, high.MeanDelay)
+	}
+	if high.MeanNetworkPopulation <= low.MeanNetworkPopulation {
+		t.Fatal("network population did not increase with load")
+	}
+}
+
+func TestStableLoadFlatBacklog(t *testing.T) {
+	res, err := Run(Config{D: 5, Lambda: 0.6, P: 0.5, Slots: 4000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectionBacklogSlope > 0.05 {
+		t.Fatalf("injection backlog growing at moderate load: slope %v", res.InjectionBacklogSlope)
+	}
+	if res.MeanInjectionBacklog > float64(32) {
+		t.Fatalf("mean injection backlog %v unexpectedly large", res.MeanInjectionBacklog)
+	}
+}
+
+func TestOverloadBacklogGrows(t *testing.T) {
+	// Generating more packets than the network can absorb (lambda*d*p beyond
+	// the port capacity) must show up as a growing injection backlog.
+	res, err := Run(Config{D: 4, Lambda: 3.5, P: 0.5, Slots: 2500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InjectionBacklogSlope <= 0.05 {
+		t.Fatalf("expected growing injection backlog, slope %v", res.InjectionBacklogSlope)
+	}
+}
+
+func TestZeroDistancePacketsCountedWithZeroDelay(t *testing.T) {
+	// With p = 0 every packet is destined to its origin: all delays are 0.
+	res, err := Run(Config{D: 4, Lambda: 0.5, P: 0, Slots: 500, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered == 0 {
+		t.Fatal("nothing delivered")
+	}
+	if res.MeanDelay != 0 || res.MeanHops != 0 {
+		t.Fatalf("p=0 should give zero delay/hops, got %v/%v", res.MeanDelay, res.MeanHops)
+	}
+	if res.MeanNetworkPopulation != 0 {
+		t.Fatalf("network population %v with p=0", res.MeanNetworkPopulation)
+	}
+}
+
+func TestAntipodalTraffic(t *testing.T) {
+	// p = 1: every packet must cross all d dimensions; shortest distance d.
+	res, err := Run(Config{D: 4, Lambda: 0.3, P: 1, Slots: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanShortest != 4 {
+		t.Fatalf("mean shortest %v, want exactly 4", res.MeanShortest)
+	}
+	if res.MeanHops < 4 {
+		t.Fatalf("mean hops %v below 4", res.MeanHops)
+	}
+}
+
+func TestReproducible(t *testing.T) {
+	a, err := Run(Config{D: 4, Lambda: 0.7, P: 0.5, Slots: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(Config{D: 4, Lambda: 0.7, P: 0.5, Slots: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDelay != b.MeanDelay || a.Delivered != b.Delivered {
+		t.Fatal("same seed gave different results")
+	}
+	c, err := Run(Config{D: 4, Lambda: 0.7, P: 0.5, Slots: 1000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay == a.MeanDelay && c.Delivered == a.Delivered {
+		t.Fatal("different seeds gave identical results")
+	}
+}
+
+// Property: for any load and p, the invariants hops >= shortest,
+// hops = shortest + 2*deflections and occupancy <= d hold.
+func TestQuickInvariants(t *testing.T) {
+	f := func(lambdaRaw, pRaw, seed uint8) bool {
+		lambda := float64(lambdaRaw) / 128 // up to ~2 packets per node per slot
+		p := float64(pRaw) / 255
+		res, err := Run(Config{D: 4, Lambda: lambda, P: p, Slots: 300, Seed: uint64(seed)})
+		if err != nil {
+			return false
+		}
+		if res.MaxNodeOccupancy > 4 {
+			return false
+		}
+		if res.MeanHops < res.MeanShortest-1e-9 {
+			return false
+		}
+		return math.Abs(res.MeanHops-(res.MeanShortest+2*res.MeanDeflections)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeflectionRouting(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{D: 6, Lambda: 0.8, P: 0.5, Slots: 500, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package des is a small discrete-event simulation core: a simulation clock,
+// a binary-heap event calendar with deterministic tie-breaking, event
+// cancellation, and run-until controls. Both the packet-level network
+// simulator and the equivalent-queueing-network simulator are built on it.
+//
+// Determinism matters: the paper's sample-path arguments (Lemmas 7-10) are
+// verified by running two systems on a common event sequence, so simultaneous
+// events must always fire in the order they were scheduled. The calendar
+// therefore breaks time ties by a monotonically increasing sequence number.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a scheduled callback. Events are created by the Simulator and can
+// be cancelled; a cancelled event stays in the calendar but is skipped when
+// it reaches the head of the heap (lazy deletion).
+type Event struct {
+	time      float64
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int // heap index, -1 once popped
+}
+
+// Time returns the simulation time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Simulator owns the clock and the event calendar.
+type Simulator struct {
+	now       float64
+	seq       uint64
+	events    eventHeap
+	processed uint64
+	stopped   bool
+}
+
+// New returns a simulator with the clock at zero and an empty calendar.
+func New() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current simulation time.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of events in the calendar, including cancelled
+// events that have not yet been skipped.
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Processed returns the number of events executed so far.
+func (s *Simulator) Processed() uint64 { return s.processed }
+
+// ScheduleAt schedules fn to run at absolute time t. Scheduling in the past
+// panics, since it would silently corrupt the sample path.
+func (s *Simulator) ScheduleAt(t float64, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: ScheduleAt(%v) before current time %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: ScheduleAt with NaN time")
+	}
+	ev := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// Schedule schedules fn to run delay time units from now.
+func (s *Simulator) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("des: Schedule with negative delay %v", delay))
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// Cancel marks an event so that it will not fire. Cancelling an event that
+// already fired or was already cancelled is a no-op.
+func (s *Simulator) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.cancelled = true
+}
+
+// Stop makes the current Run call return after the event being processed.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the next non-cancelled event and returns true, or returns
+// false if the calendar is empty.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.time
+		s.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the calendar is empty, Stop is
+// called, or the next event would fire strictly after horizon. The clock is
+// advanced to horizon when the run ends because time ran out (so
+// time-weighted statistics can be closed at a well-defined instant).
+func (s *Simulator) RunUntil(horizon float64) {
+	s.stopped = false
+	for !s.stopped {
+		ev := s.peek()
+		if ev == nil {
+			break
+		}
+		if ev.time > horizon {
+			s.now = horizon
+			return
+		}
+		s.Step()
+	}
+	if s.now < horizon && !s.stopped {
+		s.now = horizon
+	}
+}
+
+// Run executes events until the calendar is empty or Stop is called.
+func (s *Simulator) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunWhile executes events while cond() returns true, the calendar is
+// non-empty and Stop has not been called.
+func (s *Simulator) RunWhile(cond func() bool) {
+	s.stopped = false
+	for !s.stopped && cond() {
+		if !s.Step() {
+			return
+		}
+	}
+}
+
+// peek returns the earliest non-cancelled event without removing it, skipping
+// and discarding cancelled events on the way.
+func (s *Simulator) peek() *Event {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&s.events)
+	}
+	return nil
+}

@@ -1,0 +1,312 @@
+package des
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, tm := range times {
+		tt := tm
+		s.ScheduleAt(tt, func() { fired = append(fired, tt) })
+	}
+	s.Run()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events", len(fired))
+	}
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if s.Now() != 5 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+	if s.Processed() != 5 {
+		t.Fatalf("processed = %d", s.Processed())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		s.ScheduleAt(1.0, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not in scheduling order: %v", order[:10])
+		}
+	}
+}
+
+func TestScheduleRelative(t *testing.T) {
+	s := New()
+	var hit []float64
+	s.Schedule(2, func() {
+		hit = append(hit, s.Now())
+		s.Schedule(3, func() { hit = append(hit, s.Now()) })
+	})
+	s.Run()
+	if len(hit) != 2 || hit[0] != 2 || hit[1] != 5 {
+		t.Fatalf("hit = %v", hit)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	s := New()
+	s.ScheduleAt(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.ScheduleAt(1, func() {})
+}
+
+func TestScheduleNegativeDelayPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Schedule(-1, func() {})
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.ScheduleAt(nan(), func() {})
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	ev := s.ScheduleAt(1, func() { fired = true })
+	keep := 0
+	s.ScheduleAt(2, func() { keep++ })
+	s.Cancel(ev)
+	if !ev.Cancelled() {
+		t.Fatal("event not marked cancelled")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if keep != 1 {
+		t.Fatal("non-cancelled event did not fire")
+	}
+	// Cancelling nil or an already-fired event must not panic.
+	s.Cancel(nil)
+	s.Cancel(ev)
+}
+
+func TestRunUntilStopsAtHorizon(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.ScheduleAt(float64(i), func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("clock = %v, want horizon", s.Now())
+	}
+	// Remaining events still fire on the next run.
+	s.RunUntil(100)
+	if count != 10 {
+		t.Fatalf("count after second run = %d", count)
+	}
+}
+
+func TestRunUntilEmptyCalendarAdvancesClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Fatalf("clock = %v", s.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.ScheduleAt(float64(i), func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d", count)
+	}
+	// A subsequent Run picks up where we left off.
+	s.Run()
+	if count != 10 {
+		t.Fatalf("count after resume = %d", count)
+	}
+}
+
+func TestRunWhile(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.ScheduleAt(float64(i), func() { count++ })
+	}
+	s.RunWhile(func() bool { return count < 4 })
+	if count != 4 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestStepOnEmptyCalendar(t *testing.T) {
+	s := New()
+	if s.Step() {
+		t.Fatal("Step on empty calendar returned true")
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	if s.Pending() != 0 {
+		t.Fatal("pending not zero initially")
+	}
+	e1 := s.ScheduleAt(1, func() {})
+	s.ScheduleAt(2, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending = %d", s.Pending())
+	}
+	s.Cancel(e1)
+	// Lazy deletion: still counted until skipped.
+	if s.Pending() != 2 {
+		t.Fatalf("pending after cancel = %d", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d", s.Pending())
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	s := New()
+	ev := s.ScheduleAt(7.5, func() {})
+	if ev.Time() != 7.5 {
+		t.Fatalf("Time() = %v", ev.Time())
+	}
+}
+
+func TestRescheduleDuringExecution(t *testing.T) {
+	// A self-rescheduling event models a periodic process (the slotted-time
+	// clock); make sure the pattern works and terminates with RunUntil.
+	s := New()
+	ticks := 0
+	var tick func()
+	tick = func() {
+		ticks++
+		s.Schedule(1, tick)
+	}
+	s.Schedule(1, tick)
+	s.RunUntil(10.5)
+	if ticks != 10 {
+		t.Fatalf("ticks = %d", ticks)
+	}
+}
+
+func TestCancelAndRescheduleStress(t *testing.T) {
+	// Randomly schedule and cancel events and verify that only non-cancelled
+	// events fire, in non-decreasing time order.
+	s := New()
+	rng := xrand.New(1)
+	type rec struct {
+		ev        *Event
+		cancelled bool
+	}
+	var recs []*rec
+	fired := 0
+	lastTime := -1.0
+	for i := 0; i < 5000; i++ {
+		tm := rng.Float64() * 1000
+		r := &rec{}
+		r.ev = s.ScheduleAt(tm, func() {
+			fired++
+			if s.Now() < lastTime {
+				t.Errorf("time went backwards: %v after %v", s.Now(), lastTime)
+			}
+			lastTime = s.Now()
+			if r.cancelled {
+				t.Error("cancelled event fired")
+			}
+		})
+		recs = append(recs, r)
+	}
+	cancelled := 0
+	for _, r := range recs {
+		if rng.Bernoulli(0.3) {
+			r.cancelled = true
+			s.Cancel(r.ev)
+			cancelled++
+		}
+	}
+	s.Run()
+	if fired != len(recs)-cancelled {
+		t.Fatalf("fired %d, want %d", fired, len(recs)-cancelled)
+	}
+}
+
+// Property: for any set of scheduling times, the observed firing sequence is
+// the sorted sequence of times.
+func TestQuickFiringOrderIsSorted(t *testing.T) {
+	f := func(raw []uint16) bool {
+		s := New()
+		var fired []float64
+		for _, r := range raw {
+			tm := float64(r) / 16
+			s.ScheduleAt(tm, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(raw) {
+			return false
+		}
+		return sort.Float64sAreSorted(fired)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := xrand.New(2)
+	times := make([]float64, 1024)
+	for i := range times {
+		times[i] = rng.Float64() * 1000
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for _, tm := range times {
+			s.ScheduleAt(tm, func() {})
+		}
+		s.Run()
+	}
+}

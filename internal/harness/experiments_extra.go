@@ -1,0 +1,154 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/deflection"
+	"repro/internal/static"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "E13",
+		Title: "Greedy store-and-forward versus deflection (hot-potato) routing",
+		Claim: "related-work baseline [GrH89]: deflection avoids queueing at arcs but pays extra hops under load",
+		Run:   runE13,
+	})
+	register(Experiment{
+		ID:    "E14",
+		Title: "Static random-permutation routing completes in O(d) time",
+		Claim: "[VaB81] building block used by the §2.3 pipelined baselines: makespan concentrated around R*d",
+		Run:   runE14,
+	})
+	register(Experiment{
+		ID:    "E15",
+		Title: "Per-dimension contention profile under greedy routing",
+		Claim: "end of §3.3: packets face fresh contention at every dimension they cross; dimension 1 is an exact M/D/1 queue",
+		Run:   runE15,
+	})
+	register(Experiment{
+		ID:    "E16",
+		Title: "General translation-invariant destination distributions",
+		Claim: "§2.2: per-dimension load factors lambda*p_j govern stability; greedy handles asymmetric traffic below saturation",
+		Run:   runE16,
+	})
+}
+
+func runE13(cfg RunConfig) *Table {
+	table := NewTable("E13: greedy store-and-forward vs deflection routing",
+		"rho", "greedy T", "deflection T", "deflection extra hops", "deflection backlog slope")
+	d := pick(cfg, 5, 6)
+	horizon := pick(cfg, 1500.0, 6000.0)
+	slots := int(horizon)
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		g := runHyper(core.HypercubeConfig{
+			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		})
+		defl, err := deflection.Run(deflection.Config{
+			D: d, Lambda: rho / 0.5, P: 0.5, Slots: slots, Seed: cfg.Seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("harness: deflection run failed: %v", err))
+		}
+		table.AddRow(F(rho), F(g.MeanDelay), F(defl.MeanDelay),
+			F(defl.MeanHops-defl.MeanShortest), F(defl.InjectionBacklogSlope))
+	}
+	table.AddNote("d = %d, p = 1/2, slotted deflection with per-node injection queues.", d)
+	return table
+}
+
+func runE14(cfg RunConfig) *Table {
+	table := NewTable("E14: static random-permutation routing",
+		"d", "scheme", "mean makespan", "max makespan", "makespan / d", "fraction within 3d")
+	dims := pick(cfg, []int{4, 5, 6}, []int{5, 6, 7, 8})
+	trials := pick(cfg, 8, 30)
+	for _, d := range dims {
+		for _, scheme := range []static.Scheme{static.Greedy, static.Valiant} {
+			sum, err := static.RunTrials(d, scheme, trials, []float64{2, 3, 4}, cfg.Seed)
+			if err != nil {
+				panic(fmt.Sprintf("harness: static trials failed: %v", err))
+			}
+			table.AddRow(fmt.Sprintf("%d", d), scheme.String(), F(sum.MeanMakespan),
+				F(sum.MaxMakespan), F(sum.MeanMakespan/float64(d)), F(sum.FractionWithin[1]))
+		}
+	}
+	table.AddNote("%d random permutations per row; the makespan stays within a small constant times d.", trials)
+	return table
+}
+
+func runE15(cfg RunConfig) *Table {
+	table := NewTable("E15: per-dimension contention profile",
+		"dimension", "mean arc sojourn", "M/D/1 prediction (dim 1)", "arc utilisation")
+	d := pick(cfg, 5, 7)
+	rho := 0.8
+	horizon := pick(cfg, 3000.0, 10000.0)
+	res := runHyper(core.HypercubeConfig{
+		D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		TrackPerDimensionWait: true,
+	})
+	md1 := 1 + rho/(2*(1-rho))
+	for j := 0; j < d; j++ {
+		pred := ""
+		if j == 0 {
+			pred = F(md1)
+		}
+		table.AddRow(fmt.Sprintf("%d", j+1), F(res.PerDimensionMeanWait[j]), pred,
+			F(res.PerDimensionUtilization[j]))
+	}
+	table.AddNote("d = %d, rho = %.2f. Dimension 1 arcs see pure Poisson input; later dimensions see feed-through traffic.", d, rho)
+	return table
+}
+
+func runE16(cfg RunConfig) *Table {
+	table := NewTable("E16: translation-invariant (asymmetric) destination distributions",
+		"traffic", "max dim load", "measured max dim utilisation", "mean hops", "measured T", "stable")
+	d := pick(cfg, 4, 6)
+	horizon := pick(cfg, 2000.0, 8000.0)
+	n := 1 << uint(d)
+
+	// Three traffic patterns: nearest-neighbour (single-bit differences),
+	// dimension-1 hot spot, and the uniform pattern for reference.
+	patterns := []struct {
+		name    string
+		lambda  float64
+		weights func() []float64
+	}{
+		{"single-bit uniform", 0.8 * float64(d), func() []float64 {
+			w := make([]float64, n)
+			for m := 0; m < d; m++ {
+				w[1<<uint(m)] = 1
+			}
+			return w
+		}},
+		{"dimension-1 hot spot", 0.8, func() []float64 {
+			w := make([]float64, n)
+			w[1] = 1
+			return w
+		}},
+		{"uniform (bit-flip p=1/2)", 1.6, func() []float64 {
+			w := make([]float64, n)
+			for v := range w {
+				w[v] = 1
+			}
+			return w
+		}},
+	}
+	for _, pat := range patterns {
+		res := runHyper(core.HypercubeConfig{
+			D: d, Lambda: pat.lambda, Horizon: horizon, Seed: cfg.Seed,
+			CustomWeights: pat.weights(), PopulationTraceInterval: horizon / 200,
+		})
+		maxUtil := 0.0
+		for _, u := range res.PerDimensionUtilization {
+			if u > maxUtil {
+				maxUtil = u
+			}
+		}
+		stable := res.Metrics.PopulationSlope < 0.5 && res.LoadFactor < 1
+		table.AddRow(pat.name, F(res.LoadFactor), F(maxUtil), F(res.Metrics.MeanHops),
+			F(res.MeanDelay), boolMark(stable))
+	}
+	table.AddNote("d = %d. The single-bit pattern loads every dimension at lambda/d; the hot spot loads only dimension 1.", d)
+	return table
+}

@@ -1,0 +1,309 @@
+// Package harness provides the experiment infrastructure shared by the
+// cmd/experiments binary and the benchmark suite: parallel independent
+// replications (one goroutine per replication, bounded by a worker pool),
+// aggregation with confidence intervals, plain-text and CSV table rendering,
+// and the registry of the paper's experiments (E1..E12 plus the ablations
+// listed in DESIGN.md).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Replication summarises independent replications of a scalar measurement.
+type Replication struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	CI95   float64
+	Min    float64
+	Max    float64
+}
+
+// String renders the replication as "mean ± ci".
+func (r Replication) String() string {
+	return fmt.Sprintf("%.4f ± %.4f", r.Mean, r.CI95)
+}
+
+// Replicate runs f for n different seeds (0..n-1 offset by baseSeed) using at
+// most parallelism concurrent goroutines (defaulting to GOMAXPROCS when
+// non-positive) and aggregates the returned scalars. Each replication gets an
+// independent seed, so the confidence interval is a genuine i.i.d. interval.
+func Replicate(n int, parallelism int, baseSeed uint64, f func(seed uint64) float64) Replication {
+	if n <= 0 {
+		return Replication{}
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]float64, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = f(baseSeed + uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	var tally stats.Tally
+	for _, v := range results {
+		tally.Add(v)
+	}
+	return Replication{
+		N:      n,
+		Mean:   tally.Mean(),
+		StdDev: tally.StdDev(),
+		CI95:   tally.ConfidenceInterval(0.95),
+		Min:    tally.Min(),
+		Max:    tally.Max(),
+	}
+}
+
+// ReplicateVector runs f for n seeds in parallel, where f returns a vector of
+// named scalars; each component is aggregated independently. It is used when
+// one simulation run yields several measurements (delay, population, ...).
+func ReplicateVector(n int, parallelism int, baseSeed uint64,
+	f func(seed uint64) map[string]float64) map[string]Replication {
+	if n <= 0 {
+		return nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	results := make([]map[string]float64, n)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, parallelism)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i] = f(baseSeed + uint64(i))
+		}(i)
+	}
+	wg.Wait()
+	tallies := make(map[string]*stats.Tally)
+	for _, m := range results {
+		for k, v := range m {
+			t, ok := tallies[k]
+			if !ok {
+				t = &stats.Tally{}
+				tallies[k] = t
+			}
+			t.Add(v)
+		}
+	}
+	out := make(map[string]Replication, len(tallies))
+	for k, t := range tallies {
+		out[k] = Replication{
+			N:      int(t.Count()),
+			Mean:   t.Mean(),
+			StdDev: t.StdDev(),
+			CI95:   t.ConfidenceInterval(0.95),
+			Min:    t.Min(),
+			Max:    t.Max(),
+		}
+	}
+	return out
+}
+
+// Table is a simple column-aligned report table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends one row; the number of cells should match the column count
+// (shorter rows are padded with empty cells).
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote attaches a free-form footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table as aligned plain text.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (title and notes omitted).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			b.WriteString(cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// F formats a float for table cells with sensible precision.
+func F(v float64) string {
+	switch {
+	case v != v: // NaN
+		return "n/a"
+	case v == 0:
+		return "0"
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 10 || v <= -10:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// RunConfig controls how an experiment from the registry is executed.
+type RunConfig struct {
+	// Quick selects shortened horizons and fewer replications so the whole
+	// registry can run inside the test/bench suites; the full setting is
+	// what cmd/experiments uses by default.
+	Quick bool
+	// Seed is the base seed for all randomness.
+	Seed uint64
+	// Parallelism bounds the number of concurrent replications
+	// (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// Experiment is one reproducible experiment from DESIGN.md.
+type Experiment struct {
+	// ID is the experiment identifier (E1..E12, A1..).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim names the paper result being checked.
+	Claim string
+	// Run executes the experiment and returns its report table.
+	Run func(cfg RunConfig) *Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Registry returns all registered experiments sorted by ID.
+func Registry() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool {
+		// Sort E1..E12 numerically, then ablations.
+		return lessID(out[i].ID, out[j].ID)
+	})
+	return out
+}
+
+// lessID orders experiment IDs like E1 < E2 < ... < E10 < A1.
+func lessID(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	return na < nb
+}
+
+func splitID(id string) (string, int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	n := 0
+	for _, c := range id[i:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return id[:i], n
+}
+
+// ByID looks up an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

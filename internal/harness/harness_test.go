@@ -1,0 +1,206 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestReplicateAggregates(t *testing.T) {
+	rep := Replicate(8, 4, 100, func(seed uint64) float64 {
+		return float64(seed - 100)
+	})
+	if rep.N != 8 {
+		t.Fatalf("N = %d", rep.N)
+	}
+	if math.Abs(rep.Mean-3.5) > 1e-12 {
+		t.Fatalf("mean = %v", rep.Mean)
+	}
+	if rep.Min != 0 || rep.Max != 7 {
+		t.Fatalf("min/max = %v/%v", rep.Min, rep.Max)
+	}
+	if rep.CI95 <= 0 {
+		t.Fatal("CI should be positive")
+	}
+	if rep.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestReplicateZeroRuns(t *testing.T) {
+	rep := Replicate(0, 4, 1, func(uint64) float64 { return 1 })
+	if rep.N != 0 {
+		t.Fatal("expected empty replication")
+	}
+}
+
+func TestReplicateUsesDistinctSeedsConcurrently(t *testing.T) {
+	var calls int64
+	seen := make([]int64, 16)
+	Replicate(16, 8, 0, func(seed uint64) float64 {
+		atomic.AddInt64(&calls, 1)
+		atomic.AddInt64(&seen[seed], 1)
+		return 0
+	})
+	if calls != 16 {
+		t.Fatalf("calls = %d", calls)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("seed %d used %d times", i, c)
+		}
+	}
+}
+
+func TestReplicateVector(t *testing.T) {
+	out := ReplicateVector(4, 2, 10, func(seed uint64) map[string]float64 {
+		return map[string]float64{"a": float64(seed), "b": 2 * float64(seed)}
+	})
+	if len(out) != 2 {
+		t.Fatalf("keys = %d", len(out))
+	}
+	if math.Abs(out["a"].Mean-11.5) > 1e-12 {
+		t.Fatalf("a mean = %v", out["a"].Mean)
+	}
+	if math.Abs(out["b"].Mean-23) > 1e-12 {
+		t.Fatalf("b mean = %v", out["b"].Mean)
+	}
+	if ReplicateVector(0, 1, 0, nil) != nil {
+		t.Fatal("expected nil for zero runs")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("demo", "col1", "longer column")
+	tb.AddRow("a", "b")
+	tb.AddRow("cc") // short row padded
+	tb.AddNote("a note with %d", 42)
+	s := tb.String()
+	if !strings.Contains(s, "demo") || !strings.Contains(s, "col1") ||
+		!strings.Contains(s, "longer column") || !strings.Contains(s, "a note with 42") {
+		t.Fatalf("rendered table missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 2 rows, note
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, "col1,longer column") || !strings.Contains(csv, "a,b") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tb := NewTable("", "x")
+	tb.AddRow(`value, with "quotes"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"value, with ""quotes"""`) {
+		t.Fatalf("csv escaping wrong: %s", csv)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if F(math.NaN()) != "n/a" {
+		t.Fatal("NaN formatting")
+	}
+	if F(0) != "0" {
+		t.Fatal("zero formatting")
+	}
+	if F(12345) != "12345" {
+		t.Fatalf("large formatting %q", F(12345))
+	}
+	if F(12.3456) != "12.35" {
+		t.Fatalf("medium formatting %q", F(12.3456))
+	}
+	if F(1.23456) != "1.235" {
+		t.Fatalf("small formatting %q", F(1.23456))
+	}
+}
+
+func TestRegistryContents(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 15 {
+		t.Fatalf("registry has only %d experiments", len(reg))
+	}
+	wantIDs := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "A1", "A2", "A3"}
+	for _, id := range wantIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		if e.Title == "" || e.Claim == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID found a non-existent experiment")
+	}
+	// Sorted: E1 before E2 before E10; ablations after experiments.
+	pos := map[string]int{}
+	for i, e := range reg {
+		pos[e.ID] = i
+	}
+	if !(pos["E1"] < pos["E2"] && pos["E2"] < pos["E10"] && pos["E10"] < pos["E12"]) {
+		t.Fatalf("registry not sorted by numeric ID: %v", pos)
+	}
+	if !(pos["A1"] < pos["E1"]) {
+		// 'A' sorts before 'E' alphabetically, which is the documented order.
+		t.Fatalf("unexpected ablation ordering: %v", pos)
+	}
+}
+
+func TestSplitID(t *testing.T) {
+	p, n := splitID("E12")
+	if p != "E" || n != 12 {
+		t.Fatalf("splitID(E12) = %q %d", p, n)
+	}
+	p, n = splitID("A3")
+	if p != "A" || n != 3 {
+		t.Fatalf("splitID(A3) = %q %d", p, n)
+	}
+	if !lessID("E2", "E10") {
+		t.Fatal("E2 should sort before E10")
+	}
+	if lessID("E10", "E2") {
+		t.Fatal("E10 should not sort before E2")
+	}
+}
+
+// TestQuickExperimentsSmoke runs a subset of the registry in Quick mode and
+// checks that the produced tables are structurally sound and that no check
+// column reports a violation. The full registry is exercised by the
+// repository-level benchmark suite; here we keep the runtime moderate.
+func TestQuickExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping experiment smoke test in -short mode")
+	}
+	cfg := RunConfig{Quick: true, Seed: 7}
+	for _, id := range []string{"E2", "E5", "E8", "A3"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		table := e.Run(cfg)
+		if table == nil || len(table.Rows) == 0 {
+			t.Fatalf("%s produced an empty table", id)
+		}
+		s := table.String()
+		if strings.Contains(s, "NO") {
+			t.Fatalf("%s reports a violated check:\n%s", id, s)
+		}
+	}
+}
+
+func TestE1QuickWithinBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	e, _ := ByID("E1")
+	table := e.Run(RunConfig{Quick: true, Seed: 11})
+	for _, row := range table.Rows {
+		if row[len(row)-1] != "yes" {
+			t.Fatalf("E1 row outside bounds: %v", row)
+		}
+	}
+}

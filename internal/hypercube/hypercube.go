@@ -1,0 +1,249 @@
+// Package hypercube models the directed d-dimensional binary hypercube used
+// by the paper: 2^d nodes numbered 0..2^d-1, with a unidirectional arc from x
+// to x XOR e_m for every node x and every dimension m in 1..d. The package
+// provides node/arc identities, Hamming distances, neighbour enumeration,
+// canonical (increasing dimension-order) paths, shortest-path utilities and a
+// dense arc indexing scheme used by the simulator to keep per-arc queues in a
+// flat slice.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Node identifies a hypercube node by the integer whose binary representation
+// is the node's identity (z_d ... z_1).
+type Node uint32
+
+// Dimension identifies a hypercube dimension; the paper numbers dimensions
+// 1..d, and so does this package (dimension m flips bit m-1 of the identity).
+type Dimension int
+
+// Arc is a directed hypercube arc From -> To where To = From XOR e_Dim.
+type Arc struct {
+	From Node
+	To   Node
+	Dim  Dimension
+}
+
+// String renders the arc in the (x, x⊕e_m) form used by the paper.
+func (a Arc) String() string {
+	return fmt.Sprintf("(%d->%d dim %d)", a.From, a.To, a.Dim)
+}
+
+// MaxDimension is the largest supported cube dimension. 2^20 nodes times d
+// arcs is already far beyond what the delay experiments need; the limit only
+// guards the arc-indexing arithmetic.
+const MaxDimension = 20
+
+// Cube describes a d-dimensional hypercube.
+type Cube struct {
+	d int
+	n int // 2^d
+}
+
+// New returns the d-dimensional hypercube. It panics if d is not in
+// [1, MaxDimension].
+func New(d int) *Cube {
+	if d < 1 || d > MaxDimension {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [1,%d]", d, MaxDimension))
+	}
+	return &Cube{d: d, n: 1 << uint(d)}
+}
+
+// Dimension returns d.
+func (c *Cube) Dimension() int { return c.d }
+
+// Nodes returns the number of nodes, 2^d.
+func (c *Cube) Nodes() int { return c.n }
+
+// NumArcs returns the number of directed arcs, d * 2^d.
+func (c *Cube) NumArcs() int { return c.d * c.n }
+
+// Diameter returns the network diameter, which equals d.
+func (c *Cube) Diameter() int { return c.d }
+
+// Contains reports whether x is a valid node of the cube.
+func (c *Cube) Contains(x Node) bool { return int(x) < c.n }
+
+// Unit returns e_m, the node whose identity has only bit m set
+// (m is 1-based as in the paper). It panics for m outside [1, d].
+func (c *Cube) Unit(m Dimension) Node {
+	c.checkDim(m)
+	return Node(1) << uint(m-1)
+}
+
+// Bit returns bit m (1-based) of node x as 0 or 1.
+func (c *Cube) Bit(x Node, m Dimension) int {
+	c.checkDim(m)
+	return int(x>>uint(m-1)) & 1
+}
+
+// Flip returns x XOR e_m.
+func (c *Cube) Flip(x Node, m Dimension) Node {
+	return x ^ c.Unit(m)
+}
+
+// Hamming returns the Hamming distance between nodes x and y.
+func Hamming(x, y Node) int {
+	return bits.OnesCount32(uint32(x ^ y))
+}
+
+// Hamming returns the Hamming distance between two nodes of the cube.
+func (c *Cube) Hamming(x, y Node) int { return Hamming(x, y) }
+
+// Neighbors returns the d out-neighbours of x in increasing dimension order.
+func (c *Cube) Neighbors(x Node) []Node {
+	out := make([]Node, c.d)
+	for m := 1; m <= c.d; m++ {
+		out[m-1] = c.Flip(x, Dimension(m))
+	}
+	return out
+}
+
+// Arc returns the arc leaving x along dimension m.
+func (c *Cube) Arc(x Node, m Dimension) Arc {
+	return Arc{From: x, To: c.Flip(x, m), Dim: m}
+}
+
+// ArcIndex maps an arc to a dense index in [0, NumArcs()). Arcs are grouped
+// by dimension: index = (dim-1)*2^d + from. The inverse is ArcAt.
+func (c *Cube) ArcIndex(a Arc) int {
+	c.checkDim(a.Dim)
+	if !c.Contains(a.From) {
+		panic(fmt.Sprintf("hypercube: node %d outside %d-cube", a.From, c.d))
+	}
+	return (int(a.Dim)-1)*c.n + int(a.From)
+}
+
+// ArcAt returns the arc with the given dense index.
+func (c *Cube) ArcAt(idx int) Arc {
+	if idx < 0 || idx >= c.NumArcs() {
+		panic(fmt.Sprintf("hypercube: arc index %d out of range", idx))
+	}
+	dim := Dimension(idx/c.n) + 1
+	from := Node(idx % c.n)
+	return c.Arc(from, dim)
+}
+
+// DimensionOfArcIndex returns the dimension an arc index belongs to.
+func (c *Cube) DimensionOfArcIndex(idx int) Dimension {
+	if idx < 0 || idx >= c.NumArcs() {
+		panic(fmt.Sprintf("hypercube: arc index %d out of range", idx))
+	}
+	return Dimension(idx/c.n) + 1
+}
+
+// DiffDimensions returns, in increasing order, the dimensions in which x and
+// z differ; these are exactly the dimensions a packet from x to z must cross.
+func (c *Cube) DiffDimensions(x, z Node) []Dimension {
+	diff := uint32(x ^ z)
+	dims := make([]Dimension, 0, bits.OnesCount32(diff))
+	for diff != 0 {
+		m := bits.TrailingZeros32(diff) + 1
+		dims = append(dims, Dimension(m))
+		diff &= diff - 1
+	}
+	return dims
+}
+
+// CanonicalPath returns the canonical (greedy, increasing dimension-order)
+// path from x to z as the sequence of arcs traversed. The empty slice is
+// returned when x == z.
+func (c *Cube) CanonicalPath(x, z Node) []Arc {
+	dims := c.DiffDimensions(x, z)
+	path := make([]Arc, 0, len(dims))
+	cur := x
+	for _, m := range dims {
+		a := c.Arc(cur, m)
+		path = append(path, a)
+		cur = a.To
+	}
+	return path
+}
+
+// PathInOrder returns the path from x to z that crosses the required
+// dimensions in the supplied order. It panics if order is not a permutation
+// of the dimensions in which x and z differ. This generalisation supports the
+// random-dimension-order ablation.
+func (c *Cube) PathInOrder(x, z Node, order []Dimension) []Arc {
+	need := c.DiffDimensions(x, z)
+	if len(order) != len(need) {
+		panic("hypercube: PathInOrder order has wrong length")
+	}
+	seen := make(map[Dimension]bool, len(order))
+	for _, m := range order {
+		seen[m] = true
+	}
+	for _, m := range need {
+		if !seen[m] {
+			panic(fmt.Sprintf("hypercube: PathInOrder order missing dimension %d", m))
+		}
+	}
+	path := make([]Arc, 0, len(order))
+	cur := x
+	for _, m := range order {
+		a := c.Arc(cur, m)
+		path = append(path, a)
+		cur = a.To
+	}
+	return path
+}
+
+// ShortestPathLength returns the length of any shortest path between x and z,
+// which equals their Hamming distance.
+func (c *Cube) ShortestPathLength(x, z Node) int { return Hamming(x, z) }
+
+// BFSDistances returns the BFS distance from src to every node. It exists to
+// cross-check the Hamming-distance shortcut in tests and for generic graph
+// experiments; distances are returned indexed by node number.
+func (c *Cube) BFSDistances(src Node) []int {
+	dist := make([]int, c.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]Node, 0, c.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for m := 1; m <= c.d; m++ {
+			v := c.Flip(u, Dimension(m))
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Translate renames node x to x XOR y; the routing problem is invariant under
+// this translation (remark after eq. (1) in the paper).
+func (c *Cube) Translate(x, y Node) Node { return x ^ y }
+
+// AllNodes returns the node set 0..2^d-1.
+func (c *Cube) AllNodes() []Node {
+	nodes := make([]Node, c.n)
+	for i := range nodes {
+		nodes[i] = Node(i)
+	}
+	return nodes
+}
+
+// AllArcs returns every directed arc in dense-index order.
+func (c *Cube) AllArcs() []Arc {
+	arcs := make([]Arc, c.NumArcs())
+	for i := range arcs {
+		arcs[i] = c.ArcAt(i)
+	}
+	return arcs
+}
+
+func (c *Cube) checkDim(m Dimension) {
+	if m < 1 || int(m) > c.d {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [1,%d]", m, c.d))
+	}
+}

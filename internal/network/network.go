@@ -1,0 +1,512 @@
+// Package network is the packet-level simulator of a store-and-forward
+// interconnection network under the paper's communication assumptions (§1.1):
+// every directed arc transmits one packet at a time with a deterministic unit
+// transmission time, nodes have infinite buffers, a node may transmit on all
+// its output ports simultaneously, and packets queue per output arc. The
+// package is topology-agnostic: a packet carries its path as a sequence of
+// dense arc indices (produced by internal/routing from a hypercube or
+// butterfly topology), and the simulator provides the queueing, service and
+// measurement machinery shared by every experiment.
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Discipline selects how an arc picks the next packet from its queue.
+type Discipline int
+
+const (
+	// FIFO serves packets in arrival order, the rule analysed by the paper.
+	FIFO Discipline = iota
+	// RandomOrder serves a uniformly random queued packet; it exists for the
+	// arc-priority ablation (the paper's delay bounds do not depend on the
+	// priority rule, only on the work-conserving property).
+	RandomOrder
+)
+
+// String names the discipline.
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case RandomOrder:
+		return "random-order"
+	default:
+		return fmt.Sprintf("discipline(%d)", int(d))
+	}
+}
+
+// Packet is one message travelling through the network.
+type Packet struct {
+	ID      int64
+	Origin  int   // origin node identifier (topology-specific meaning)
+	Dest    int   // destination node identifier
+	Path    []int // dense arc indices remaining to traverse, in order
+	GenTime float64
+	Class   int // free-form tag (e.g. Valiant phase), reported per class
+	hop     int
+	// enqueuedAt is the time the packet joined its current arc's queue; it
+	// feeds the per-group waiting-time statistics.
+	enqueuedAt float64
+}
+
+// Hops returns the total number of arcs on the packet's path.
+func (p *Packet) Hops() int { return len(p.Path) }
+
+// Config describes a System.
+type Config struct {
+	// NumArcs is the number of servers (arcs) in the network.
+	NumArcs int
+	// GroupOf maps an arc index to a statistics group (hypercube dimension,
+	// butterfly level/kind, ...). May be nil, in which case all arcs share
+	// group 0.
+	GroupOf func(arc int) int
+	// NumGroups is the number of distinct groups produced by GroupOf.
+	NumGroups int
+	// ServiceTime is the deterministic transmission time per arc; the paper
+	// uses 1 everywhere and that is the default when zero.
+	ServiceTime float64
+	// Discipline selects the queueing discipline at each arc.
+	Discipline Discipline
+	// Seed drives the randomness used by the RandomOrder discipline.
+	Seed uint64
+}
+
+// arcState is the per-arc queue and busy/idle state.
+type arcState struct {
+	queue     []*Packet
+	inService *Packet
+	arrivals  int64
+	busySince float64
+	busyTime  float64
+}
+
+// System simulates a set of unit-service arcs fed with packets. It owns the
+// event calendar; traffic sources schedule injection events on Sim.
+type System struct {
+	Sim *des.Simulator
+
+	cfg    Config
+	arcs   []arcState
+	rng    *xrand.Rand
+	nextID int64
+
+	// OnDeliver, when non-nil, is called for every packet that reaches its
+	// destination, after statistics have been recorded.
+	OnDeliver func(p *Packet, now float64)
+
+	// Measurement state. Delay statistics include only packets generated at
+	// or after measureFrom; time-weighted statistics are reset at that time.
+	measureFrom float64
+	delay       stats.Tally
+	delayByCls  map[int]*stats.Tally
+	hopCount    stats.Tally
+	delaySample *stats.Quantiles
+	population  stats.TimeWeighted
+	groupPop    []stats.TimeWeighted
+	groupWait   []stats.Tally
+	perHopWait  bool
+	departures  int64
+	generated   int64
+	inFlight    int64
+	popTrace    stats.Series
+	traceEvery  float64
+	lastTrace   float64
+}
+
+// NewSystem builds a System from the configuration.
+func NewSystem(cfg Config) *System {
+	if cfg.NumArcs <= 0 {
+		panic(fmt.Sprintf("network: NumArcs must be positive, got %d", cfg.NumArcs))
+	}
+	if cfg.ServiceTime == 0 {
+		cfg.ServiceTime = 1
+	}
+	if cfg.ServiceTime < 0 {
+		panic(fmt.Sprintf("network: negative service time %v", cfg.ServiceTime))
+	}
+	if cfg.GroupOf == nil {
+		cfg.GroupOf = func(int) int { return 0 }
+		cfg.NumGroups = 1
+	}
+	if cfg.NumGroups <= 0 {
+		cfg.NumGroups = 1
+	}
+	s := &System{
+		Sim:        des.New(),
+		cfg:        cfg,
+		arcs:       make([]arcState, cfg.NumArcs),
+		rng:        xrand.NewStream(cfg.Seed, 0xD15C),
+		groupPop:   make([]stats.TimeWeighted, cfg.NumGroups),
+		delayByCls: make(map[int]*stats.Tally),
+	}
+	s.population.Set(0, 0)
+	for g := range s.groupPop {
+		s.groupPop[g].Set(0, 0)
+	}
+	return s
+}
+
+// Config returns the configuration the system was built with.
+func (s *System) Config() Config { return s.cfg }
+
+// EnableDelaySample stores every measured delay so exact quantiles can be
+// reported; it costs one float64 per delivered packet.
+func (s *System) EnableDelaySample() { s.delaySample = &stats.Quantiles{} }
+
+// EnablePerHopWait records, for every arc traversal, the time from joining
+// the arc's queue to finishing transmission, aggregated per statistics group.
+// The hypercube experiments use it to measure the per-dimension contention
+// profile discussed at the end of §3.3.
+func (s *System) EnablePerHopWait() {
+	s.perHopWait = true
+	s.groupWait = make([]stats.Tally, s.cfg.NumGroups)
+}
+
+// EnablePopulationTrace records the total population every interval time
+// units (used by the stability experiments to estimate the growth slope).
+func (s *System) EnablePopulationTrace(interval float64) {
+	if interval <= 0 {
+		panic("network: trace interval must be positive")
+	}
+	s.traceEvery = interval
+}
+
+// NewPacketID returns a fresh packet identifier.
+func (s *System) NewPacketID() int64 {
+	id := s.nextID
+	s.nextID++
+	return id
+}
+
+// Inject introduces a packet into the network at the current simulation time.
+// A packet whose path is empty (origin equals destination) is delivered
+// immediately with zero delay, exactly as in the model.
+func (s *System) Inject(p *Packet) {
+	now := s.Sim.Now()
+	p.GenTime = now
+	p.hop = 0
+	s.generated++
+	if len(p.Path) == 0 {
+		s.recordDelivery(p, now)
+		return
+	}
+	s.inFlight++
+	s.setPopulation(now)
+	s.enqueue(p, now)
+}
+
+// enqueue places the packet at its current arc and starts service if the arc
+// is idle.
+func (s *System) enqueue(p *Packet, now float64) {
+	idx := p.Path[p.hop]
+	if idx < 0 || idx >= len(s.arcs) {
+		panic(fmt.Sprintf("network: packet %d path refers to arc %d outside [0,%d)", p.ID, idx, len(s.arcs)))
+	}
+	a := &s.arcs[idx]
+	a.arrivals++
+	p.enqueuedAt = now
+	if a.inService == nil {
+		s.startService(idx, p, now)
+	} else {
+		a.queue = append(a.queue, p)
+	}
+	s.setGroupPopulation(idx, now, +1)
+}
+
+// startService begins transmitting p on arc idx.
+func (s *System) startService(idx int, p *Packet, now float64) {
+	a := &s.arcs[idx]
+	a.inService = p
+	a.busySince = now
+	s.Sim.Schedule(s.cfg.ServiceTime, func() { s.completeService(idx) })
+}
+
+// completeService finishes the transmission in progress on arc idx, advances
+// the packet and starts the next queued transmission.
+func (s *System) completeService(idx int) {
+	now := s.Sim.Now()
+	a := &s.arcs[idx]
+	p := a.inService
+	if p == nil {
+		panic(fmt.Sprintf("network: completion on idle arc %d", idx))
+	}
+	a.inService = nil
+	a.busyTime += now - a.busySince
+	s.setGroupPopulation(idx, now, -1)
+	if s.perHopWait && p.GenTime >= s.measureFrom {
+		s.groupWait[s.cfg.GroupOf(idx)].Add(now - p.enqueuedAt)
+	}
+
+	// Start the next packet on this arc.
+	if len(a.queue) > 0 {
+		var next *Packet
+		switch s.cfg.Discipline {
+		case FIFO:
+			next = a.queue[0]
+			copy(a.queue, a.queue[1:])
+			a.queue[len(a.queue)-1] = nil
+			a.queue = a.queue[:len(a.queue)-1]
+		case RandomOrder:
+			k := s.rng.Intn(len(a.queue))
+			next = a.queue[k]
+			a.queue[k] = a.queue[len(a.queue)-1]
+			a.queue[len(a.queue)-1] = nil
+			a.queue = a.queue[:len(a.queue)-1]
+		default:
+			panic("network: unknown discipline")
+		}
+		s.startService(idx, next, now)
+	}
+
+	// Advance the completed packet.
+	p.hop++
+	if p.hop >= len(p.Path) {
+		s.inFlight--
+		s.setPopulation(now)
+		s.recordDelivery(p, now)
+		return
+	}
+	s.enqueue(p, now)
+}
+
+// recordDelivery updates delay statistics and invokes the delivery callback.
+func (s *System) recordDelivery(p *Packet, now float64) {
+	if p.GenTime >= s.measureFrom {
+		d := now - p.GenTime
+		s.delay.Add(d)
+		s.hopCount.Add(float64(len(p.Path)))
+		if s.delaySample != nil {
+			s.delaySample.Add(d)
+		}
+		t, ok := s.delayByCls[p.Class]
+		if !ok {
+			t = &stats.Tally{}
+			s.delayByCls[p.Class] = t
+		}
+		t.Add(d)
+		s.departures++
+	}
+	if s.OnDeliver != nil {
+		s.OnDeliver(p, now)
+	}
+}
+
+func (s *System) setPopulation(now float64) {
+	s.population.Set(now, float64(s.inFlight))
+	if s.traceEvery > 0 && now-s.lastTrace >= s.traceEvery {
+		s.popTrace.AddPoint(now, float64(s.inFlight))
+		s.lastTrace = now
+	}
+}
+
+func (s *System) setGroupPopulation(arcIdx int, now float64, delta int) {
+	g := s.cfg.GroupOf(arcIdx)
+	if g < 0 || g >= len(s.groupPop) {
+		panic(fmt.Sprintf("network: GroupOf(%d) = %d outside [0,%d)", arcIdx, g, len(s.groupPop)))
+	}
+	cur := s.groupPop[g].Current()
+	s.groupPop[g].Set(now, cur+float64(delta))
+}
+
+// StartMeasurement discards the warm-up transient: delay statistics will only
+// include packets generated from now on, and time-weighted statistics restart
+// from the current state.
+func (s *System) StartMeasurement() {
+	now := s.Sim.Now()
+	s.measureFrom = now
+	s.delay = stats.Tally{}
+	s.hopCount = stats.Tally{}
+	s.delayByCls = make(map[int]*stats.Tally)
+	if s.delaySample != nil {
+		s.delaySample = &stats.Quantiles{}
+	}
+	s.departures = 0
+	s.generated = 0
+	if s.perHopWait {
+		s.groupWait = make([]stats.Tally, s.cfg.NumGroups)
+	}
+	s.population.Reset(now, float64(s.inFlight))
+	for g := range s.groupPop {
+		s.groupPop[g].Reset(now, s.groupPop[g].Current())
+	}
+	for i := range s.arcs {
+		s.arcs[i].arrivals = 0
+		s.arcs[i].busyTime = 0
+		if s.arcs[i].inService != nil {
+			s.arcs[i].busySince = now
+		}
+	}
+	s.popTrace = stats.Series{}
+	s.lastTrace = now
+}
+
+// Metrics is the measurement snapshot returned by Snapshot.
+type Metrics struct {
+	// Elapsed is the length of the measurement window.
+	Elapsed float64
+	// MeanDelay is the average sojourn time of packets generated and
+	// delivered inside the measurement window.
+	MeanDelay float64
+	// DelayStdDev is the standard deviation of those sojourn times.
+	DelayStdDev float64
+	// DelayCI95 is the 95% confidence half-width of MeanDelay (i.i.d.
+	// approximation; the harness uses independent replications for rigorous
+	// intervals).
+	DelayCI95 float64
+	// MaxDelay is the largest observed sojourn time.
+	MaxDelay float64
+	// MeanHops is the average path length of delivered packets.
+	MeanHops float64
+	// Delivered is the number of packets counted in the delay statistics.
+	Delivered int64
+	// Generated is the number of packets injected during the window.
+	Generated int64
+	// Throughput is Delivered divided by Elapsed.
+	Throughput float64
+	// MeanPopulation is the time-averaged number of packets in flight.
+	MeanPopulation float64
+	// MaxPopulation is the peak number of packets in flight.
+	MaxPopulation float64
+	// InFlight is the number of packets still in the network at the end.
+	InFlight int64
+	// GroupMeanPopulation is the time-averaged population per statistics
+	// group (e.g. per hypercube dimension).
+	GroupMeanPopulation []float64
+	// GroupArcUtilization is the mean fraction of busy time per arc in each
+	// group.
+	GroupArcUtilization []float64
+	// GroupArrivalRate is the mean arrival rate per arc in each group.
+	GroupArrivalRate []float64
+	// GroupMeanWait is the mean time from joining an arc's queue to
+	// finishing transmission, per group (populated only when EnablePerHopWait
+	// was called; the minimum possible value is the service time).
+	GroupMeanWait []float64
+	// MeanDelayByClass reports mean delay per packet Class.
+	MeanDelayByClass map[int]float64
+	// PopulationSlope is the least-squares slope of the population trace
+	// (packets per unit time); requires EnablePopulationTrace.
+	PopulationSlope float64
+	// LittleLawError is the relative discrepancy |L - lambda*W|/L over the
+	// measurement window, an internal consistency check.
+	LittleLawError float64
+}
+
+// DelayQuantile returns the exact q-quantile of measured delays; it requires
+// EnableDelaySample and returns NaN otherwise.
+func (s *System) DelayQuantile(q float64) float64 {
+	if s.delaySample == nil {
+		return math.NaN()
+	}
+	return s.delaySample.Value(q)
+}
+
+// Snapshot closes the measurement window at the current simulation time and
+// returns the collected metrics. The simulation can continue afterwards.
+func (s *System) Snapshot() Metrics {
+	now := s.Sim.Now()
+	elapsed := now - s.measureFrom
+	m := Metrics{
+		Elapsed:             elapsed,
+		MeanDelay:           s.delay.Mean(),
+		DelayStdDev:         s.delay.StdDev(),
+		DelayCI95:           s.delay.ConfidenceInterval(0.95),
+		MaxDelay:            s.delay.Max(),
+		MeanHops:            s.hopCount.Mean(),
+		Delivered:           s.departures,
+		Generated:           s.generated,
+		MeanPopulation:      s.population.MeanAt(now),
+		MaxPopulation:       s.population.Max(),
+		InFlight:            s.inFlight,
+		GroupMeanPopulation: make([]float64, len(s.groupPop)),
+		GroupArcUtilization: make([]float64, len(s.groupPop)),
+		GroupArrivalRate:    make([]float64, len(s.groupPop)),
+		MeanDelayByClass:    make(map[int]float64, len(s.delayByCls)),
+	}
+	if elapsed > 0 {
+		m.Throughput = float64(s.departures) / elapsed
+	}
+	for g := range s.groupPop {
+		m.GroupMeanPopulation[g] = s.groupPop[g].MeanAt(now)
+	}
+	// Per-group utilisation and arrival rate.
+	groupArcs := make([]int, len(s.groupPop))
+	groupBusy := make([]float64, len(s.groupPop))
+	groupArrivals := make([]float64, len(s.groupPop))
+	for i := range s.arcs {
+		g := s.cfg.GroupOf(i)
+		groupArcs[g]++
+		busy := s.arcs[i].busyTime
+		if s.arcs[i].inService != nil {
+			busy += now - s.arcs[i].busySince
+		}
+		groupBusy[g] += busy
+		groupArrivals[g] += float64(s.arcs[i].arrivals)
+	}
+	for g := range s.groupPop {
+		if groupArcs[g] > 0 && elapsed > 0 {
+			m.GroupArcUtilization[g] = groupBusy[g] / (float64(groupArcs[g]) * elapsed)
+			m.GroupArrivalRate[g] = groupArrivals[g] / (float64(groupArcs[g]) * elapsed)
+		}
+	}
+	for cls, t := range s.delayByCls {
+		m.MeanDelayByClass[cls] = t.Mean()
+	}
+	if s.perHopWait {
+		m.GroupMeanWait = make([]float64, len(s.groupWait))
+		for g := range s.groupWait {
+			m.GroupMeanWait[g] = s.groupWait[g].Mean()
+		}
+	}
+	if s.traceEvery > 0 {
+		m.PopulationSlope = s.popTrace.LinearSlope()
+	}
+	// Little's law check: L vs (departure rate) * (mean delay).
+	if elapsed > 0 && s.departures > 0 {
+		lw := m.Throughput * m.MeanDelay
+		denom := math.Max(m.MeanPopulation, 1e-12)
+		m.LittleLawError = math.Abs(m.MeanPopulation-lw) / denom
+	}
+	return m
+}
+
+// QueueLength returns the number of packets at arc idx, including the one in
+// service.
+func (s *System) QueueLength(idx int) int {
+	a := &s.arcs[idx]
+	n := len(a.queue)
+	if a.inService != nil {
+		n++
+	}
+	return n
+}
+
+// InFlight returns the current number of packets in the network.
+func (s *System) InFlight() int64 { return s.inFlight }
+
+// TotalQueued returns the total number of packets across all arcs (queued or
+// in service); it must equal InFlight and exists as an invariant check for
+// tests.
+func (s *System) TotalQueued() int64 {
+	var total int64
+	for i := range s.arcs {
+		total += int64(s.QueueLength(i))
+	}
+	return total
+}
+
+// Drain runs the simulation until no packets remain in flight or until the
+// event calendar empties. It returns the time at which the network drained.
+// Sources must not schedule further injections for Drain to terminate.
+func (s *System) Drain() float64 {
+	s.Sim.RunWhile(func() bool { return s.inFlight > 0 })
+	for s.inFlight > 0 && s.Sim.Step() {
+	}
+	return s.Sim.Now()
+}

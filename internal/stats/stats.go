@@ -1,0 +1,514 @@
+// Package stats provides the streaming statistics used by the routing
+// simulator: running means and variances (Welford's algorithm), time-weighted
+// averages for queue-length processes, histograms, P-squared quantile
+// estimation, batch-means confidence intervals and a Little's-law consistency
+// checker.
+//
+// All collectors are plain value types with pointer receivers; none of them
+// allocate per observation, so they can be updated on the simulator's hot
+// path (one update per packet event) without disturbing the measured system.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Tally accumulates scalar observations and reports their running mean,
+// variance, minimum and maximum using Welford's numerically stable update.
+type Tally struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	t.n++
+	if t.n == 1 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	delta := x - t.mean
+	t.mean += delta / float64(t.n)
+	t.m2 += delta * (x - t.mean)
+}
+
+// Count returns the number of observations recorded.
+func (t *Tally) Count() int64 { return t.n }
+
+// Mean returns the sample mean, or 0 if no observations were recorded.
+func (t *Tally) Mean() float64 { return t.mean }
+
+// Sum returns the sum of all observations.
+func (t *Tally) Sum() float64 { return t.mean * float64(t.n) }
+
+// Variance returns the unbiased sample variance (n-1 denominator), or 0 for
+// fewer than two observations.
+func (t *Tally) Variance() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	return t.m2 / float64(t.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (t *Tally) StdDev() float64 { return math.Sqrt(t.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation (0 if none).
+func (t *Tally) Max() float64 { return t.max }
+
+// StdError returns the standard error of the mean.
+func (t *Tally) StdError() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	return t.StdDev() / math.Sqrt(float64(t.n))
+}
+
+// ConfidenceInterval returns the half-width of an approximate two-sided
+// normal confidence interval at the given level (e.g. 0.95). For small
+// sample counts the normal quantile slightly understates the width; the
+// simulator always works with thousands of observations.
+func (t *Tally) ConfidenceInterval(level float64) float64 {
+	return normalQuantile(0.5+level/2) * t.StdError()
+}
+
+// Merge folds another Tally into t, as if t had observed both streams.
+func (t *Tally) Merge(o *Tally) {
+	if o.n == 0 {
+		return
+	}
+	if t.n == 0 {
+		*t = *o
+		return
+	}
+	n1, n2 := float64(t.n), float64(o.n)
+	delta := o.mean - t.mean
+	total := n1 + n2
+	t.m2 += o.m2 + delta*delta*n1*n2/total
+	t.mean += delta * n2 / total
+	t.n += o.n
+	if o.min < t.min {
+		t.min = o.min
+	}
+	if o.max > t.max {
+		t.max = o.max
+	}
+}
+
+// String summarises the tally for human-readable reports.
+func (t *Tally) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f",
+		t.n, t.Mean(), t.StdDev(), t.min, t.max)
+}
+
+// TimeWeighted tracks a piecewise-constant process (for example a queue
+// length) and reports its time-averaged value. Observations are pushed as
+// (time, newValue) pairs; the value is assumed to hold until the next update.
+type TimeWeighted struct {
+	started   bool
+	startTime float64
+	lastTime  float64
+	lastValue float64
+	area      float64
+	maxValue  float64
+}
+
+// Set records that the tracked process takes value v from time now onwards.
+// Calls must have non-decreasing time stamps.
+func (w *TimeWeighted) Set(now, v float64) {
+	if !w.started {
+		w.started = true
+		w.startTime = now
+		w.lastTime = now
+		w.lastValue = v
+		w.maxValue = v
+		return
+	}
+	if now < w.lastTime {
+		panic(fmt.Sprintf("stats: TimeWeighted.Set time went backwards: %v < %v", now, w.lastTime))
+	}
+	w.area += w.lastValue * (now - w.lastTime)
+	w.lastTime = now
+	w.lastValue = v
+	if v > w.maxValue {
+		w.maxValue = v
+	}
+}
+
+// Advance extends the current value to time now without changing it.
+func (w *TimeWeighted) Advance(now float64) { w.Set(now, w.lastValue) }
+
+// Mean returns the time-average of the process over [start, lastTime].
+func (w *TimeWeighted) Mean() float64 {
+	elapsed := w.lastTime - w.startTime
+	if elapsed <= 0 {
+		return w.lastValue
+	}
+	return w.area / elapsed
+}
+
+// MeanAt returns the time-average including the segment up to time now.
+func (w *TimeWeighted) MeanAt(now float64) float64 {
+	if !w.started || now <= w.startTime {
+		return w.lastValue
+	}
+	area := w.area + w.lastValue*(now-w.lastTime)
+	return area / (now - w.startTime)
+}
+
+// Current returns the most recently set value.
+func (w *TimeWeighted) Current() float64 { return w.lastValue }
+
+// Max returns the largest value observed.
+func (w *TimeWeighted) Max() float64 { return w.maxValue }
+
+// Elapsed returns the observation window length.
+func (w *TimeWeighted) Elapsed() float64 { return w.lastTime - w.startTime }
+
+// Reset restarts the collector at time now with value v, discarding history.
+// It is used to discard the warm-up transient.
+func (w *TimeWeighted) Reset(now, v float64) {
+	w.started = true
+	w.startTime = now
+	w.lastTime = now
+	w.lastValue = v
+	w.area = 0
+	w.maxValue = v
+}
+
+// Histogram is a fixed-width bucket histogram over [lo, hi) with overflow and
+// underflow buckets.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	buckets   []int64
+	underflow int64
+	overflow  int64
+	total     int64
+}
+
+// NewHistogram creates a histogram with n equal buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n <= 0 || hi <= lo {
+		panic("stats: NewHistogram requires n > 0 and hi > lo")
+	}
+	return &Histogram{lo: lo, hi: hi, width: (hi - lo) / float64(n), buckets: make([]int64, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.lo:
+		h.underflow++
+	case x >= h.hi:
+		h.overflow++
+	default:
+		i := int((x - h.lo) / h.width)
+		if i >= len(h.buckets) {
+			i = len(h.buckets) - 1
+		}
+		h.buckets[i]++
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.total }
+
+// Bucket returns the count in bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// NumBuckets returns the number of regular buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() int64 { return h.underflow }
+func (h *Histogram) Overflow() int64  { return h.overflow }
+
+// Quantile returns an approximation of the q-quantile (0 <= q <= 1) by
+// linear interpolation within the containing bucket. Underflow mass is
+// attributed to lo and overflow mass to hi.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.lo
+	}
+	if q >= 1 {
+		return h.hi
+	}
+	target := q * float64(h.total)
+	cum := float64(h.underflow)
+	if target <= cum {
+		return h.lo
+	}
+	for i, c := range h.buckets {
+		next := cum + float64(c)
+		if target <= next && c > 0 {
+			frac := (target - cum) / float64(c)
+			return h.lo + (float64(i)+frac)*h.width
+		}
+		cum = next
+	}
+	return h.hi
+}
+
+// TailFraction returns the fraction of observations that are >= x.
+func (h *Histogram) TailFraction(x float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var count int64
+	if x < h.lo {
+		return 1
+	}
+	count += h.overflow
+	start := int((x - h.lo) / h.width)
+	for i := start; i < len(h.buckets); i++ {
+		if i < 0 {
+			continue
+		}
+		count += h.buckets[i]
+	}
+	return float64(count) / float64(h.total)
+}
+
+// Quantiles computes exact empirical quantiles from a stored sample. It is
+// used where full per-packet samples are cheap to keep (small experiments).
+type Quantiles struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends an observation.
+func (q *Quantiles) Add(x float64) {
+	q.xs = append(q.xs, x)
+	q.sorted = false
+}
+
+// Count returns the number of stored observations.
+func (q *Quantiles) Count() int { return len(q.xs) }
+
+// Value returns the p-quantile (0 <= p <= 1) of the stored sample.
+func (q *Quantiles) Value(p float64) float64 {
+	if len(q.xs) == 0 {
+		return 0
+	}
+	if !q.sorted {
+		sort.Float64s(q.xs)
+		q.sorted = true
+	}
+	if p <= 0 {
+		return q.xs[0]
+	}
+	if p >= 1 {
+		return q.xs[len(q.xs)-1]
+	}
+	idx := p * float64(len(q.xs)-1)
+	lo := int(math.Floor(idx))
+	hi := int(math.Ceil(idx))
+	if lo == hi {
+		return q.xs[lo]
+	}
+	frac := idx - float64(lo)
+	return q.xs[lo]*(1-frac) + q.xs[hi]*frac
+}
+
+// BatchMeans builds non-overlapping batch means from a stream of
+// observations and reports a confidence interval that accounts for the
+// serial correlation typical of queueing simulations.
+type BatchMeans struct {
+	batchSize int64
+	current   Tally
+	batches   Tally
+}
+
+// NewBatchMeans creates a collector with the given batch size.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: NewBatchMeans requires a positive batch size")
+	}
+	return &BatchMeans{batchSize: int64(batchSize)}
+}
+
+// Add records one observation, closing a batch whenever batchSize
+// observations have accumulated.
+func (b *BatchMeans) Add(x float64) {
+	b.current.Add(x)
+	if b.current.Count() >= b.batchSize {
+		b.batches.Add(b.current.Mean())
+		b.current = Tally{}
+	}
+}
+
+// NumBatches returns the number of completed batches.
+func (b *BatchMeans) NumBatches() int64 { return b.batches.Count() }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// HalfWidth returns the half-width of the level confidence interval computed
+// from the batch means.
+func (b *BatchMeans) HalfWidth(level float64) float64 {
+	return b.batches.ConfidenceInterval(level)
+}
+
+// LittleLaw accumulates the three quantities related by Little's law
+// (L = lambda * W) and reports the relative discrepancy between the measured
+// time-average population and the product of measured throughput and mean
+// delay. It is the simulator's primary internal consistency check.
+type LittleLaw struct {
+	Population TimeWeighted // time-averaged number in system
+	Delay      Tally        // per-packet sojourn times
+	Departures int64        // packets that completed
+}
+
+// RecordDeparture notes a completed packet with the given sojourn time.
+func (l *LittleLaw) RecordDeparture(sojourn float64) {
+	l.Delay.Add(sojourn)
+	l.Departures++
+}
+
+// RelativeError returns |L - lambda*W| / max(L, tiny) over the observation
+// window ending at time now; lambda is computed as departures per unit time.
+func (l *LittleLaw) RelativeError(now float64) float64 {
+	elapsed := now - l.Population.startTime
+	if elapsed <= 0 || l.Departures == 0 {
+		return 0
+	}
+	lambda := float64(l.Departures) / elapsed
+	lw := lambda * l.Delay.Mean()
+	L := l.Population.MeanAt(now)
+	denom := math.Max(math.Abs(L), 1e-12)
+	return math.Abs(L-lw) / denom
+}
+
+// normalQuantile returns the p-quantile of the standard normal distribution
+// using the Acklam rational approximation (relative error < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+
+	const pLow = 0.02425
+	const pHigh = 1 - pLow
+	var q, r float64
+	switch {
+	case p < pLow:
+		q = math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= pHigh:
+		q = p - 0.5
+		r = q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q = math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// NormalQuantile exposes the standard normal quantile function; it is used by
+// the harness when sizing confidence intervals for reports.
+func NormalQuantile(p float64) float64 { return normalQuantile(p) }
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n int64
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn increments the counter by delta.
+func (c *Counter) Addn(delta int64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n }
+
+// Rate returns the counter value divided by the elapsed time.
+func (c *Counter) Rate(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(c.n) / elapsed
+}
+
+// Series is an ordered collection of (x, y) points used by the harness to
+// report sweeps (for example delay versus dimension).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends a point to the series.
+func (s *Series) AddPoint(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// MaxY returns the largest y value (0 for an empty series).
+func (s *Series) MaxY() float64 {
+	m := 0.0
+	for i, y := range s.Y {
+		if i == 0 || y > m {
+			m = y
+		}
+	}
+	return m
+}
+
+// LinearSlope returns the least-squares slope of y against x. The stability
+// experiments use the slope of queue length versus time as the divergence
+// diagnostic: a clearly positive slope indicates an unstable system.
+func (s *Series) LinearSlope() float64 {
+	n := float64(len(s.X))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range s.X {
+		sx += s.X[i]
+		sy += s.Y[i]
+		sxx += s.X[i] * s.X[i]
+		sxy += s.X[i] * s.Y[i]
+	}
+	denom := n*sxx - sx*sx
+	if denom == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / denom
+}

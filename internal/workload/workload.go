@@ -1,0 +1,359 @@
+// Package workload generates the traffic the paper's model prescribes: every
+// node (hypercube) or first-level row (butterfly) generates packets according
+// to an independent Poisson process with rate lambda, and each packet picks
+// its destination by flipping each origin bit independently with probability
+// p (eq. (1) of the paper). The package also provides the uniform and
+// uniform-excluding-self distributions discussed in §1.1, arbitrary
+// translation-invariant distributions (§2.2), slotted batch arrivals (§3.4)
+// and permutation workloads for the non-greedy baseline of §2.3.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/butterfly"
+	"repro/internal/hypercube"
+	"repro/internal/xrand"
+)
+
+// DestinationDist chooses a destination node for a packet generated at the
+// given origin of a d-dimensional hypercube.
+type DestinationDist interface {
+	// Sample returns the destination for a packet originating at origin.
+	Sample(origin hypercube.Node, rng *xrand.Rand) hypercube.Node
+	// FlipProbability returns the per-dimension probability that a packet
+	// must cross that dimension (the p_j of §2.2); for the bit-flip
+	// distribution it is the same for every dimension.
+	FlipProbability(dim hypercube.Dimension) float64
+	// MeanDistance returns the expected Hamming distance between origin and
+	// destination.
+	MeanDistance() float64
+	// String names the distribution for reports.
+	String() string
+}
+
+// BitFlip is the paper's destination distribution: each of the d origin bits
+// is flipped independently with probability P.
+type BitFlip struct {
+	D int
+	P float64
+}
+
+// NewBitFlip validates and returns a BitFlip distribution.
+func NewBitFlip(d int, p float64) BitFlip {
+	if d < 1 {
+		panic(fmt.Sprintf("workload: BitFlip requires d >= 1, got %d", d))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("workload: BitFlip requires p in [0,1], got %v", p))
+	}
+	return BitFlip{D: d, P: p}
+}
+
+// Sample flips each bit of origin independently with probability P.
+func (b BitFlip) Sample(origin hypercube.Node, rng *xrand.Rand) hypercube.Node {
+	dest := origin
+	for m := 0; m < b.D; m++ {
+		if rng.Bernoulli(b.P) {
+			dest ^= hypercube.Node(1) << uint(m)
+		}
+	}
+	return dest
+}
+
+// FlipProbability returns P for every dimension.
+func (b BitFlip) FlipProbability(hypercube.Dimension) float64 { return b.P }
+
+// MeanDistance returns d*P.
+func (b BitFlip) MeanDistance() float64 { return float64(b.D) * b.P }
+
+// String names the distribution.
+func (b BitFlip) String() string { return fmt.Sprintf("bitflip(p=%g)", b.P) }
+
+// Uniform is the uniform destination distribution over all 2^d nodes
+// (including the origin); it coincides with BitFlip at p = 1/2.
+func Uniform(d int) BitFlip { return NewBitFlip(d, 0.5) }
+
+// UniformExcludingSelf chooses the destination uniformly among the 2^d - 1
+// nodes other than the origin, the variant most often used in the prior work
+// surveyed in §1.2. Its per-dimension flip probability is
+// 2^(d-1)/(2^d - 1) (slightly above 1/2).
+type UniformExcludingSelf struct {
+	D int
+}
+
+// NewUniformExcludingSelf validates and returns the distribution.
+func NewUniformExcludingSelf(d int) UniformExcludingSelf {
+	if d < 1 {
+		panic(fmt.Sprintf("workload: UniformExcludingSelf requires d >= 1, got %d", d))
+	}
+	return UniformExcludingSelf{D: d}
+}
+
+// Sample draws a uniform non-origin destination.
+func (u UniformExcludingSelf) Sample(origin hypercube.Node, rng *xrand.Rand) hypercube.Node {
+	n := 1 << uint(u.D)
+	// Draw a non-zero offset and XOR it onto the origin; the offset is the
+	// difference vector, uniform over the 2^d - 1 non-zero patterns.
+	offset := hypercube.Node(rng.Intn(n-1) + 1)
+	return origin ^ offset
+}
+
+// FlipProbability returns 2^(d-1) / (2^d - 1) for every dimension.
+func (u UniformExcludingSelf) FlipProbability(hypercube.Dimension) float64 {
+	n := float64(int(1) << uint(u.D))
+	return (n / 2) / (n - 1)
+}
+
+// MeanDistance returns d * 2^(d-1) / (2^d - 1).
+func (u UniformExcludingSelf) MeanDistance() float64 {
+	return float64(u.D) * u.FlipProbability(1)
+}
+
+// String names the distribution.
+func (u UniformExcludingSelf) String() string { return "uniform-excluding-self" }
+
+// TranslationInvariant is the general destination distribution of §2.2: the
+// probability that a packet from x goes to z depends only on the difference
+// vector x XOR z, with probability Weights[x XOR z] (normalised).
+type TranslationInvariant struct {
+	D       int
+	weights []float64
+	cum     []float64
+}
+
+// NewTranslationInvariant builds the distribution from the 2^d weights
+// indexed by difference vector. Weights must be non-negative and not all
+// zero; they are normalised internally.
+func NewTranslationInvariant(d int, weights []float64) *TranslationInvariant {
+	n := 1 << uint(d)
+	if len(weights) != n {
+		panic(fmt.Sprintf("workload: TranslationInvariant needs %d weights, got %d", n, len(weights)))
+	}
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("workload: negative or NaN weight at %d", i))
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("workload: TranslationInvariant weights sum to zero")
+	}
+	t := &TranslationInvariant{D: d, weights: make([]float64, n), cum: make([]float64, n)}
+	run := 0.0
+	for i, w := range weights {
+		t.weights[i] = w / total
+		run += w / total
+		t.cum[i] = run
+	}
+	t.cum[n-1] = 1 // guard against rounding
+	return t
+}
+
+// Sample draws a difference vector according to the weights and applies it.
+func (t *TranslationInvariant) Sample(origin hypercube.Node, rng *xrand.Rand) hypercube.Node {
+	u := rng.Float64()
+	// Binary search the cumulative table.
+	lo, hi := 0, len(t.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return origin ^ hypercube.Node(lo)
+}
+
+// FlipProbability returns p_j = sum of weights of difference vectors whose
+// bit j is set — the per-dimension load factor contribution of §2.2.
+func (t *TranslationInvariant) FlipProbability(dim hypercube.Dimension) float64 {
+	bit := 1 << uint(dim-1)
+	total := 0.0
+	for v, w := range t.weights {
+		if v&bit != 0 {
+			total += w
+		}
+	}
+	return total
+}
+
+// MeanDistance returns the expected Hamming distance of the difference.
+func (t *TranslationInvariant) MeanDistance() float64 {
+	total := 0.0
+	for v, w := range t.weights {
+		total += w * float64(bits.OnesCount32(uint32(v)))
+	}
+	return total
+}
+
+// MaxFlipProbability returns max_j p_j, the quantity that defines the load
+// factor for general translation-invariant traffic (§2.2).
+func (t *TranslationInvariant) MaxFlipProbability() float64 {
+	m := 0.0
+	for j := 1; j <= t.D; j++ {
+		if p := t.FlipProbability(hypercube.Dimension(j)); p > m {
+			m = p
+		}
+	}
+	return m
+}
+
+// String names the distribution.
+func (t *TranslationInvariant) String() string { return "translation-invariant" }
+
+// RowDist chooses a destination row for a butterfly packet entering at the
+// given origin row (both rows are level identities; the packet enters at
+// level 1 and exits at level d+1).
+type RowDist interface {
+	SampleRow(origin butterfly.Row, rng *xrand.Rand) butterfly.Row
+	FlipProbability() float64
+	String() string
+}
+
+// RowBitFlip is the butterfly analogue of BitFlip (§4.2).
+type RowBitFlip struct {
+	D int
+	P float64
+}
+
+// NewRowBitFlip validates and returns a RowBitFlip distribution.
+func NewRowBitFlip(d int, p float64) RowBitFlip {
+	if d < 1 {
+		panic(fmt.Sprintf("workload: RowBitFlip requires d >= 1, got %d", d))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("workload: RowBitFlip requires p in [0,1], got %v", p))
+	}
+	return RowBitFlip{D: d, P: p}
+}
+
+// SampleRow flips each origin-row bit independently with probability P.
+func (b RowBitFlip) SampleRow(origin butterfly.Row, rng *xrand.Rand) butterfly.Row {
+	dest := origin
+	for m := 0; m < b.D; m++ {
+		if rng.Bernoulli(b.P) {
+			dest ^= butterfly.Row(1) << uint(m)
+		}
+	}
+	return dest
+}
+
+// FlipProbability returns P.
+func (b RowBitFlip) FlipProbability() float64 { return b.P }
+
+// String names the distribution.
+func (b RowBitFlip) String() string { return fmt.Sprintf("row-bitflip(p=%g)", b.P) }
+
+// PoissonSource models one node's packet-generating Poisson process in
+// continuous time. Successive inter-arrival times are exponential with the
+// source's rate; each source carries its own random stream so that different
+// nodes generate independently (and so that runs are reproducible no matter
+// how events interleave).
+type PoissonSource struct {
+	Rate float64
+	rng  *xrand.Rand
+	next float64
+}
+
+// NewPoissonSource creates a source with the given rate whose randomness is
+// derived from (seed, stream). A non-positive rate yields a source that never
+// generates (NextArrival returns +Inf).
+func NewPoissonSource(rate float64, seed, stream uint64) *PoissonSource {
+	s := &PoissonSource{Rate: rate, rng: xrand.NewStream(seed, stream)}
+	s.next = s.draw(0)
+	return s
+}
+
+func (s *PoissonSource) draw(now float64) float64 {
+	if s.Rate <= 0 {
+		return math.Inf(1)
+	}
+	return now + s.rng.Exp(s.Rate)
+}
+
+// NextArrival returns the time of the source's next arrival.
+func (s *PoissonSource) NextArrival() float64 { return s.next }
+
+// Advance consumes the pending arrival and draws the next one.
+func (s *PoissonSource) Advance() {
+	s.next = s.draw(s.next)
+}
+
+// RNG exposes the source's random stream so the caller can sample the
+// packet's destination from the same stream (keeping the whole per-node
+// sample path reproducible).
+func (s *PoissonSource) RNG() *xrand.Rand { return s.rng }
+
+// SlottedSource models the slotted-time arrival process of §3.4: at the start
+// of every slot of length Tau the node generates a Poisson(Rate*Tau) batch of
+// packets.
+type SlottedSource struct {
+	Rate float64
+	Tau  float64
+	rng  *xrand.Rand
+}
+
+// NewSlottedSource creates a slotted source. Tau must be positive.
+func NewSlottedSource(rate, tau float64, seed, stream uint64) *SlottedSource {
+	if tau <= 0 {
+		panic(fmt.Sprintf("workload: SlottedSource requires tau > 0, got %v", tau))
+	}
+	return &SlottedSource{Rate: rate, Tau: tau, rng: xrand.NewStream(seed, stream)}
+}
+
+// BatchSize draws the number of packets generated at the start of a slot.
+func (s *SlottedSource) BatchSize() int {
+	if s.Rate <= 0 {
+		return 0
+	}
+	return s.rng.Poisson(s.Rate * s.Tau)
+}
+
+// RNG exposes the source's random stream for destination sampling.
+func (s *SlottedSource) RNG() *xrand.Rand { return s.rng }
+
+// Permutation returns a uniformly random permutation destination assignment
+// for the 2^d nodes: node i sends to perm[i], with perm a uniform permutation
+// (the workload of the static problem in §1.2 and of the §2.3 baselines).
+func Permutation(d int, rng *xrand.Rand) []hypercube.Node {
+	n := 1 << uint(d)
+	p := rng.Perm(n)
+	dest := make([]hypercube.Node, n)
+	for i := range p {
+		dest[i] = hypercube.Node(p[i])
+	}
+	return dest
+}
+
+// LoadFactorHypercube returns the paper's load factor rho = lambda * p for
+// bit-flip traffic on the hypercube (eq. (2)).
+func LoadFactorHypercube(lambda, p float64) float64 { return lambda * p }
+
+// LoadFactorButterfly returns rho = lambda * max{p, 1-p} (eq. (17)).
+func LoadFactorButterfly(lambda, p float64) float64 {
+	return lambda * math.Max(p, 1-p)
+}
+
+// RequiredLambdaHypercube returns the lambda that achieves the target load
+// factor rho for the given p on the hypercube.
+func RequiredLambdaHypercube(rho, p float64) float64 {
+	if p <= 0 {
+		panic("workload: p must be positive to set a load factor")
+	}
+	return rho / p
+}
+
+// RequiredLambdaButterfly returns the lambda that achieves the target load
+// factor rho for the given p on the butterfly.
+func RequiredLambdaButterfly(rho, p float64) float64 {
+	m := math.Max(p, 1-p)
+	if m <= 0 {
+		panic("workload: max{p,1-p} must be positive")
+	}
+	return rho / m
+}

@@ -1,0 +1,290 @@
+// Package xrand provides deterministic, splittable pseudo-random number
+// generation and the distribution samplers used throughout the simulator.
+//
+// The simulator needs reproducible runs (a fixed seed must produce an
+// identical sample path), cheap creation of many statistically independent
+// streams (one per traffic source, one per routing decision stream), and a
+// handful of distributions: exponential inter-arrival times, Poisson batch
+// sizes, Bernoulli bit flips and geometric queue-length draws. The package is
+// self-contained so that the rest of the repository does not depend on the
+// global state of math/rand.
+//
+// The core generator is xoshiro256** seeded through SplitMix64, the
+// combination recommended by Blackman and Vigna. Streams are derived by
+// jumping the SplitMix64 seed sequence, which keeps independently seeded
+// streams decorrelated even when their user-visible seeds are consecutive
+// integers.
+package xrand
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitMix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding the main generator and for deriving streams.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a deterministic pseudo-random generator (xoshiro256**) together
+// with the samplers used by the simulator. It is not safe for concurrent use;
+// create one Rand per goroutine with NewStream.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from the given seed. Two generators built
+// from the same seed produce identical sequences.
+func New(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// NewStream returns the stream-th generator derived from seed. Streams with
+// the same seed but different stream indices are decorrelated; the mapping is
+// deterministic so simulations remain reproducible.
+func NewStream(seed uint64, stream uint64) *Rand {
+	// Mix the stream index into the seed sequence far enough that adjacent
+	// streams do not share low-entropy prefixes.
+	sm := seed
+	_ = splitMix64(&sm)
+	sm ^= 0x6a09e667f3bcc909 * (stream + 1)
+	_ = splitMix64(&sm)
+	r := &Rand{}
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	r.normalizeState()
+	return r
+}
+
+// Seed resets the generator state from seed.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	r.normalizeState()
+}
+
+// normalizeState guards against the (astronomically unlikely, but fatal)
+// all-zero state of xoshiro256**.
+func (r *Rand) normalizeState() {
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform integer in [0, n) using Lemire's unbiased
+// multiply-shift rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("xrand: Uint64n called with zero bound")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		threshold := (-n) % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0,1] are
+// clamped.
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given rate
+// (mean 1/rate). It panics if rate <= 0.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic("xrand: Exp called with non-positive rate")
+	}
+	// Use 1-U to avoid log(0); U is in [0,1) so 1-U is in (0,1].
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a Poisson-distributed integer with the given mean.
+// For small means it uses Knuth's product-of-uniforms method; for large
+// means it uses the PTRS transformed-rejection method of Hörmann, which is
+// exact and runs in O(1) expected time.
+func (r *Rand) Poisson(mean float64) int {
+	switch {
+	case mean <= 0:
+		return 0
+	case mean < 30:
+		return r.poissonKnuth(mean)
+	default:
+		return r.poissonPTRS(mean)
+	}
+}
+
+func (r *Rand) poissonKnuth(mean float64) int {
+	limit := math.Exp(-mean)
+	k := 0
+	prod := r.Float64()
+	for prod > limit {
+		k++
+		prod *= r.Float64()
+	}
+	return k
+}
+
+// poissonPTRS implements Hörmann's PTRS algorithm for Poisson generation
+// with mean >= 10 (we use it for mean >= 30).
+func (r *Rand) poissonPTRS(mean float64) int {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		k := math.Floor((2*a/us+b)*u + mean + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(k)
+		}
+		if k < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		if math.Log(v)+math.Log(invAlpha)-math.Log(a/(us*us)+b) <=
+			k*math.Log(mean)-mean-logGamma(k+1) {
+			return int(k)
+		}
+	}
+}
+
+// logGamma returns log Γ(x) via the Lanczos approximation (sufficient
+// accuracy for the rejection test above).
+func logGamma(x float64) float64 {
+	lg, _ := math.Lgamma(x)
+	return lg
+}
+
+// Binomial returns a Binomial(n, p) draw: the number of successes in n
+// independent Bernoulli(p) trials. For small n it draws trials directly;
+// for large n·min(p,1-p) it uses the Poisson/normal-free inversion by
+// repeated geometric skips, which stays exact.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// For moderate n a direct loop is both exact and fast enough for the
+	// simulator's use (n = d <= 20 bits in destination sampling).
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	// Geometric-skip method (BG algorithm): expected time O(np).
+	q := p
+	flipped := false
+	if q > 0.5 {
+		q = 1 - q
+		flipped = true
+	}
+	lnQ := math.Log(1 - q)
+	k := 0
+	pos := 0
+	for {
+		step := int(math.Floor(math.Log(1-r.Float64())/lnQ)) + 1
+		pos += step
+		if pos > n {
+			break
+		}
+		k++
+	}
+	if flipped {
+		return n - k
+	}
+	return k
+}
+
+// Geometric returns a draw of the number of failures before the first
+// success in Bernoulli(p) trials (support {0, 1, 2, ...}). It panics if
+// p <= 0 or p > 1.
+func (r *Rand) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("xrand: Geometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-r.Float64()) / math.Log(1-p)))
+}
+
+// Perm returns a uniformly random permutation of {0, ..., n-1}.
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using the provided swap
+// function (Fisher–Yates).
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
