@@ -1,16 +1,23 @@
-// Command butterflyroute runs one butterfly greedy-routing simulation and
+// Command butterflyroute runs butterfly greedy-routing simulations and
 // prints the measured delay and utilisation statistics next to the paper's
 // bounds (Propositions 14-17).
 //
-// Example:
+// With -reps N (N > 1) it becomes a Monte-Carlo harness: N independent
+// replications execute on the sharded parallel engine with deterministically
+// split seeds, and every reported quantity carries a 95% confidence interval.
+//
+// Examples:
 //
 //	butterflyroute -d 6 -rho 0.8 -p 0.3
+//	butterflyroute -d 6 -rho 0.8 -reps 16 -parallelism 4
+//	butterflyroute -d 6 -rho 0.8 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/greedy"
 	"repro/internal/harness"
@@ -18,14 +25,17 @@ import (
 
 func main() {
 	var (
-		d        = flag.Int("d", 6, "butterfly dimension (d+1 levels)")
-		p        = flag.Float64("p", 0.5, "row bit-flip probability")
-		rho      = flag.Float64("rho", 0.8, "target load factor lambda*max{p,1-p} (ignored if -lambda > 0)")
-		lambda   = flag.Float64("lambda", 0, "per-node generation rate (overrides -rho when positive)")
-		horizon  = flag.Float64("horizon", 5000, "simulated time span")
-		warmup   = flag.Float64("warmup", 0.2, "fraction of the horizon discarded as warm-up")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		quantile = flag.Bool("quantiles", false, "track exact delay quantiles")
+		d           = flag.Int("d", 6, "butterfly dimension (d+1 levels)")
+		p           = flag.Float64("p", 0.5, "row bit-flip probability")
+		rho         = flag.Float64("rho", 0.8, "target load factor lambda*max{p,1-p} (ignored if -lambda > 0)")
+		lambda      = flag.Float64("lambda", 0, "per-node generation rate (overrides -rho when positive)")
+		horizon     = flag.Float64("horizon", 5000, "simulated time span")
+		warmup      = flag.Float64("warmup", 0.2, "fraction of the horizon discarded as warm-up")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		quantile    = flag.Bool("quantiles", false, "track exact delay quantiles")
+		reps        = flag.Int("reps", 1, "independent replications (each on a split seed)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent replications (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit the report table as JSON")
 	)
 	flag.Parse()
 
@@ -43,6 +53,25 @@ func main() {
 		cfg.LoadFactor = *rho
 	}
 
+	var table *harness.Table
+	if *reps > 1 {
+		table = replicated(cfg, *quantile, *reps, *parallelism, *seed)
+	} else {
+		table = single(cfg, *quantile)
+	}
+	if *jsonOut {
+		data, err := table.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyroute: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+	fmt.Print(table.String())
+}
+
+func single(cfg greedy.ButterflyConfig, quantile bool) *harness.Table {
 	res, err := greedy.RunButterfly(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "butterflyroute: %v\n", err)
@@ -63,9 +92,67 @@ func main() {
 	table.AddRow("mean packets per switching node", harness.F(res.MeanPacketsPerNode))
 	table.AddRow("throughput (packets/time)", harness.F(res.Metrics.Throughput))
 	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
-	if *quantile {
+	if quantile {
 		table.AddRow("delay P95", harness.F(res.DelayP95))
 		table.AddRow("delay P99", harness.F(res.DelayP99))
 	}
-	fmt.Print(table.String())
+	return table
+}
+
+// replicated runs the configuration reps times on the engine with split seeds
+// and reports each quantity as mean ± 95% CI over the replications.
+func replicated(cfg greedy.ButterflyConfig, quantile bool, reps, parallelism int, baseSeed uint64) *harness.Table {
+	// One ordered metric list drives both the per-replication measurement map
+	// and the report rows, so the two cannot drift apart.
+	type metric struct {
+		name    string
+		extract func(*greedy.ButterflyResult) float64
+	}
+	metrics := []metric{
+		{"mean delay T", func(r *greedy.ButterflyResult) float64 { return r.MeanDelay }},
+		{"straight-arc utilisation", func(r *greedy.ButterflyResult) float64 { return r.StraightUtilization }},
+		{"vertical-arc utilisation", func(r *greedy.ButterflyResult) float64 { return r.VerticalUtilization }},
+		{"mean packets per switching node", func(r *greedy.ButterflyResult) float64 { return r.MeanPacketsPerNode }},
+		{"throughput (packets/time)", func(r *greedy.ButterflyResult) float64 { return r.Metrics.Throughput }},
+	}
+	if quantile {
+		metrics = append(metrics,
+			metric{"delay P95", func(r *greedy.ButterflyResult) float64 { return r.DelayP95 }},
+			metric{"delay P99", func(r *greedy.ButterflyResult) float64 { return r.DelayP99 }},
+		)
+	}
+
+	// The analytic bounds and derived parameters are pure functions of the
+	// configuration, so any replication's result can supply them; capture the
+	// first one instead of paying for an extra reference simulation.
+	var once sync.Once
+	var ref *greedy.ButterflyResult
+	out := harness.ReplicateVector(reps, parallelism, baseSeed, func(seed uint64) map[string]float64 {
+		c := cfg
+		c.Seed = seed
+		res, err := greedy.RunButterfly(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "butterflyroute: %v\n", err)
+			os.Exit(1)
+		}
+		once.Do(func() { ref = res })
+		m := make(map[string]float64, len(metrics))
+		for _, mt := range metrics {
+			m[mt.name] = mt.extract(res)
+		}
+		return m
+	})
+
+	table := harness.NewTable(
+		fmt.Sprintf("butterfly d=%d p=%.3g lambda=%.4g rho=%.4g reps=%d",
+			ref.Params.D, ref.Params.P, ref.Params.Lambda, ref.LoadFactor, reps),
+		"quantity", "mean", "ci95", "min", "max")
+	for _, mt := range metrics {
+		r := out[mt.name]
+		table.AddRow(mt.name, harness.F(r.Mean), harness.F(r.CI95), harness.F(r.Min), harness.F(r.Max))
+	}
+	table.AddRow("universal lower bound (Prop 14)", harness.F(ref.UniversalLowerBound), "", "", "")
+	table.AddRow("greedy upper bound (Prop 17)", harness.F(ref.GreedyUpperBound), "", "", "")
+	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, baseSeed)
+	return table
 }

@@ -1,19 +1,27 @@
 // Command experiments regenerates every experiment table listed in DESIGN.md
-// and EXPERIMENTS.md (E1..E12 plus the ablations A1..A3).
+// and EXPERIMENTS.md (E1..E12 plus the ablations A1..A3). Experiments execute
+// their replications and grid points on the sharded parallel engine
+// (internal/engine); identical seeds produce identical tables at any
+// parallelism.
 //
 // Examples:
 //
-//	experiments              # run everything at full size
-//	experiments -quick       # shortened horizons, for a fast check
-//	experiments -only E5,E7  # run a subset
-//	experiments -list        # show the registry
-//	experiments -csv         # emit CSV instead of aligned text
+//	experiments                   # run everything at full size
+//	experiments -quick            # shortened horizons, for a fast check
+//	experiments -only E5,E7       # run a subset
+//	experiments -list             # show the registry
+//	experiments -csv              # emit CSV instead of aligned text
+//	experiments -json             # emit machine-readable JSON artifacts
+//	experiments -artifacts out/   # also write one JSON artifact per experiment
+//	experiments -parallelism 4    # bound the worker pool
+//	experiments -progress         # per-grid-point progress on stderr
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -22,12 +30,15 @@ import (
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "use shortened horizons and fewer replications")
-		only     = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-		list     = flag.Bool("list", false, "list the experiment registry and exit")
-		csv      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
-		seed     = flag.Uint64("seed", 1, "base random seed")
-		parallel = flag.Int("parallel", 0, "max concurrent replications (0 = GOMAXPROCS)")
+		quick       = flag.Bool("quick", false, "use shortened horizons and fewer replications")
+		only        = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		list        = flag.Bool("list", false, "list the experiment registry and exit")
+		csv         = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
+		artifactDir = flag.String("artifacts", "", "directory to write per-experiment JSON artifacts (empty = none)")
+		seed        = flag.Uint64("seed", 1, "base random seed")
+		parallelism = flag.Int("parallelism", 0, "max concurrent shards on the engine's worker pool (0 = GOMAXPROCS)")
+		progress    = flag.Bool("progress", false, "report per-grid-point progress on stderr")
 	)
 	flag.Parse()
 
@@ -56,16 +67,57 @@ func main() {
 		}
 	}
 
-	cfg := harness.RunConfig{Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	if *artifactDir != "" {
+		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, e := range selected {
+		cfg := harness.RunConfig{Quick: *quick, Seed: *seed, Parallelism: *parallelism}
+		if *progress {
+			id := e.ID
+			cfg.Progress = func(donePoints, totalPoints int) {
+				fmt.Fprintf(os.Stderr, "%s: point %d/%d done\n", id, donePoints, totalPoints)
+			}
+		}
 		start := time.Now()
 		table := e.Run(cfg)
-		fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
-		if *csv {
-			fmt.Print(table.CSV())
-		} else {
-			fmt.Print(table.String())
+		elapsed := time.Since(start)
+		artifact := harness.NewArtifact(e, cfg, table, elapsed)
+
+		if *artifactDir != "" {
+			if err := writeArtifact(*artifactDir, artifact); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
 		}
-		fmt.Printf("   (%s)\n\n", time.Since(start).Round(time.Millisecond))
+
+		switch {
+		case *jsonOut:
+			data, err := artifact.JSON()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s\n", data)
+		case *csv:
+			fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Print(table.CSV())
+			fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+		default:
+			fmt.Printf("== %s: %s\n   claim: %s\n", e.ID, e.Title, e.Claim)
+			fmt.Print(table.String())
+			fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+		}
 	}
+}
+
+func writeArtifact(dir string, artifact harness.Artifact) error {
+	data, err := artifact.JSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, artifact.ID+".json"), append(data, '\n'), 0o644)
 }

@@ -1,15 +1,22 @@
-// Command hyperroute runs one hypercube greedy-routing simulation and prints
+// Command hyperroute runs hypercube greedy-routing simulations and prints
 // the measured delay and queue statistics next to the paper's bounds.
 //
-// Example:
+// With -reps N (N > 1) it becomes a Monte-Carlo harness: N independent
+// replications execute on the sharded parallel engine with deterministically
+// split seeds, and every reported quantity carries a 95% confidence interval.
+//
+// Examples:
 //
 //	hyperroute -d 8 -rho 0.8 -p 0.5 -horizon 5000
+//	hyperroute -d 8 -rho 0.8 -reps 16 -parallelism 4
+//	hyperroute -d 8 -rho 0.8 -json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/greedy"
 	"repro/internal/harness"
@@ -17,17 +24,20 @@ import (
 
 func main() {
 	var (
-		d        = flag.Int("d", 7, "hypercube dimension")
-		p        = flag.Float64("p", 0.5, "destination bit-flip probability (0.5 = uniform)")
-		rho      = flag.Float64("rho", 0.8, "target load factor rho = lambda*p (ignored if -lambda > 0)")
-		lambda   = flag.Float64("lambda", 0, "per-node generation rate (overrides -rho when positive)")
-		horizon  = flag.Float64("horizon", 5000, "simulated time span")
-		warmup   = flag.Float64("warmup", 0.2, "fraction of the horizon discarded as warm-up")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		router   = flag.String("router", "greedy", "routing scheme: greedy, random-order, valiant")
-		slotted  = flag.Bool("slotted", false, "use slotted-time arrivals (§3.4)")
-		tau      = flag.Float64("tau", 0.5, "slot length for -slotted")
-		quantile = flag.Bool("quantiles", false, "track exact delay quantiles")
+		d           = flag.Int("d", 7, "hypercube dimension")
+		p           = flag.Float64("p", 0.5, "destination bit-flip probability (0.5 = uniform)")
+		rho         = flag.Float64("rho", 0.8, "target load factor rho = lambda*p (ignored if -lambda > 0)")
+		lambda      = flag.Float64("lambda", 0, "per-node generation rate (overrides -rho when positive)")
+		horizon     = flag.Float64("horizon", 5000, "simulated time span")
+		warmup      = flag.Float64("warmup", 0.2, "fraction of the horizon discarded as warm-up")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		router      = flag.String("router", "greedy", "routing scheme: greedy, random-order, valiant")
+		slotted     = flag.Bool("slotted", false, "use slotted-time arrivals (§3.4)")
+		tau         = flag.Float64("tau", 0.5, "slot length for -slotted")
+		quantile    = flag.Bool("quantiles", false, "track exact delay quantiles")
+		reps        = flag.Int("reps", 1, "independent replications (each on a split seed)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent replications (0 = GOMAXPROCS)")
+		jsonOut     = flag.Bool("json", false, "emit the report table as JSON")
 	)
 	flag.Parse()
 
@@ -60,6 +70,29 @@ func main() {
 		os.Exit(2)
 	}
 
+	var table *harness.Table
+	if *reps > 1 {
+		table = replicated(cfg, *quantile, *reps, *parallelism, *seed)
+	} else {
+		table = single(cfg, *quantile)
+	}
+	printTable(table, *jsonOut)
+}
+
+func printTable(table *harness.Table, jsonOut bool) {
+	if jsonOut {
+		data, err := table.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+	fmt.Print(table.String())
+}
+
+func single(cfg greedy.HypercubeConfig, quantile bool) *harness.Table {
 	res, err := greedy.RunHypercube(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
@@ -85,12 +118,70 @@ func main() {
 	table.AddRow("mean total population", harness.F(res.Metrics.MeanPopulation))
 	table.AddRow("throughput (packets/time)", harness.F(res.Metrics.Throughput))
 	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
-	if *quantile {
+	if quantile {
 		table.AddRow("delay P95", harness.F(res.DelayP95))
 		table.AddRow("delay P99", harness.F(res.DelayP99))
 	}
 	for j, u := range res.PerDimensionUtilization {
 		table.AddRow(fmt.Sprintf("dimension %d arc utilisation", j+1), harness.F(u))
 	}
-	fmt.Print(table.String())
+	return table
+}
+
+// replicated runs the configuration reps times on the engine with split seeds
+// and reports each quantity as mean ± 95% CI over the replications.
+func replicated(cfg greedy.HypercubeConfig, quantile bool, reps, parallelism int, baseSeed uint64) *harness.Table {
+	// One ordered metric list drives both the per-replication measurement map
+	// and the report rows, so the two cannot drift apart.
+	type metric struct {
+		name    string
+		extract func(*greedy.HypercubeResult) float64
+	}
+	metrics := []metric{
+		{"mean delay T", func(r *greedy.HypercubeResult) float64 { return r.MeanDelay }},
+		{"mean hops (d*p expected)", func(r *greedy.HypercubeResult) float64 { return r.Metrics.MeanHops }},
+		{"mean packets per node", func(r *greedy.HypercubeResult) float64 { return r.MeanPacketsPerNode }},
+		{"mean total population", func(r *greedy.HypercubeResult) float64 { return r.Metrics.MeanPopulation }},
+		{"throughput (packets/time)", func(r *greedy.HypercubeResult) float64 { return r.Metrics.Throughput }},
+	}
+	if quantile {
+		metrics = append(metrics,
+			metric{"delay P95", func(r *greedy.HypercubeResult) float64 { return r.DelayP95 }},
+			metric{"delay P99", func(r *greedy.HypercubeResult) float64 { return r.DelayP99 }},
+		)
+	}
+
+	// The analytic bounds and derived parameters are pure functions of the
+	// configuration, so any replication's result can supply them; capture the
+	// first one instead of paying for an extra reference simulation.
+	var once sync.Once
+	var ref *greedy.HypercubeResult
+	out := harness.ReplicateVector(reps, parallelism, baseSeed, func(seed uint64) map[string]float64 {
+		c := cfg
+		c.Seed = seed
+		res, err := greedy.RunHypercube(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
+			os.Exit(1)
+		}
+		once.Do(func() { ref = res })
+		m := make(map[string]float64, len(metrics))
+		for _, mt := range metrics {
+			m[mt.name] = mt.extract(res)
+		}
+		return m
+	})
+
+	table := harness.NewTable(
+		fmt.Sprintf("hypercube d=%d p=%.3g lambda=%.4g rho=%.4g router=%s reps=%d",
+			ref.Params.D, ref.Params.P, ref.Params.Lambda, ref.LoadFactor, cfg.Router, reps),
+		"quantity", "mean", "ci95", "min", "max")
+	for _, mt := range metrics {
+		r := out[mt.name]
+		table.AddRow(mt.name, harness.F(r.Mean), harness.F(r.CI95), harness.F(r.Min), harness.F(r.Max))
+	}
+	table.AddRow("greedy lower bound (Prop 13)", harness.F(ref.GreedyLowerBound), "", "", "")
+	table.AddRow("greedy upper bound (Prop 12)", harness.F(ref.GreedyUpperBound), "", "", "")
+	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, baseSeed)
+	return table
 }

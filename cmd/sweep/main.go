@@ -5,10 +5,15 @@
 //     measured system and the Prop. 12 / Prop. 13 bounds (the 1/(1-rho) knee);
 //   - "dimension": mean delay versus d at fixed rho, showing the O(d) scaling.
 //
+// Sweep points are independent simulations, so they execute concurrently on
+// the engine's worker pool; rows are emitted in sweep order regardless of
+// which point finishes first.
+//
 // Examples:
 //
 //	sweep -mode load -d 7
 //	sweep -mode dimension -rho 0.8 -csv
+//	sweep -mode load -json -parallelism 4
 package main
 
 import (
@@ -18,34 +23,74 @@ import (
 
 	"repro/greedy"
 	"repro/internal/asciiplot"
+	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/stats"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "load", "sweep mode: load (T vs rho) or dimension (T vs d)")
-		d       = flag.Int("d", 7, "hypercube dimension (load mode) ")
-		rho     = flag.Float64("rho", 0.8, "load factor (dimension mode)")
-		p       = flag.Float64("p", 0.5, "destination bit-flip probability")
-		horizon = flag.Float64("horizon", 4000, "simulated time per point")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		csvOnly = flag.Bool("csv", false, "emit only CSV (no ASCII plot)")
+		mode        = flag.String("mode", "load", "sweep mode: load (T vs rho) or dimension (T vs d)")
+		d           = flag.Int("d", 7, "hypercube dimension (load mode) ")
+		rho         = flag.Float64("rho", 0.8, "load factor (dimension mode)")
+		p           = flag.Float64("p", 0.5, "destination bit-flip probability")
+		horizon     = flag.Float64("horizon", 4000, "simulated time per point")
+		seed        = flag.Uint64("seed", 1, "random seed")
+		csvOnly     = flag.Bool("csv", false, "emit only CSV (no ASCII plot)")
+		jsonOut     = flag.Bool("json", false, "emit the sweep table as JSON (no ASCII plot)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	switch *mode {
 	case "load":
-		sweepLoad(*d, *p, *horizon, *seed, *csvOnly)
+		sweepLoad(*d, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut)
 	case "dimension":
-		sweepDimension(*rho, *p, *horizon, *seed, *csvOnly)
+		sweepDimension(*rho, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut)
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown mode %q\n", *mode)
 		os.Exit(2)
 	}
 }
 
-func sweepLoad(d int, p, horizon float64, seed uint64, csvOnly bool) {
+// runPoints executes one simulation per sweep point on the engine's worker
+// pool and returns the results in point order. Any simulation error aborts
+// the sweep.
+func runPoints(n, parallelism int, run func(i int) (*greedy.HypercubeResult, error)) []*greedy.HypercubeResult {
+	results := make([]*greedy.HypercubeResult, n)
+	errs := make([]error, n)
+	engine.ForEach(n, parallelism, func(i int) {
+		results[i], errs[i] = run(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return results
+}
+
+func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xLabel string) {
+	if jsonOut {
+		data, err := table.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s\n", data)
+		return
+	}
+	fmt.Print(table.CSV())
+	if !csvOnly {
+		fmt.Println()
+		fmt.Print(asciiplot.Render(series, asciiplot.Options{
+			Title: table.Title, Width: 70, Height: 18, XLabel: xLabel, YLabel: "mean delay",
+		}))
+	}
+}
+
+func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool) {
 	rhos := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
 	table := harness.NewTable(fmt.Sprintf("mean delay vs rho (d=%d, p=%g)", d, p),
 		"rho", "measured T", "lower (P13)", "upper (P12)")
@@ -53,55 +98,40 @@ func sweepLoad(d int, p, horizon float64, seed uint64, csvOnly bool) {
 	measured.Name = "measured T"
 	lower.Name = "lower bound (Prop 13)"
 	upper.Name = "upper bound (Prop 12)"
-	for _, rho := range rhos {
-		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+	results := runPoints(len(rhos), parallelism, func(i int) (*greedy.HypercubeResult, error) {
+		return greedy.RunHypercube(greedy.HypercubeConfig{
+			D: d, P: p, LoadFactor: rhos[i], Horizon: horizon, Seed: seed,
 		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
-		}
-		table.AddRow(harness.F(rho), harness.F(res.MeanDelay),
+	})
+	for i, res := range results {
+		table.AddRow(harness.F(rhos[i]), harness.F(res.MeanDelay),
 			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound))
-		measured.AddPoint(rho, res.MeanDelay)
-		lower.AddPoint(rho, res.GreedyLowerBound)
-		upper.AddPoint(rho, res.GreedyUpperBound)
+		measured.AddPoint(rhos[i], res.MeanDelay)
+		lower.AddPoint(rhos[i], res.GreedyLowerBound)
+		upper.AddPoint(rhos[i], res.GreedyUpperBound)
 	}
-	fmt.Print(table.CSV())
-	if !csvOnly {
-		fmt.Println()
-		fmt.Print(asciiplot.Render([]stats.Series{measured, lower, upper}, asciiplot.Options{
-			Title: table.Title, Width: 70, Height: 18, XLabel: "rho", YLabel: "mean delay",
-		}))
-	}
+	emit(table, []stats.Series{measured, lower, upper}, jsonOut, csvOnly, "rho")
 }
 
-func sweepDimension(rho, p, horizon float64, seed uint64, csvOnly bool) {
+func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool) {
 	dims := []int{3, 4, 5, 6, 7, 8, 9}
 	table := harness.NewTable(fmt.Sprintf("mean delay vs dimension (rho=%g, p=%g)", rho, p),
 		"d", "measured T", "lower (P13)", "upper (P12)", "T/d")
 	var measured, upper stats.Series
 	measured.Name = "measured T"
 	upper.Name = "upper bound (Prop 12)"
-	for _, d := range dims {
-		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+	results := runPoints(len(dims), parallelism, func(i int) (*greedy.HypercubeResult, error) {
+		return greedy.RunHypercube(greedy.HypercubeConfig{
+			D: dims[i], P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
 		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
-		}
+	})
+	for i, res := range results {
+		d := dims[i]
 		table.AddRow(fmt.Sprintf("%d", d), harness.F(res.MeanDelay),
 			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound),
 			harness.F(res.MeanDelay/float64(d)))
 		measured.AddPoint(float64(d), res.MeanDelay)
 		upper.AddPoint(float64(d), res.GreedyUpperBound)
 	}
-	fmt.Print(table.CSV())
-	if !csvOnly {
-		fmt.Println()
-		fmt.Print(asciiplot.Render([]stats.Series{measured, upper}, asciiplot.Options{
-			Title: table.Title, Width: 70, Height: 18, XLabel: "d", YLabel: "mean delay",
-		}))
-	}
+	emit(table, []stats.Series{measured, upper}, jsonOut, csvOnly, "d")
 }

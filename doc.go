@@ -2,9 +2,17 @@
 // and Butterflies" (G. D. Stamoulis and J. N. Tsitsiklis, SPAA 1991 /
 // MIT LIDS-P-1999).
 //
-// The public API lives in the repro/greedy package; the experiment registry
-// and benchmark harness live in internal/harness and are exposed through the
-// cmd/experiments binary and the root-level benchmarks in bench_test.go.
-// See README.md for the layout and EXPERIMENTS.md for the paper-versus-
-// measured record of every experiment.
+// The public API lives in the repro/greedy package. The experiment registry
+// and report harness live in internal/harness; experiments execute their
+// replications and grid points on the sharded parallel engine in
+// internal/engine, which derives deterministic per-shard RNG substreams by
+// seed splitting (internal/xrand), runs shards on a worker pool bounded by
+// the configured parallelism, and merges per-shard streaming statistics
+// (internal/stats) in shard order — so identical seeds produce byte-identical
+// tables at any parallelism. Everything is exposed through the
+// cmd/experiments, cmd/sweep, cmd/hyperroute and cmd/butterflyroute binaries
+// (all of which take -parallelism and -json flags) and the root-level
+// benchmarks in bench_test.go. See README.md for the layout and the engine
+// architecture, and EXPERIMENTS.md for the paper-versus-measured record of
+// every experiment.
 package repro

@@ -1,0 +1,236 @@
+// Package engine executes Monte-Carlo experiments as sets of independent
+// replication shards on a bounded worker pool.
+//
+// Every experiment in this repository is an average over independent
+// replications of a simulation, which makes the workload embarrassingly
+// parallel. The engine models one experiment run as a deterministic
+// decomposition into shards (contiguous blocks of replication indices), gives
+// each shard its own RNG substream derived by seed splitting
+// (xrand.SplitSeed), executes shards on a worker pool bounded by the
+// configured parallelism, and merges the per-shard streaming statistics
+// (stats.Tally, Welford-style) in shard-index order once all shards have
+// completed.
+//
+// Determinism is the engine's core contract: the shard decomposition and all
+// seeds depend only on (Replications, ShardSize, BaseSeed), never on the
+// parallelism or on scheduling, and the merge happens in a fixed order after
+// the barrier. Running the same configuration with 1 worker or with
+// GOMAXPROCS workers therefore produces bit-identical aggregate results.
+package engine
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// Task is one replication of an experiment. It receives the replication's
+// global index and its deterministic seed, runs whatever simulation the
+// experiment needs, and returns named scalar measurements. Tasks run
+// concurrently and must not share mutable state.
+type Task func(rep int, seed uint64) map[string]float64
+
+// Progress observes shard completion. It is called once per completed shard,
+// serialized by the engine (implementations need no locking), with the number
+// of shards and replications finished so far out of the totals.
+type Progress func(doneShards, totalShards, doneReps, totalReps int)
+
+// Config describes one sharded experiment run.
+type Config struct {
+	// Replications is the total number of independent replications.
+	Replications int
+	// ShardSize is the number of replications per shard; non-positive
+	// selects DefaultShardSize(Replications). The shard layout is part of
+	// the deterministic run identity: changing it changes which substream
+	// seeds the replications receive (but never breaks determinism for a
+	// fixed layout).
+	ShardSize int
+	// Parallelism bounds the number of concurrently executing shards
+	// (non-positive = GOMAXPROCS). It never affects results.
+	Parallelism int
+	// BaseSeed is the root of the seed-splitting tree.
+	BaseSeed uint64
+	// Progress, when non-nil, receives per-shard completion updates.
+	Progress Progress
+}
+
+// Shard is one contiguous block of replication indices [Start, End) together
+// with the substream seed all its replications derive from.
+type Shard struct {
+	Index      int
+	Start, End int
+	Seed       uint64
+}
+
+// Size returns the number of replications in the shard.
+func (s Shard) Size() int { return s.End - s.Start }
+
+// RepSeed returns the deterministic seed of the rep-th replication of the
+// shard (rep is the global replication index, Start <= rep < End).
+func (s Shard) RepSeed(rep int) uint64 {
+	return xrand.SplitSeed(s.Seed, uint64(rep-s.Start))
+}
+
+// Result is the merged outcome of a sharded run.
+type Result struct {
+	Replications int
+	Shards       int
+	// Metrics maps each measurement name returned by the task to its merged
+	// streaming tally.
+	Metrics map[string]*stats.Tally
+}
+
+// Keys returns the metric names in sorted order, for deterministic iteration.
+func (r *Result) Keys() []string {
+	keys := make([]string, 0, len(r.Metrics))
+	for k := range r.Metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DefaultShardSize returns the shard size used when Config.ShardSize is not
+// set: one replication per shard up to 256 shards, then growing so the shard
+// count stays near 256. It is a pure function of n so that the shard layout
+// never depends on the machine.
+func DefaultShardSize(n int) int {
+	const targetShards = 256
+	if n <= targetShards {
+		return 1
+	}
+	return (n + targetShards - 1) / targetShards
+}
+
+// Shards returns the deterministic shard decomposition for the config. The
+// layout and every seed depend only on Replications, ShardSize and BaseSeed.
+func Shards(cfg Config) []Shard {
+	n := cfg.Replications
+	if n <= 0 {
+		return nil
+	}
+	size := cfg.ShardSize
+	if size <= 0 {
+		size = DefaultShardSize(n)
+	}
+	shards := make([]Shard, 0, (n+size-1)/size)
+	for start := 0; start < n; start += size {
+		end := start + size
+		if end > n {
+			end = n
+		}
+		idx := len(shards)
+		shards = append(shards, Shard{
+			Index: idx,
+			Start: start,
+			End:   end,
+			Seed:  xrand.SplitSeed(cfg.BaseSeed, uint64(idx)),
+		})
+	}
+	return shards
+}
+
+// Run executes the task for every replication and returns the merged result.
+// Shards run concurrently on at most cfg.Parallelism workers; within a shard,
+// replications run serially in index order and feed a shard-local tally per
+// metric. After all shards complete, the shard tallies are merged in shard
+// order, so the result is independent of scheduling.
+func Run(cfg Config, task Task) *Result {
+	shards := Shards(cfg)
+	res := &Result{
+		Replications: cfg.Replications,
+		Shards:       len(shards),
+		Metrics:      map[string]*stats.Tally{},
+	}
+	if len(shards) == 0 {
+		res.Replications = 0
+		return res
+	}
+
+	type shardResult struct {
+		tallies map[string]*stats.Tally
+	}
+	results := make([]shardResult, len(shards))
+
+	var progressMu sync.Mutex
+	doneShards, doneReps := 0, 0
+
+	ForEach(len(shards), cfg.Parallelism, func(i int) {
+		sh := shards[i]
+		tallies := map[string]*stats.Tally{}
+		for rep := sh.Start; rep < sh.End; rep++ {
+			for k, v := range task(rep, sh.RepSeed(rep)) {
+				t, ok := tallies[k]
+				if !ok {
+					t = &stats.Tally{}
+					tallies[k] = t
+				}
+				t.Add(v)
+			}
+		}
+		results[i] = shardResult{tallies: tallies}
+		if cfg.Progress != nil {
+			progressMu.Lock()
+			doneShards++
+			doneReps += sh.Size()
+			cfg.Progress(doneShards, len(shards), doneReps, cfg.Replications)
+			progressMu.Unlock()
+		}
+	})
+
+	// Merge in shard-index order: the only order-sensitive step, and it is
+	// fully deterministic because it happens after the barrier.
+	for i := range results {
+		for k, t := range results[i].tallies {
+			dst, ok := res.Metrics[k]
+			if !ok {
+				dst = &stats.Tally{}
+				res.Metrics[k] = dst
+			}
+			dst.Merge(t)
+		}
+	}
+	return res
+}
+
+// ForEach runs fn(i) for every i in [0, n) using at most parallelism
+// concurrent workers (non-positive = GOMAXPROCS) and returns once every call
+// has completed. Iteration slots are claimed dynamically, so uneven work is
+// balanced across workers; callers that need deterministic output should have
+// fn(i) write only to the i-th slot of a result slice.
+func ForEach(n, parallelism int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

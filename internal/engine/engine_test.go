@@ -1,0 +1,248 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// noisyTask is a deterministic-but-irregular task: the returned metrics are
+// pure functions of the replication seed, and the amount of work varies per
+// replication so that shards finish out of order under parallelism.
+func noisyTask(rep int, seed uint64) map[string]float64 {
+	r := xrand.New(seed)
+	spin := 1 + int(seed%97)
+	x := 0.0
+	for i := 0; i < spin; i++ {
+		x += r.Float64()
+	}
+	return map[string]float64{
+		"mean_uniform": x / float64(spin),
+		"exp":          r.Exp(1.5),
+		"rep":          float64(rep),
+	}
+}
+
+// fingerprint renders every tally field that feeds the reports, at full
+// precision, so equal fingerprints mean byte-identical downstream output.
+func fingerprint(res *Result) string {
+	s := fmt.Sprintf("reps=%d shards=%d", res.Replications, res.Shards)
+	for _, k := range res.Keys() {
+		t := res.Metrics[k]
+		s += fmt.Sprintf(";%s:n=%d mean=%x sd=%x min=%x max=%x",
+			k, t.Count(), t.Mean(), t.StdDev(), t.Min(), t.Max())
+	}
+	return s
+}
+
+func TestShardsLayoutDeterministic(t *testing.T) {
+	cfg := Config{Replications: 100, ShardSize: 7, BaseSeed: 42}
+	a, b := Shards(cfg), Shards(cfg)
+	if len(a) != 15 {
+		t.Fatalf("len = %d, want ceil(100/7) = 15", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("shard %d differs between identical configs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Shards tile [0, n) exactly.
+	next := 0
+	for i, sh := range a {
+		if sh.Index != i || sh.Start != next || sh.End <= sh.Start {
+			t.Fatalf("bad shard %d: %+v", i, sh)
+		}
+		next = sh.End
+	}
+	if next != 100 {
+		t.Fatalf("shards cover [0, %d), want [0, 100)", next)
+	}
+	// Substream seeds are all distinct.
+	seen := map[uint64]bool{}
+	for _, sh := range a {
+		if seen[sh.Seed] {
+			t.Fatalf("duplicate shard seed %d", sh.Seed)
+		}
+		seen[sh.Seed] = true
+	}
+}
+
+func TestShardsEmptyAndSingle(t *testing.T) {
+	if got := Shards(Config{Replications: 0}); got != nil {
+		t.Fatalf("expected nil shards for zero replications, got %v", got)
+	}
+	one := Shards(Config{Replications: 1, BaseSeed: 5})
+	if len(one) != 1 || one[0].Size() != 1 {
+		t.Fatalf("bad single-replication layout: %v", one)
+	}
+}
+
+func TestDefaultShardSizePure(t *testing.T) {
+	cases := map[int]int{1: 1, 100: 1, 256: 1, 257: 2, 512: 2, 10000: 40}
+	for n, want := range cases {
+		if got := DefaultShardSize(n); got != want {
+			t.Fatalf("DefaultShardSize(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestRunDeterminismAcrossParallelism is the engine's core guarantee: the
+// same configuration must produce bit-identical merged statistics whether it
+// runs serially, on 4 workers, or on every core.
+func TestRunDeterminismAcrossParallelism(t *testing.T) {
+	levels := []int{1, 4, runtime.GOMAXPROCS(0)}
+	var want string
+	for _, par := range levels {
+		cfg := Config{Replications: 63, ShardSize: 5, Parallelism: par, BaseSeed: 1234}
+		got := fingerprint(Run(cfg, noisyTask))
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("parallelism %d changed the result:\n got %s\nwant %s", par, got, want)
+		}
+	}
+}
+
+// TestRunMatchesSerialReference checks the shard decomposition and Welford
+// merge against a plain serial loop over the same (rep, seed) pairs.
+func TestRunMatchesSerialReference(t *testing.T) {
+	cfg := Config{Replications: 40, ShardSize: 3, Parallelism: runtime.GOMAXPROCS(0), BaseSeed: 9}
+	got := Run(cfg, noisyTask)
+
+	ref := map[string]*stats.Tally{}
+	var reps int
+	for _, sh := range Shards(cfg) {
+		for rep := sh.Start; rep < sh.End; rep++ {
+			reps++
+			for k, v := range noisyTask(rep, sh.RepSeed(rep)) {
+				if ref[k] == nil {
+					ref[k] = &stats.Tally{}
+				}
+				ref[k].Add(v)
+			}
+		}
+	}
+	if reps != cfg.Replications {
+		t.Fatalf("reference replayed %d reps, want %d", reps, cfg.Replications)
+	}
+	if len(got.Metrics) != len(ref) {
+		t.Fatalf("metric sets differ: got %v, want %v", got.Keys(), ref)
+	}
+	for k, want := range ref {
+		g := got.Metrics[k]
+		if g == nil {
+			t.Fatalf("metric %q missing from engine result", k)
+		}
+		if g.Count() != want.Count() || g.Min() != want.Min() || g.Max() != want.Max() {
+			t.Fatalf("%s: count/min/max mismatch: %v vs %v", k, g, want)
+		}
+		// The pairwise Welford merge may differ from sequential addition in
+		// the last few ulps; anything beyond that is a merge bug.
+		if math.Abs(g.Mean()-want.Mean()) > 1e-12*math.Max(1, math.Abs(want.Mean())) {
+			t.Fatalf("%s: mean %v vs serial %v", k, g.Mean(), want.Mean())
+		}
+		if math.Abs(g.StdDev()-want.StdDev()) > 1e-9*math.Max(1, want.StdDev()) {
+			t.Fatalf("%s: stddev %v vs serial %v", k, g.StdDev(), want.StdDev())
+		}
+	}
+	// The "rep" metric doubles as a coverage check: mean of 0..n-1.
+	wantMean := float64(cfg.Replications-1) / 2
+	if math.Abs(got.Metrics["rep"].Mean()-wantMean) > 1e-9 {
+		t.Fatalf("rep coverage mean = %v, want %v", got.Metrics["rep"].Mean(), wantMean)
+	}
+}
+
+// TestRunRaceStress hammers the engine with many tiny shards and maximal
+// parallelism; under `go test -race` this is the engine's data-race probe.
+func TestRunRaceStress(t *testing.T) {
+	var calls int64
+	seen := make([]int32, 500)
+	cfg := Config{Replications: len(seen), ShardSize: 1, Parallelism: 2 * runtime.GOMAXPROCS(0), BaseSeed: 7}
+	var progressCalls int64
+	cfg.Progress = func(doneShards, totalShards, doneReps, totalReps int) {
+		atomic.AddInt64(&progressCalls, 1)
+		if doneShards < 1 || doneShards > totalShards || doneReps > totalReps {
+			t.Errorf("bad progress: %d/%d shards, %d/%d reps", doneShards, totalShards, doneReps, totalReps)
+		}
+	}
+	res := Run(cfg, func(rep int, seed uint64) map[string]float64 {
+		atomic.AddInt64(&calls, 1)
+		atomic.AddInt32(&seen[rep], 1)
+		return map[string]float64{"v": float64(seed % 1000)}
+	})
+	if calls != int64(len(seen)) {
+		t.Fatalf("task ran %d times, want %d", calls, len(seen))
+	}
+	for rep, c := range seen {
+		if c != 1 {
+			t.Fatalf("replication %d executed %d times", rep, c)
+		}
+	}
+	if res.Metrics["v"].Count() != int64(len(seen)) {
+		t.Fatalf("merged count = %d", res.Metrics["v"].Count())
+	}
+	if progressCalls != int64(res.Shards) {
+		t.Fatalf("progress called %d times, want once per shard (%d)", progressCalls, res.Shards)
+	}
+}
+
+func TestRunZeroReplications(t *testing.T) {
+	res := Run(Config{Replications: 0}, noisyTask)
+	if res.Replications != 0 || res.Shards != 0 || len(res.Metrics) != 0 {
+		t.Fatalf("unexpected empty-run result: %+v", res)
+	}
+}
+
+func TestProgressIsMonotonic(t *testing.T) {
+	var mu sync.Mutex
+	lastShards, lastReps := 0, 0
+	cfg := Config{Replications: 64, ShardSize: 4, Parallelism: 8, BaseSeed: 3}
+	cfg.Progress = func(doneShards, totalShards, doneReps, totalReps int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if doneShards != lastShards+1 || doneReps <= lastReps {
+			t.Errorf("non-monotonic progress: shards %d->%d reps %d->%d",
+				lastShards, doneShards, lastReps, doneReps)
+		}
+		lastShards, lastReps = doneShards, doneReps
+	}
+	Run(cfg, func(rep int, seed uint64) map[string]float64 {
+		return map[string]float64{"x": 1}
+	})
+	if lastShards != 16 || lastReps != 64 {
+		t.Fatalf("final progress %d shards / %d reps, want 16 / 64", lastShards, lastReps)
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, par := range []int{0, 1, 3, 64} {
+		n := 257
+		hits := make([]int32, n)
+		ForEach(n, par, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallelism %d: index %d visited %d times", par, i, h)
+			}
+		}
+	}
+	ForEach(0, 4, func(int) { t.Fatal("fn called for n = 0") })
+}
+
+func BenchmarkRunOverhead(b *testing.B) {
+	// Measures pure engine overhead (sharding, pool, merge) with a trivial
+	// task, the worst case for the engine-to-work ratio.
+	cfg := Config{Replications: 1024, ShardSize: 0, Parallelism: 0, BaseSeed: 1}
+	for i := 0; i < b.N; i++ {
+		Run(cfg, func(rep int, seed uint64) map[string]float64 {
+			return map[string]float64{"v": float64(seed & 0xff)}
+		})
+	}
+}

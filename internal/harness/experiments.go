@@ -144,23 +144,33 @@ func runE1(cfg RunConfig) *Table {
 	rhos := pick(cfg, []float64{0.6, 0.9}, []float64{0.3, 0.6, 0.9})
 	horizon := pick(cfg, 1500.0, 6000.0)
 	reps := pick(cfg, 2, 5)
+	type point struct {
+		d   int
+		rho float64
+	}
+	var pts []point
 	for _, d := range dims {
 		for _, rho := range rhos {
-			d, rho := d, rho
-			rep := ReplicateVector(reps, cfg.Parallelism, cfg.Seed, func(seed uint64) map[string]float64 {
-				res := runHyper(core.HypercubeConfig{
-					D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: seed,
-				})
-				return map[string]float64{"T": res.MeanDelay}
-			})
-			params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
-			lo, _ := params.GreedyLowerBound()
-			up, _ := params.GreedyUpperBound()
-			t := rep["T"]
-			within := t.Mean >= lo-3*t.CI95-0.1 && t.Mean <= up+3*t.CI95
-			table.AddRow(fmt.Sprintf("%d", d), F(rho), F(t.Mean), F(t.CI95), F(lo), F(up), boolMark(within))
+			pts = append(pts, point{d, rho})
 		}
 	}
+	addGridRows(table, cfg, len(pts), func(i int) []string {
+		pt := pts[i]
+		// The grid points already saturate the worker pool; replications
+		// within a point run serially on their deterministic subseeds.
+		rep := ReplicateVector(reps, 1, cfg.Seed, func(seed uint64) map[string]float64 {
+			res := runHyper(core.HypercubeConfig{
+				D: pt.d, P: 0.5, LoadFactor: pt.rho, Horizon: horizon, Seed: seed,
+			})
+			return map[string]float64{"T": res.MeanDelay}
+		})
+		params := bounds.HypercubeParams{D: pt.d, Lambda: pt.rho / 0.5, P: 0.5}
+		lo, _ := params.GreedyLowerBound()
+		up, _ := params.GreedyUpperBound()
+		t := rep["T"]
+		within := t.Mean >= lo-3*t.CI95-0.1 && t.Mean <= up+3*t.CI95
+		return []string{fmt.Sprintf("%d", pt.d), F(pt.rho), F(t.Mean), F(t.CI95), F(lo), F(up), boolMark(within)}
+	})
 	table.AddNote("T is the mean packet delay; bounds are Propositions 13 and 12 of the paper.")
 	return table
 }
@@ -171,7 +181,8 @@ func runE2(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	horizon := pick(cfg, 1500.0, 6000.0)
 	rhos := []float64{0.7, 0.9, 0.95, 1.05, 1.2}
-	for _, rho := range rhos {
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			PopulationTraceInterval: horizon / 200,
@@ -188,9 +199,9 @@ func runE2(cfg RunConfig) *Table {
 		if res.Metrics.PopulationSlope > threshold {
 			verdict = "unstable"
 		}
-		table.AddRow(F(rho), F(res.Metrics.PopulationSlope), F(res.Metrics.MeanPopulation),
-			F(res.MeanDelay), verdict)
-	}
+		return []string{F(rho), F(res.Metrics.PopulationSlope), F(res.Metrics.MeanPopulation),
+			F(res.MeanDelay), verdict}
+	})
 	table.AddNote("d = %d, p = 1/2. The paper predicts stability exactly for rho < 1.", d)
 	return table
 }
@@ -202,14 +213,15 @@ func runE3(cfg RunConfig) *Table {
 	horizon := pick(cfg, 3000.0, 20000.0)
 	rhos := pick(cfg, []float64{0.8, 0.9, 0.95}, []float64{0.8, 0.9, 0.95, 0.98})
 	params := bounds.HypercubeParams{D: d, Lambda: 1, P: 0.5}
-	for _, rho := range rhos {
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			WarmupFraction: 0.4,
 		})
-		table.AddRow(F(rho), F(res.MeanDelay), F((1-rho)*res.MeanDelay),
-			F(params.HeavyTrafficLimitLowerBound()), F(params.HeavyTrafficLimitUpperBound()))
-	}
+		return []string{F(rho), F(res.MeanDelay), F((1 - rho) * res.MeanDelay),
+			F(params.HeavyTrafficLimitLowerBound()), F(params.HeavyTrafficLimitUpperBound())}
+	})
 	table.AddNote("d = %d, p = 1/2. (1-rho)T must stay bounded as rho -> 1 (end of §3.3).", d)
 	return table
 }
@@ -221,17 +233,26 @@ func runE4(cfg RunConfig) *Table {
 	ps := pick(cfg, []float64{0.3, 0.5}, []float64{0.3, 0.5, 0.7})
 	horizon := pick(cfg, 2000.0, 8000.0)
 	rho := 0.8
+	type point struct {
+		d int
+		p float64
+	}
+	var pts []point
 	for _, d := range dims {
 		for _, p := range ps {
-			res := runButter(core.ButterflyConfig{
-				D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			})
-			within := res.MeanDelay >= res.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
-				res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
-			table.AddRow(fmt.Sprintf("%d", d), F(p), F(res.LoadFactor), F(res.MeanDelay),
-				F(res.UniversalLowerBound), F(res.GreedyUpperBound), boolMark(within))
+			pts = append(pts, point{d, p})
 		}
 	}
+	addGridRows(table, cfg, len(pts), func(i int) []string {
+		pt := pts[i]
+		res := runButter(core.ButterflyConfig{
+			D: pt.d, P: pt.p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		})
+		within := res.MeanDelay >= res.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
+			res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
+		return []string{fmt.Sprintf("%d", pt.d), F(pt.p), F(res.LoadFactor), F(res.MeanDelay),
+			F(res.UniversalLowerBound), F(res.GreedyUpperBound), boolMark(within)}
+	})
 	table.AddNote("rho = lambda*max{p,1-p} = %.2f throughout.", rho)
 	return table
 }
@@ -294,7 +315,8 @@ func runE7(cfg RunConfig) *Table {
 	d := pick(cfg, 4, 6)
 	horizon := pick(cfg, 1200.0, 5000.0)
 	rhos := []float64{0.1, 0.3, 0.6}
-	for _, rho := range rhos {
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		g := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			PopulationTraceInterval: horizon / 200,
@@ -306,9 +328,9 @@ func runE7(cfg RunConfig) *Table {
 		if p.BacklogSlope > 0.1 {
 			verdict = "unstable"
 		}
-		table.AddRow(F(rho), F(g.MeanDelay), F(g.Metrics.PopulationSlope),
-			F(p.MeanDelay), F(p.BacklogSlope), verdict)
-	}
+		return []string{F(rho), F(g.MeanDelay), F(g.Metrics.PopulationSlope),
+			F(p.MeanDelay), F(p.BacklogSlope), verdict}
+	})
 	table.AddNote("d = %d. The batch scheme needs roughly rho < p/(R d) = %.3f; greedy is stable for every rho < 1.",
 		d, bounds.HypercubeParams{D: d, Lambda: 1, P: 0.5}.PipelinedStabilityLimit(1.5))
 	return table
@@ -323,15 +345,16 @@ func runE8(cfg RunConfig) *Table {
 	taus := []float64{0.25, 0.5, 1.0}
 	params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
 	contBound, _ := params.GreedyUpperBound()
-	for _, tau := range taus {
+	addGridRows(table, cfg, len(taus), func(i int) []string {
+		tau := taus[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Slotted: true, Tau: tau,
 		})
 		slottedBound, _ := params.SlottedUpperBound(tau)
 		within := res.MeanDelay <= slottedBound+3*res.Metrics.DelayCI95
-		table.AddRow(F(tau), F(res.MeanDelay), F(contBound), F(slottedBound), boolMark(within))
-	}
+		return []string{F(tau), F(res.MeanDelay), F(contBound), F(slottedBound), boolMark(within)}
+	})
 	table.AddNote("d = %d, rho = %.2f, batch-Poisson arrivals at slot starts (§3.4).", d, rho)
 	return table
 }
@@ -367,15 +390,16 @@ func runE10(cfg RunConfig) *Table {
 	rho := 0.6
 	horizon := pick(cfg, 2000.0, 8000.0)
 	ps := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
-	for _, p := range ps {
+	addGridRows(table, cfg, len(ps), func(i int) []string {
+		p := ps[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
 		within := res.MeanDelay >= res.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1 &&
 			res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
-		table.AddRow(F(p), F(res.Params.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
-			F(res.GreedyLowerBound), F(res.GreedyUpperBound), boolMark(within))
-	}
+		return []string{F(p), F(res.Params.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
+			F(res.GreedyLowerBound), F(res.GreedyUpperBound), boolMark(within)}
+	})
 	table.AddNote("d = %d, rho = lambda*p = %.2f for every row.", d, rho)
 	return table
 }
@@ -413,16 +437,17 @@ func runE12(cfg RunConfig) *Table {
 	dims := pick(cfg, []int{4, 5, 6}, []int{5, 6, 7, 8})
 	rho := 0.8
 	horizon := pick(cfg, 2000.0, 8000.0)
-	for _, d := range dims {
+	addGridRows(table, cfg, len(dims), func(i int) []string {
+		d := dims[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
 		ok := res.MeanDelay >= res.UniversalLowerBound-0.1 &&
 			res.MeanDelay >= res.ObliviousLowerBound-0.1 &&
 			res.MeanDelay >= res.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1
-		table.AddRow(fmt.Sprintf("%d", d), F(res.MeanDelay), F(res.UniversalLowerBound),
-			F(res.ObliviousLowerBound), F(res.GreedyLowerBound), boolMark(ok))
-	}
+		return []string{fmt.Sprintf("%d", d), F(res.MeanDelay), F(res.UniversalLowerBound),
+			F(res.ObliviousLowerBound), F(res.GreedyLowerBound), boolMark(ok)}
+	})
 	table.AddNote("rho = %.2f, p = 1/2.", rho)
 	return table
 }
@@ -432,7 +457,9 @@ func runA1(cfg RunConfig) *Table {
 		"rho", "canonical T", "random-order T", "ratio")
 	d := pick(cfg, 5, 6)
 	horizon := pick(cfg, 2000.0, 8000.0)
-	for _, rho := range []float64{0.6, 0.9} {
+	rhos := []float64{0.6, 0.9}
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		a := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Router: core.GreedyDimensionOrder,
@@ -441,8 +468,8 @@ func runA1(cfg RunConfig) *Table {
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Router: core.GreedyRandomOrder,
 		})
-		table.AddRow(F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay/a.MeanDelay))
-	}
+		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay / a.MeanDelay)}
+	})
 	table.AddNote("d = %d. Both orders are stable; the canonical order is the one the paper analyses.", d)
 	return table
 }
@@ -452,7 +479,9 @@ func runA2(cfg RunConfig) *Table {
 		"rho", "FIFO T", "random-priority T", "ratio")
 	d := pick(cfg, 5, 6)
 	horizon := pick(cfg, 2000.0, 8000.0)
-	for _, rho := range []float64{0.6, 0.9} {
+	rhos := []float64{0.6, 0.9}
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		a := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
@@ -460,8 +489,8 @@ func runA2(cfg RunConfig) *Table {
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Discipline: network.RandomOrder,
 		})
-		table.AddRow(F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay/a.MeanDelay))
-	}
+		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay / a.MeanDelay)}
+	})
 	table.AddNote("d = %d. Mean delay is insensitive to the priority rule; only higher moments change.", d)
 	return table
 }
@@ -471,7 +500,9 @@ func runA3(cfg RunConfig) *Table {
 		"rho", "continuous T", "slotted T", "difference", "allowed extra (tau)")
 	d := pick(cfg, 4, 6)
 	horizon := pick(cfg, 2000.0, 8000.0)
-	for _, rho := range []float64{0.5, 0.8} {
+	rhos := []float64{0.5, 0.8}
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		a := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
@@ -479,8 +510,8 @@ func runA3(cfg RunConfig) *Table {
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Slotted: true, Tau: 1,
 		})
-		table.AddRow(F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay-a.MeanDelay), F(1))
-	}
+		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay - a.MeanDelay), F(1)}
+	})
 	table.AddNote("d = %d. §3.4 bounds the slotted delay by the continuous-time bound plus one slot.", d)
 	return table
 }

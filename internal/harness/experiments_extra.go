@@ -41,7 +41,9 @@ func runE13(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 6)
 	horizon := pick(cfg, 1500.0, 6000.0)
 	slots := int(horizon)
-	for _, rho := range []float64{0.3, 0.6, 0.9} {
+	rhos := []float64{0.3, 0.6, 0.9}
+	addGridRows(table, cfg, len(rhos), func(i int) []string {
+		rho := rhos[i]
 		g := runHyper(core.HypercubeConfig{
 			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
@@ -51,9 +53,9 @@ func runE13(cfg RunConfig) *Table {
 		if err != nil {
 			panic(fmt.Sprintf("harness: deflection run failed: %v", err))
 		}
-		table.AddRow(F(rho), F(g.MeanDelay), F(defl.MeanDelay),
-			F(defl.MeanHops-defl.MeanShortest), F(defl.InjectionBacklogSlope))
-	}
+		return []string{F(rho), F(g.MeanDelay), F(defl.MeanDelay),
+			F(defl.MeanHops - defl.MeanShortest), F(defl.InjectionBacklogSlope)}
+	})
 	table.AddNote("d = %d, p = 1/2, slotted deflection with per-node injection queues.", d)
 	return table
 }
@@ -63,16 +65,25 @@ func runE14(cfg RunConfig) *Table {
 		"d", "scheme", "mean makespan", "max makespan", "makespan / d", "fraction within 3d")
 	dims := pick(cfg, []int{4, 5, 6}, []int{5, 6, 7, 8})
 	trials := pick(cfg, 8, 30)
+	type point struct {
+		d      int
+		scheme static.Scheme
+	}
+	var pts []point
 	for _, d := range dims {
 		for _, scheme := range []static.Scheme{static.Greedy, static.Valiant} {
-			sum, err := static.RunTrials(d, scheme, trials, []float64{2, 3, 4}, cfg.Seed)
-			if err != nil {
-				panic(fmt.Sprintf("harness: static trials failed: %v", err))
-			}
-			table.AddRow(fmt.Sprintf("%d", d), scheme.String(), F(sum.MeanMakespan),
-				F(sum.MaxMakespan), F(sum.MeanMakespan/float64(d)), F(sum.FractionWithin[1]))
+			pts = append(pts, point{d, scheme})
 		}
 	}
+	addGridRows(table, cfg, len(pts), func(i int) []string {
+		pt := pts[i]
+		sum, err := static.RunTrials(pt.d, pt.scheme, trials, []float64{2, 3, 4}, cfg.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("harness: static trials failed: %v", err))
+		}
+		return []string{fmt.Sprintf("%d", pt.d), pt.scheme.String(), F(sum.MeanMakespan),
+			F(sum.MaxMakespan), F(sum.MeanMakespan / float64(pt.d)), F(sum.FractionWithin[1])}
+	})
 	table.AddNote("%d random permutations per row; the makespan stays within a small constant times d.", trials)
 	return table
 }
@@ -134,7 +145,8 @@ func runE16(cfg RunConfig) *Table {
 			return w
 		}},
 	}
-	for _, pat := range patterns {
+	addGridRows(table, cfg, len(patterns), func(i int) []string {
+		pat := patterns[i]
 		res := runHyper(core.HypercubeConfig{
 			D: d, Lambda: pat.lambda, Horizon: horizon, Seed: cfg.Seed,
 			CustomWeights: pat.weights(), PopulationTraceInterval: horizon / 200,
@@ -146,9 +158,9 @@ func runE16(cfg RunConfig) *Table {
 			}
 		}
 		stable := res.Metrics.PopulationSlope < 0.5 && res.LoadFactor < 1
-		table.AddRow(pat.name, F(res.LoadFactor), F(maxUtil), F(res.Metrics.MeanHops),
-			F(res.MeanDelay), boolMark(stable))
-	}
+		return []string{pat.name, F(res.LoadFactor), F(maxUtil), F(res.Metrics.MeanHops),
+			F(res.MeanDelay), boolMark(stable)}
+	})
 	table.AddNote("d = %d. The single-bit pattern loads every dimension at lambda/d; the hot spot loads only dimension 1.", d)
 	return table
 }

@@ -1,18 +1,24 @@
 // Package harness provides the experiment infrastructure shared by the
-// cmd/experiments binary and the benchmark suite: parallel independent
-// replications (one goroutine per replication, bounded by a worker pool),
-// aggregation with confidence intervals, plain-text and CSV table rendering,
-// and the registry of the paper's experiments (E1..E12 plus the ablations
-// listed in DESIGN.md).
+// cmd/experiments binary and the benchmark suite: sharded parallel execution
+// of independent replications and grid points through internal/engine,
+// aggregation with confidence intervals, plain-text, CSV and JSON table
+// rendering, and the registry of the paper's experiments (E1..E12 plus the
+// ablations listed in DESIGN.md).
+//
+// All parallel execution is deterministic: replication seeds are derived by
+// splitting the base seed (never from scheduling), grid rows are assembled in
+// index order after a barrier, and per-shard statistics merge in shard order.
+// Running any experiment with the same seed at parallelism 1 and parallelism
+// N therefore produces byte-identical tables.
 package harness
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
 	"strings"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/stats"
 )
 
@@ -31,105 +37,72 @@ func (r Replication) String() string {
 	return fmt.Sprintf("%.4f ± %.4f", r.Mean, r.CI95)
 }
 
-// Replicate runs f for n different seeds (0..n-1 offset by baseSeed) using at
-// most parallelism concurrent goroutines (defaulting to GOMAXPROCS when
-// non-positive) and aggregates the returned scalars. Each replication gets an
-// independent seed, so the confidence interval is a genuine i.i.d. interval.
+// replicationFromTally converts a merged engine tally into the harness's
+// report form.
+func replicationFromTally(t *stats.Tally) Replication {
+	if t == nil {
+		return Replication{}
+	}
+	return Replication{
+		N:      int(t.Count()),
+		Mean:   t.Mean(),
+		StdDev: t.StdDev(),
+		CI95:   t.ConfidenceInterval(0.95),
+		Min:    t.Min(),
+		Max:    t.Max(),
+	}
+}
+
+// Replicate runs f for n independent replications through the sharded engine,
+// using at most parallelism concurrent workers (defaulting to GOMAXPROCS when
+// non-positive), and aggregates the returned scalars. Each replication's seed
+// is derived deterministically from baseSeed by seed splitting, so the
+// confidence interval is a genuine i.i.d. interval and the result does not
+// depend on the parallelism.
 func Replicate(n int, parallelism int, baseSeed uint64, f func(seed uint64) float64) Replication {
 	if n <= 0 {
 		return Replication{}
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > n {
-		parallelism = n
-	}
-	results := make([]float64, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = f(baseSeed + uint64(i))
-		}(i)
-	}
-	wg.Wait()
-	var tally stats.Tally
-	for _, v := range results {
-		tally.Add(v)
-	}
-	return Replication{
-		N:      n,
-		Mean:   tally.Mean(),
-		StdDev: tally.StdDev(),
-		CI95:   tally.ConfidenceInterval(0.95),
-		Min:    tally.Min(),
-		Max:    tally.Max(),
-	}
+	res := engine.Run(engine.Config{
+		Replications: n,
+		Parallelism:  parallelism,
+		BaseSeed:     baseSeed,
+	}, func(_ int, seed uint64) map[string]float64 {
+		return map[string]float64{"value": f(seed)}
+	})
+	return replicationFromTally(res.Metrics["value"])
 }
 
-// ReplicateVector runs f for n seeds in parallel, where f returns a vector of
-// named scalars; each component is aggregated independently. It is used when
-// one simulation run yields several measurements (delay, population, ...).
+// ReplicateVector runs f for n independent replications through the sharded
+// engine, where f returns a vector of named scalars; each component is
+// aggregated independently. It is used when one simulation run yields several
+// measurements (delay, population, ...).
 func ReplicateVector(n int, parallelism int, baseSeed uint64,
 	f func(seed uint64) map[string]float64) map[string]Replication {
 	if n <= 0 {
 		return nil
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	if parallelism > n {
-		parallelism = n
-	}
-	results := make([]map[string]float64, n)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallelism)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = f(baseSeed + uint64(i))
-		}(i)
-	}
-	wg.Wait()
-	tallies := make(map[string]*stats.Tally)
-	for _, m := range results {
-		for k, v := range m {
-			t, ok := tallies[k]
-			if !ok {
-				t = &stats.Tally{}
-				tallies[k] = t
-			}
-			t.Add(v)
-		}
-	}
-	out := make(map[string]Replication, len(tallies))
-	for k, t := range tallies {
-		out[k] = Replication{
-			N:      int(t.Count()),
-			Mean:   t.Mean(),
-			StdDev: t.StdDev(),
-			CI95:   t.ConfidenceInterval(0.95),
-			Min:    t.Min(),
-			Max:    t.Max(),
-		}
+	res := engine.Run(engine.Config{
+		Replications: n,
+		Parallelism:  parallelism,
+		BaseSeed:     baseSeed,
+	}, func(_ int, seed uint64) map[string]float64 {
+		return f(seed)
+	})
+	out := make(map[string]Replication, len(res.Metrics))
+	for k, t := range res.Metrics {
+		out[k] = replicationFromTally(t)
 	}
 	return out
 }
 
-// Table is a simple column-aligned report table.
+// Table is a simple column-aligned report table. The json tags keep the
+// machine-readable artifact schema (see artifact.go) uniformly snake_case.
 type Table struct {
-	Title   string
-	Columns []string
-	Rows    [][]string
-	Notes   []string
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -244,6 +217,33 @@ type RunConfig struct {
 	// Parallelism bounds the number of concurrent replications
 	// (0 = GOMAXPROCS).
 	Parallelism int
+	// Progress, when non-nil, receives a completion update after each grid
+	// point of the experiment finishes on the engine's worker pool. It is
+	// called serially and must not block for long.
+	Progress func(donePoints, totalPoints int)
+}
+
+// addGridRows executes the n independent grid points of an experiment on the
+// engine's worker pool (bounded by cfg.Parallelism), reports per-point
+// progress through cfg.Progress, and appends the returned rows to the table
+// in point order. Each point writes only to its own result slot, so the
+// table is deterministic regardless of parallelism.
+func addGridRows(table *Table, cfg RunConfig, n int, body func(i int) []string) {
+	rows := make([][]string, n)
+	var mu sync.Mutex
+	done := 0
+	engine.ForEach(n, cfg.Parallelism, func(i int) {
+		rows[i] = body(i)
+		if cfg.Progress != nil {
+			mu.Lock()
+			done++
+			cfg.Progress(done, n)
+			mu.Unlock()
+		}
+	})
+	for _, row := range rows {
+		table.AddRow(row...)
+	}
 }
 
 // Experiment is one reproducible experiment from DESIGN.md.

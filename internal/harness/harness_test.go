@@ -2,29 +2,66 @@ package harness
 
 import (
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
 
 func TestReplicateAggregates(t *testing.T) {
+	// Values are a pure function of the engine-derived seeds; aggregate them
+	// independently and compare against the harness's report.
+	var mu sync.Mutex
+	var vals []float64
 	rep := Replicate(8, 4, 100, func(seed uint64) float64 {
-		return float64(seed - 100)
+		v := float64(seed % 1000)
+		mu.Lock()
+		vals = append(vals, v)
+		mu.Unlock()
+		return v
 	})
-	if rep.N != 8 {
-		t.Fatalf("N = %d", rep.N)
+	if rep.N != 8 || len(vals) != 8 {
+		t.Fatalf("N = %d, calls = %d", rep.N, len(vals))
 	}
-	if math.Abs(rep.Mean-3.5) > 1e-12 {
-		t.Fatalf("mean = %v", rep.Mean)
+	sum, min, max := 0.0, vals[0], vals[0]
+	for _, v := range vals {
+		sum += v
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
 	}
-	if rep.Min != 0 || rep.Max != 7 {
-		t.Fatalf("min/max = %v/%v", rep.Min, rep.Max)
+	if math.Abs(rep.Mean-sum/8) > 1e-12 {
+		t.Fatalf("mean = %v, want %v", rep.Mean, sum/8)
+	}
+	if rep.Min != min || rep.Max != max {
+		t.Fatalf("min/max = %v/%v, want %v/%v", rep.Min, rep.Max, min, max)
 	}
 	if rep.CI95 <= 0 {
 		t.Fatal("CI should be positive")
 	}
 	if rep.String() == "" {
 		t.Fatal("empty String()")
+	}
+}
+
+// TestReplicateDeterministicAcrossParallelism is the harness-level view of
+// the engine's core guarantee: identical seeds give identical aggregates no
+// matter how many workers run the replications.
+func TestReplicateDeterministicAcrossParallelism(t *testing.T) {
+	run := func(par int) Replication {
+		return Replicate(23, par, 7, func(seed uint64) float64 {
+			return float64(seed%10007) / 10007
+		})
+	}
+	want := run(1)
+	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := run(par); got != want {
+			t.Fatalf("parallelism %d changed the aggregate: %+v vs %+v", par, got, want)
+		}
 	}
 }
 
@@ -37,34 +74,47 @@ func TestReplicateZeroRuns(t *testing.T) {
 
 func TestReplicateUsesDistinctSeedsConcurrently(t *testing.T) {
 	var calls int64
-	seen := make([]int64, 16)
+	var mu sync.Mutex
+	seen := map[uint64]int{}
 	Replicate(16, 8, 0, func(seed uint64) float64 {
 		atomic.AddInt64(&calls, 1)
-		atomic.AddInt64(&seen[seed], 1)
+		mu.Lock()
+		seen[seed]++
+		mu.Unlock()
 		return 0
 	})
 	if calls != 16 {
 		t.Fatalf("calls = %d", calls)
 	}
-	for i, c := range seen {
+	if len(seen) != 16 {
+		t.Fatalf("only %d distinct seeds across 16 replications", len(seen))
+	}
+	for seed, c := range seen {
 		if c != 1 {
-			t.Fatalf("seed %d used %d times", i, c)
+			t.Fatalf("seed %d used %d times", seed, c)
 		}
 	}
 }
 
 func TestReplicateVector(t *testing.T) {
 	out := ReplicateVector(4, 2, 10, func(seed uint64) map[string]float64 {
-		return map[string]float64{"a": float64(seed), "b": 2 * float64(seed)}
+		v := float64(seed % 1000)
+		return map[string]float64{"a": v, "b": 2 * v}
 	})
 	if len(out) != 2 {
 		t.Fatalf("keys = %d", len(out))
 	}
-	if math.Abs(out["a"].Mean-11.5) > 1e-12 {
-		t.Fatalf("a mean = %v", out["a"].Mean)
+	if out["a"].N != 4 || out["b"].N != 4 {
+		t.Fatalf("component counts = %d/%d, want 4", out["a"].N, out["b"].N)
 	}
-	if math.Abs(out["b"].Mean-23) > 1e-12 {
-		t.Fatalf("b mean = %v", out["b"].Mean)
+	// Components of one replication aggregate in lockstep: b = 2a holds for
+	// the mean, min and max regardless of which seeds the engine derives.
+	if math.Abs(out["b"].Mean-2*out["a"].Mean) > 1e-9 {
+		t.Fatalf("b mean %v != 2 * a mean %v", out["b"].Mean, out["a"].Mean)
+	}
+	if out["b"].Min != 2*out["a"].Min || out["b"].Max != 2*out["a"].Max {
+		t.Fatalf("b min/max %v/%v not twice a min/max %v/%v",
+			out["b"].Min, out["b"].Max, out["a"].Min, out["a"].Max)
 	}
 	if ReplicateVector(0, 1, 0, nil) != nil {
 		t.Fatal("expected nil for zero runs")
@@ -202,5 +252,77 @@ func TestE1QuickWithinBounds(t *testing.T) {
 		if row[len(row)-1] != "yes" {
 			t.Fatalf("E1 row outside bounds: %v", row)
 		}
+	}
+}
+
+// TestExperimentTablesDeterministicAcrossParallelism checks the acceptance
+// contract end to end: running a registered experiment with the same seed at
+// parallelism 1 and parallelism N renders byte-identical tables.
+func TestExperimentTablesDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	for _, id := range []string{"E1", "E14"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		want := e.Run(RunConfig{Quick: true, Seed: 5, Parallelism: 1}).String()
+		for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
+			got := e.Run(RunConfig{Quick: true, Seed: 5, Parallelism: par}).String()
+			if got != want {
+				t.Fatalf("%s at parallelism %d differs from serial run:\n%s\nvs\n%s", id, par, got, want)
+			}
+		}
+	}
+}
+
+// TestExperimentProgressReported checks that grid experiments surface
+// per-point progress through RunConfig.Progress.
+func TestExperimentProgressReported(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping in -short mode")
+	}
+	e, _ := ByID("E14")
+	var mu sync.Mutex
+	calls, lastDone, total := 0, 0, 0
+	cfg := RunConfig{Quick: true, Seed: 3, Parallelism: 2}
+	cfg.Progress = func(donePoints, totalPoints int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		lastDone, total = donePoints, totalPoints
+	}
+	e.Run(cfg)
+	if calls == 0 {
+		t.Fatal("no progress updates received")
+	}
+	if lastDone != total {
+		t.Fatalf("final progress %d/%d, want completion", lastDone, total)
+	}
+}
+
+func TestArtifactJSON(t *testing.T) {
+	e, _ := ByID("E14")
+	tb := NewTable("demo", "x")
+	tb.AddRow("1")
+	tb.AddNote("note")
+	art := NewArtifact(e, RunConfig{Quick: true, Seed: 9, Parallelism: 2}, tb, 1500*1000*1000)
+	data, err := art.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{ArtifactSchema, `"id": "E14"`, `"seed": 9`, `"elapsed_seconds": 1.5`, `"demo"`, `"note"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("artifact JSON missing %q:\n%s", want, s)
+		}
+	}
+	tj, err := tb.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tj), `"title": "demo"`) {
+		t.Fatalf("table JSON wrong:\n%s", tj)
 	}
 }

@@ -64,6 +64,20 @@ func NewStream(seed uint64, stream uint64) *Rand {
 	return r
 }
 
+// SplitSeed derives the index-th child seed from a base seed. Child seeds are
+// decorrelated from each other and from the base seed even when base or index
+// are consecutive small integers, so they can seed independent simulation
+// shards or replications. The mapping is deterministic: the same (base, index)
+// pair always yields the same child, which is what makes sharded runs
+// reproducible regardless of how shards are scheduled.
+func SplitSeed(base, index uint64) uint64 {
+	sm := base
+	_ = splitMix64(&sm)
+	sm ^= 0x6a09e667f3bcc909 * (index + 1)
+	_ = splitMix64(&sm)
+	return splitMix64(&sm)
+}
+
 // Seed resets the generator state from seed.
 func (r *Rand) Seed(seed uint64) {
 	sm := seed

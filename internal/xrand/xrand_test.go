@@ -453,3 +453,44 @@ func BenchmarkPoissonLargeMean(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSplitSeedDeterministic(t *testing.T) {
+	if SplitSeed(1, 0) != SplitSeed(1, 0) {
+		t.Fatal("SplitSeed is not deterministic")
+	}
+}
+
+func TestSplitSeedDistinctChildren(t *testing.T) {
+	seen := make(map[uint64]uint64)
+	for base := uint64(0); base < 8; base++ {
+		for idx := uint64(0); idx < 1024; idx++ {
+			child := SplitSeed(base, idx)
+			if prev, dup := seen[child]; dup {
+				t.Fatalf("collision: SplitSeed(%d,%d) == previous child %d", base, idx, prev)
+			}
+			seen[child] = idx
+			if child == base {
+				t.Fatalf("SplitSeed(%d,%d) returned the base seed", base, idx)
+			}
+		}
+	}
+}
+
+func TestSplitSeedChildrenDecorrelated(t *testing.T) {
+	// Generators seeded from adjacent children should not produce correlated
+	// uniforms: check the lag-0 cross-correlation of two long runs.
+	a := New(SplitSeed(42, 0))
+	b := New(SplitSeed(42, 1))
+	const n = 20000
+	var sumAB, sumA, sumB float64
+	for i := 0; i < n; i++ {
+		x, y := a.Float64(), b.Float64()
+		sumAB += x * y
+		sumA += x
+		sumB += y
+	}
+	cov := sumAB/n - (sumA/n)*(sumB/n)
+	if cov > 0.01 || cov < -0.01 {
+		t.Fatalf("adjacent split seeds look correlated: cov = %v", cov)
+	}
+}
