@@ -1,0 +1,155 @@
+// Command benchdiff turns `go test -bench` output into a machine-readable
+// perf artifact and gates pull requests on benchmark regressions. It is the
+// hermetic core of the CI perf-tracking job (benchstat is additionally run
+// there for the human-readable view).
+//
+// Emit a versioned JSON artifact mapping benchmarks (and experiment ids) to
+// ns/op and allocs/op:
+//
+//	benchdiff -emit BENCH_123.json bench-head.txt
+//
+// Compare a head run against a base run, failing (exit code 1) when any
+// benchmark matching -filter regressed in ns/op by more than -threshold:
+//
+//	benchdiff -base bench-base.txt -head bench-head.txt -filter '^BenchmarkE' -threshold 1.10
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/harness"
+)
+
+// artifact is the schema of the BENCH_<n>.json perf artifact.
+type artifact struct {
+	Schema string `json:"schema"`
+	// Experiments maps experiment ids (E1, A2, ...) to their benchmark
+	// measurements, the view the perf trajectory is plotted from.
+	Experiments map[string]harness.BenchMeasurement `json:"experiments"`
+	// Benchmarks lists every parsed benchmark, including micro-benchmarks
+	// that do not map to an experiment id.
+	Benchmarks []harness.BenchMeasurement `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		emit      = flag.String("emit", "", "write a JSON perf artifact to this path (reads one bench output file)")
+		base      = flag.String("base", "", "base-branch bench output file for comparison")
+		head      = flag.String("head", "", "head bench output file for comparison")
+		filter    = flag.String("filter", "^BenchmarkE", "regexp of benchmark names the regression gate applies to")
+		threshold = flag.Float64("threshold", 1.10, "maximum allowed head/base ns/op ratio before failing")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit != "":
+		if flag.NArg() != 1 {
+			fatalf("usage: benchdiff -emit OUT.json BENCH_OUTPUT.txt")
+		}
+		if err := emitArtifact(*emit, flag.Arg(0)); err != nil {
+			fatalf("%v", err)
+		}
+	case *base != "" && *head != "":
+		ok, err := compare(*base, *head, *filter, *threshold)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fatalf("usage: benchdiff -emit OUT.json BENCH.txt | benchdiff -base BASE.txt -head HEAD.txt [-filter RE] [-threshold R]")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchdiff: "+format+"\n", args...)
+	os.Exit(2)
+}
+
+func parseFile(path string) ([]harness.BenchMeasurement, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ms, err := harness.ParseBenchOutput(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(ms) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark results found", path)
+	}
+	// Collapse -count=N repeats to the per-benchmark minimum, the noise
+	// floor the regression gate compares.
+	return harness.MergeBenchRuns(ms), nil
+}
+
+func emitArtifact(out, in string) error {
+	ms, err := parseFile(in)
+	if err != nil {
+		return err
+	}
+	a := artifact{
+		Schema:      "repro-bench/v1",
+		Experiments: make(map[string]harness.BenchMeasurement),
+		Benchmarks:  ms,
+	}
+	for _, m := range ms {
+		if m.Experiment != "" {
+			a.Experiments[m.Experiment] = m
+		}
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+func compare(basePath, headPath, filter string, threshold float64) (bool, error) {
+	re, err := regexp.Compile(filter)
+	if err != nil {
+		return false, fmt.Errorf("bad -filter: %v", err)
+	}
+	baseMs, err := parseFile(basePath)
+	if err != nil {
+		return false, err
+	}
+	headMs, err := parseFile(headPath)
+	if err != nil {
+		return false, err
+	}
+	ok := true
+	compared := make(map[string]bool)
+	for _, c := range harness.CompareBenchmarks(baseMs, headMs) {
+		compared[c.Name] = true
+		gated := re.MatchString(c.Name)
+		verdict := "info"
+		if gated {
+			verdict = "ok"
+			if c.Ratio > threshold {
+				verdict = "REGRESSED"
+				ok = false
+			}
+		}
+		fmt.Printf("%-45s base %14.0f ns/op  head %14.0f ns/op  ratio %5.3f  [%s]\n",
+			c.Name, c.BaseNsPerOp, c.HeadNsPerOp, c.Ratio, verdict)
+	}
+	// A gated benchmark that exists in the base but not the head would
+	// otherwise silently escape the gate (renamed or deleted benchmark).
+	for _, b := range baseMs {
+		if re.MatchString(b.Name) && !compared[b.Name] {
+			fmt.Printf("%-45s present in base but MISSING from head\n", b.Name)
+			ok = false
+		}
+	}
+	if !ok {
+		fmt.Printf("FAIL: a benchmark matching %q regressed beyond %.2fx or went missing\n", filter, threshold)
+	}
+	return ok, nil
+}

@@ -15,6 +15,7 @@
 //	experiments -artifacts out/   # also write one JSON artifact per experiment
 //	experiments -parallelism 4    # bound the worker pool
 //	experiments -progress         # per-grid-point progress on stderr
+//	experiments -cpuprofile p.out # write a pprof CPU profile of the run
 package main
 
 import (
@@ -22,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -39,6 +42,8 @@ func main() {
 		seed        = flag.Uint64("seed", 1, "base random seed")
 		parallelism = flag.Int("parallelism", 0, "max concurrent shards on the engine's worker pool (0 = GOMAXPROCS)")
 		progress    = flag.Bool("progress", false, "report per-grid-point progress on stderr")
+		cpuprofile  = flag.String("cpuprofile", "", "write a pprof CPU profile of the selected experiments to this file")
+		memprofile  = flag.String("memprofile", "", "write a pprof heap profile taken after the run to this file")
 	)
 	flag.Parse()
 
@@ -52,6 +57,8 @@ func main() {
 		return
 	}
 
+	// Validate everything that can fail cheaply before profiling starts, so
+	// the exits below cannot truncate a live CPU profile.
 	var selected []harness.Experiment
 	if *only == "" {
 		selected = registry
@@ -66,12 +73,51 @@ func main() {
 			selected = append(selected, e)
 		}
 	}
-
 	if *artifactDir != "" {
 		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
 		}
+	}
+
+	profiling := false
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		profiling = true
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Report the failure but do not os.Exit from the deferred func: that
+		// would skip the StopCPUProfile defer and truncate the CPU profile.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live steady-state allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}()
+	}
+	// fail flushes the CPU profile before exiting on mid-run errors.
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if profiling {
+			pprof.StopCPUProfile()
+		}
+		os.Exit(1)
 	}
 
 	for _, e := range selected {
@@ -89,8 +135,7 @@ func main() {
 
 		if *artifactDir != "" {
 			if err := writeArtifact(*artifactDir, artifact); err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 		}
 
@@ -98,8 +143,7 @@ func main() {
 		case *jsonOut:
 			data, err := artifact.JSON()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-				os.Exit(1)
+				fail(err)
 			}
 			fmt.Printf("%s\n", data)
 		case *csv:

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/butterfly"
+	"repro/internal/des"
 	"repro/internal/hypercube"
 	"repro/internal/network"
 	"repro/internal/routing"
@@ -249,12 +250,12 @@ func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
 	routeRNG := xrand.NewStream(cfg.Seed, 0xA11CE)
 	inject := func(origin hypercube.Node, rng *xrand.Rand) {
 		dest := dist.Sample(origin, rng)
-		sys.Inject(&network.Packet{
-			ID:     sys.NewPacketID(),
-			Origin: int(origin),
-			Dest:   int(dest),
-			Path:   router.Path(cube, origin, dest, routeRNG),
-		})
+		p := sys.AcquirePacket()
+		p.ID = sys.NewPacketID()
+		p.Origin = int(origin)
+		p.Dest = int(dest)
+		p.Path = router.AppendPath(p.Path[:0], cube, origin, dest, routeRNG)
+		sys.Inject(p)
 	}
 
 	if cfg.Slotted {
@@ -332,52 +333,100 @@ func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
 	return res, nil
 }
 
+// poissonNodeSources drives one Poisson arrival stream per node through the
+// typed calendar: each node keeps exactly one pending typed event (owner =
+// node index) and schedules its successor when it fires, so steady-state
+// packet generation performs no per-arrival allocation. The arrival times and
+// the inject/reschedule order are identical to the old closure-per-arrival
+// wiring, so sample paths are unchanged.
+type poissonNodeSources struct {
+	sim     *des.Simulator
+	sources []*workload.PoissonSource
+	horizon float64
+	inject  func(node int32, rng *xrand.Rand)
+	handler des.HandlerID
+}
+
+// startPoissonNodeSources builds per-node sources seeded exactly as before
+// (stream = node index) and schedules each node's first arrival.
+func startPoissonNodeSources(sim *des.Simulator, nodes int, lambda, horizon float64, seed uint64,
+	inject func(node int32, rng *xrand.Rand)) {
+	d := &poissonNodeSources{
+		sim:     sim,
+		sources: make([]*workload.PoissonSource, nodes),
+		horizon: horizon,
+		inject:  inject,
+	}
+	d.handler = sim.RegisterHandler(d)
+	for x := 0; x < nodes; x++ {
+		src := workload.NewPoissonSource(lambda, seed, uint64(x))
+		d.sources[x] = src
+		if next := src.NextArrival(); next <= horizon {
+			src.Advance()
+			sim.ScheduleEventAt(next, d.handler, 0, int32(x))
+		}
+	}
+}
+
+// HandleEvent fires one node's arrival and schedules the next one.
+func (d *poissonNodeSources) HandleEvent(_, owner int32) {
+	src := d.sources[owner]
+	d.inject(owner, src.RNG())
+	if next := src.NextArrival(); next <= d.horizon {
+		src.Advance()
+		d.sim.ScheduleEventAt(next, d.handler, 0, owner)
+	}
+}
+
 // schedulePoissonHypercube wires one Poisson source per node; each node
 // schedules its own next arrival when the current one fires, keeping the
 // event calendar small.
 func schedulePoissonHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
 	inject func(hypercube.Node, *xrand.Rand)) {
-	for x := 0; x < cube.Nodes(); x++ {
-		src := workload.NewPoissonSource(cfg.Lambda, cfg.Seed, uint64(x))
-		origin := hypercube.Node(x)
-		var schedule func()
-		schedule = func() {
-			next := src.NextArrival()
-			if next > cfg.Horizon {
-				return
-			}
-			src.Advance()
-			sys.Sim.ScheduleAt(next, func() {
-				inject(origin, src.RNG())
-				schedule()
-			})
+	startPoissonNodeSources(sys.Sim, cube.Nodes(), cfg.Lambda, cfg.Horizon, cfg.Seed,
+		func(node int32, rng *xrand.Rand) { inject(hypercube.Node(node), rng) })
+}
+
+// slottedHypercubeSources drives the §3.4 arrival model: at every slot start
+// each node generates a Poisson(lambda*tau) batch. The tick is a single
+// self-rescheduling typed event.
+type slottedHypercubeSources struct {
+	sim     *des.Simulator
+	sources []*workload.SlottedSource
+	tau     float64
+	horizon float64
+	inject  func(hypercube.Node, *xrand.Rand)
+	handler des.HandlerID
+}
+
+// HandleEvent fires one slot tick.
+func (d *slottedHypercubeSources) HandleEvent(_, _ int32) {
+	for x, src := range d.sources {
+		batch := src.BatchSize()
+		for k := 0; k < batch; k++ {
+			d.inject(hypercube.Node(x), src.RNG())
 		}
-		schedule()
+	}
+	next := d.sim.Now() + d.tau
+	if next <= d.horizon {
+		d.sim.ScheduleEventAt(next, d.handler, 0, 0)
 	}
 }
 
-// scheduleSlottedHypercube wires the §3.4 arrival model: at every slot start
-// each node generates a Poisson(lambda*tau) batch.
 func scheduleSlottedHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
 	inject func(hypercube.Node, *xrand.Rand)) {
-	sources := make([]*workload.SlottedSource, cube.Nodes())
-	for x := range sources {
-		sources[x] = workload.NewSlottedSource(cfg.Lambda, cfg.Tau, cfg.Seed, uint64(x))
+	d := &slottedHypercubeSources{
+		sim:     sys.Sim,
+		sources: make([]*workload.SlottedSource, cube.Nodes()),
+		tau:     cfg.Tau,
+		horizon: cfg.Horizon,
+		inject:  inject,
 	}
-	var tick func()
-	tick = func() {
-		for x, src := range sources {
-			batch := src.BatchSize()
-			for k := 0; k < batch; k++ {
-				inject(hypercube.Node(x), src.RNG())
-			}
-		}
-		next := sys.Sim.Now() + cfg.Tau
-		if next <= cfg.Horizon {
-			sys.Sim.ScheduleAt(next, tick)
-		}
+	for x := range d.sources {
+		d.sources[x] = workload.NewSlottedSource(cfg.Lambda, cfg.Tau, cfg.Seed, uint64(x))
 	}
-	sys.Sim.ScheduleAt(0, tick)
+	d.handler = sys.Sim.RegisterHandler(d)
+	sys.Sim.ScheduleEventAt(0, d.handler, 0, 0)
 }
 
 // boundOrNaN converts a (value, error) bound evaluation into a plain float
@@ -508,29 +557,17 @@ func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
 		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
 	}
 
-	for x := 0; x < bf.Rows(); x++ {
-		src := workload.NewPoissonSource(cfg.Lambda, cfg.Seed, uint64(x))
-		origin := butterfly.Row(x)
-		var schedule func()
-		schedule = func() {
-			next := src.NextArrival()
-			if next > cfg.Horizon {
-				return
-			}
-			src.Advance()
-			sys.Sim.ScheduleAt(next, func() {
-				dest := dist.SampleRow(origin, src.RNG())
-				sys.Inject(&network.Packet{
-					ID:     sys.NewPacketID(),
-					Origin: int(origin),
-					Dest:   int(dest),
-					Path:   routing.ButterflyPath(bf, origin, dest),
-				})
-				schedule()
-			})
-		}
-		schedule()
-	}
+	startPoissonNodeSources(sys.Sim, bf.Rows(), cfg.Lambda, cfg.Horizon, cfg.Seed,
+		func(node int32, rng *xrand.Rand) {
+			origin := butterfly.Row(node)
+			dest := dist.SampleRow(origin, rng)
+			p := sys.AcquirePacket()
+			p.ID = sys.NewPacketID()
+			p.Origin = int(origin)
+			p.Dest = int(dest)
+			p.Path = routing.AppendButterflyPath(p.Path[:0], bf, origin, dest)
+			sys.Inject(p)
+		})
 
 	warmup := cfg.WarmupFraction * cfg.Horizon
 	sys.Sim.RunUntil(warmup)

@@ -117,6 +117,14 @@ func (c *Cube) ArcIndex(a Arc) int {
 	return (int(a.Dim)-1)*c.n + int(a.From)
 }
 
+// ArcIndexFrom returns the dense index of the arc leaving x along dimension
+// m. It is ArcIndex(Arc(x, m)) without the argument re-validation, for hot
+// paths (per-hop route construction) whose inputs are already inside the
+// cube by construction.
+func (c *Cube) ArcIndexFrom(x Node, m Dimension) int {
+	return (int(m)-1)*c.n + int(x)
+}
+
 // ArcAt returns the arc with the given dense index.
 func (c *Cube) ArcAt(idx int) Arc {
 	if idx < 0 || idx >= c.NumArcs() {

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/des"
+	"repro/internal/ringbuf"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -54,6 +55,9 @@ type Packet struct {
 	// enqueuedAt is the time the packet joined its current arc's queue; it
 	// feeds the per-group waiting-time statistics.
 	enqueuedAt float64
+	// pooled marks packets obtained from AcquirePacket; only those are
+	// recycled onto the free list when delivered.
+	pooled bool
 }
 
 // Hops returns the total number of arcs on the packet's path.
@@ -80,32 +84,50 @@ type Config struct {
 
 // arcState is the per-arc queue and busy/idle state.
 type arcState struct {
-	queue     []*Packet
+	queue     ringbuf.Ring[*Packet]
 	inService *Packet
 	arrivals  int64
 	busySince float64
 	busyTime  float64
 }
 
+// evComplete is the typed-event kind for a service completion; owner is the
+// arc index.
+const evComplete int32 = 0
+
+// maxDenseClass bounds the packet classes tracked in a dense slice instead of
+// a map; the experiments use at most a handful of classes (Valiant phases,
+// deflection priorities), so per-delivery map lookups would be pure overhead.
+const maxDenseClass = 16
+
 // System simulates a set of unit-service arcs fed with packets. It owns the
 // event calendar; traffic sources schedule injection events on Sim.
 type System struct {
 	Sim *des.Simulator
 
-	cfg    Config
-	arcs   []arcState
-	rng    *xrand.Rand
-	nextID int64
+	cfg     Config
+	handler des.HandlerID
+	svcCh   des.ChannelID // completions all use the same fixed ServiceTime
+	arcs    []arcState
+	// groupOf is the arc -> statistics group table, precomputed once at
+	// NewSystem so the hot path never calls the cfg.GroupOf func.
+	groupOf []int32
+	rng     *xrand.Rand
+	nextID  int64
+	// pool is the free list of delivered pooled packets (see AcquirePacket).
+	pool []*Packet
 
 	// OnDeliver, when non-nil, is called for every packet that reaches its
-	// destination, after statistics have been recorded.
+	// destination, after statistics have been recorded. Pooled packets are
+	// recycled when the callback returns, so it must not retain p.
 	OnDeliver func(p *Packet, now float64)
 
 	// Measurement state. Delay statistics include only packets generated at
 	// or after measureFrom; time-weighted statistics are reset at that time.
 	measureFrom float64
 	delay       stats.Tally
-	delayByCls  map[int]*stats.Tally
+	clsDense    [maxDenseClass]stats.Tally
+	delayByCls  map[int]*stats.Tally // classes outside [0, maxDenseClass)
 	hopCount    stats.Tally
 	delaySample *stats.Quantiles
 	population  stats.TimeWeighted
@@ -142,15 +164,57 @@ func NewSystem(cfg Config) *System {
 		Sim:        des.New(),
 		cfg:        cfg,
 		arcs:       make([]arcState, cfg.NumArcs),
+		groupOf:    make([]int32, cfg.NumArcs),
 		rng:        xrand.NewStream(cfg.Seed, 0xD15C),
 		groupPop:   make([]stats.TimeWeighted, cfg.NumGroups),
 		delayByCls: make(map[int]*stats.Tally),
 	}
+	for i := range s.groupOf {
+		g := cfg.GroupOf(i)
+		if g < 0 || g >= cfg.NumGroups {
+			panic(fmt.Sprintf("network: GroupOf(%d) = %d outside [0,%d)", i, g, cfg.NumGroups))
+		}
+		s.groupOf[i] = int32(g)
+	}
+	s.handler = s.Sim.RegisterHandler(s)
+	s.svcCh = s.Sim.NewChannel()
 	s.population.Set(0, 0)
 	for g := range s.groupPop {
 		s.groupPop[g].Set(0, 0)
 	}
 	return s
+}
+
+// HandleEvent dispatches the system's typed calendar events.
+func (s *System) HandleEvent(kind, owner int32) {
+	switch kind {
+	case evComplete:
+		s.completeService(int(owner))
+	default:
+		panic(fmt.Sprintf("network: unknown event kind %d", kind))
+	}
+}
+
+// AcquirePacket returns a packet from the free list of delivered packets, or
+// a new one when the list is empty. Acquired packets are recycled
+// automatically when delivered, so a steady-state source injects without
+// allocating; the Path slice keeps its capacity and is returned with length
+// zero. Packets built directly with &Packet{} are never recycled.
+func (s *System) AcquirePacket() *Packet {
+	if n := len(s.pool); n > 0 {
+		p := s.pool[n-1]
+		s.pool[n-1] = nil
+		s.pool = s.pool[:n-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket resets a delivered pooled packet and returns it to the free
+// list.
+func (s *System) releasePacket(p *Packet) {
+	*p = Packet{Path: p.Path[:0], pooled: true}
+	s.pool = append(s.pool, p)
 }
 
 // Config returns the configuration the system was built with.
@@ -215,7 +279,7 @@ func (s *System) enqueue(p *Packet, now float64) {
 	if a.inService == nil {
 		s.startService(idx, p, now)
 	} else {
-		a.queue = append(a.queue, p)
+		a.queue.Push(p)
 	}
 	s.setGroupPopulation(idx, now, +1)
 }
@@ -225,7 +289,7 @@ func (s *System) startService(idx int, p *Packet, now float64) {
 	a := &s.arcs[idx]
 	a.inService = p
 	a.busySince = now
-	s.Sim.Schedule(s.cfg.ServiceTime, func() { s.completeService(idx) })
+	s.Sim.ScheduleChannel(s.svcCh, s.cfg.ServiceTime, s.handler, evComplete, int32(idx))
 }
 
 // completeService finishes the transmission in progress on arc idx, advances
@@ -241,24 +305,17 @@ func (s *System) completeService(idx int) {
 	a.busyTime += now - a.busySince
 	s.setGroupPopulation(idx, now, -1)
 	if s.perHopWait && p.GenTime >= s.measureFrom {
-		s.groupWait[s.cfg.GroupOf(idx)].Add(now - p.enqueuedAt)
+		s.groupWait[s.groupOf[idx]].Add(now - p.enqueuedAt)
 	}
 
 	// Start the next packet on this arc.
-	if len(a.queue) > 0 {
+	if a.queue.Len() > 0 {
 		var next *Packet
 		switch s.cfg.Discipline {
 		case FIFO:
-			next = a.queue[0]
-			copy(a.queue, a.queue[1:])
-			a.queue[len(a.queue)-1] = nil
-			a.queue = a.queue[:len(a.queue)-1]
+			next = a.queue.PopFront()
 		case RandomOrder:
-			k := s.rng.Intn(len(a.queue))
-			next = a.queue[k]
-			a.queue[k] = a.queue[len(a.queue)-1]
-			a.queue[len(a.queue)-1] = nil
-			a.queue = a.queue[:len(a.queue)-1]
+			next = a.queue.RemoveSwap(s.rng.Intn(a.queue.Len()))
 		default:
 			panic("network: unknown discipline")
 		}
@@ -276,7 +333,8 @@ func (s *System) completeService(idx int) {
 	s.enqueue(p, now)
 }
 
-// recordDelivery updates delay statistics and invokes the delivery callback.
+// recordDelivery updates delay statistics, invokes the delivery callback and
+// recycles pooled packets.
 func (s *System) recordDelivery(p *Packet, now float64) {
 	if p.GenTime >= s.measureFrom {
 		d := now - p.GenTime
@@ -285,16 +343,23 @@ func (s *System) recordDelivery(p *Packet, now float64) {
 		if s.delaySample != nil {
 			s.delaySample.Add(d)
 		}
-		t, ok := s.delayByCls[p.Class]
-		if !ok {
-			t = &stats.Tally{}
-			s.delayByCls[p.Class] = t
+		if c := p.Class; c >= 0 && c < maxDenseClass {
+			s.clsDense[c].Add(d)
+		} else {
+			t, ok := s.delayByCls[c]
+			if !ok {
+				t = &stats.Tally{}
+				s.delayByCls[c] = t
+			}
+			t.Add(d)
 		}
-		t.Add(d)
 		s.departures++
 	}
 	if s.OnDeliver != nil {
 		s.OnDeliver(p, now)
+	}
+	if p.pooled {
+		s.releasePacket(p)
 	}
 }
 
@@ -306,13 +371,9 @@ func (s *System) setPopulation(now float64) {
 	}
 }
 
-func (s *System) setGroupPopulation(arcIdx int, now float64, delta int) {
-	g := s.cfg.GroupOf(arcIdx)
-	if g < 0 || g >= len(s.groupPop) {
-		panic(fmt.Sprintf("network: GroupOf(%d) = %d outside [0,%d)", arcIdx, g, len(s.groupPop)))
-	}
-	cur := s.groupPop[g].Current()
-	s.groupPop[g].Set(now, cur+float64(delta))
+func (s *System) setGroupPopulation(arcIdx int, now float64, delta float64) {
+	g := s.groupOf[arcIdx] // validated against NumGroups at NewSystem
+	s.groupPop[g].Add(now, delta)
 }
 
 // StartMeasurement discards the warm-up transient: delay statistics will only
@@ -323,6 +384,7 @@ func (s *System) StartMeasurement() {
 	s.measureFrom = now
 	s.delay = stats.Tally{}
 	s.hopCount = stats.Tally{}
+	s.clsDense = [maxDenseClass]stats.Tally{}
 	s.delayByCls = make(map[int]*stats.Tally)
 	if s.delaySample != nil {
 		s.delaySample = &stats.Quantiles{}
@@ -440,7 +502,7 @@ func (s *System) Snapshot() Metrics {
 	groupBusy := make([]float64, len(s.groupPop))
 	groupArrivals := make([]float64, len(s.groupPop))
 	for i := range s.arcs {
-		g := s.cfg.GroupOf(i)
+		g := s.groupOf[i]
 		groupArcs[g]++
 		busy := s.arcs[i].busyTime
 		if s.arcs[i].inService != nil {
@@ -453,6 +515,11 @@ func (s *System) Snapshot() Metrics {
 		if groupArcs[g] > 0 && elapsed > 0 {
 			m.GroupArcUtilization[g] = groupBusy[g] / (float64(groupArcs[g]) * elapsed)
 			m.GroupArrivalRate[g] = groupArrivals[g] / (float64(groupArcs[g]) * elapsed)
+		}
+	}
+	for cls := range s.clsDense {
+		if s.clsDense[cls].Count() > 0 {
+			m.MeanDelayByClass[cls] = s.clsDense[cls].Mean()
 		}
 	}
 	for cls, t := range s.delayByCls {
@@ -480,7 +547,7 @@ func (s *System) Snapshot() Metrics {
 // service.
 func (s *System) QueueLength(idx int) int {
 	a := &s.arcs[idx]
-	n := len(a.queue)
+	n := a.queue.Len()
 	if a.inService != nil {
 		n++
 	}
@@ -504,9 +571,9 @@ func (s *System) TotalQueued() int64 {
 // Drain runs the simulation until no packets remain in flight or until the
 // event calendar empties. It returns the time at which the network drained.
 // Sources must not schedule further injections for Drain to terminate.
+// RunWhile already runs until the condition fails or the calendar empties, so
+// no extra stepping is needed afterwards.
 func (s *System) Drain() float64 {
 	s.Sim.RunWhile(func() bool { return s.inFlight > 0 })
-	for s.inFlight > 0 && s.Sim.Step() {
-	}
 	return s.Sim.Now()
 }

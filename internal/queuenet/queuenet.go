@@ -24,6 +24,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/hypercube"
 	"repro/internal/queueing"
+	"repro/internal/ringbuf"
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
@@ -400,7 +401,9 @@ type RunOptions struct {
 	Warmup float64
 }
 
-// customer tracks one packet travelling through the network.
+// customer tracks one packet travelling through the network. Customers are
+// recycled through a free list when they leave the network, so steady-state
+// simulation does not allocate per arrival.
 type customer struct {
 	arrival   float64
 	remaining float64 // PS only
@@ -419,216 +422,273 @@ func RunPS(spec *Spec, sp *SamplePath, opts RunOptions) Result {
 
 type serverState struct {
 	// FIFO state.
-	queue     []*customer
+	queue     ringbuf.Ring[*customer]
 	inService *customer
 	// PS state.
 	customers  []*customer
 	lastUpdate float64
-	completion *des.Event
+	completion des.EventRef
 	// Shared.
 	decisionsUsed int
 	occupancy     stats.TimeWeighted
+}
+
+// Typed-event kinds of the runner; owner is the server index (unused for
+// observations and the warmup reset).
+const (
+	kArrival int32 = iota
+	kComplete
+	kObserve
+	kWarmup
+)
+
+// runner holds the state of one simulation run over a sample path. All event
+// dispatch goes through the typed calendar: one value event per external
+// arrival, service completion, observation and warmup reset, so the run is
+// allocation-free in steady state apart from the memoised routing decisions.
+type runner struct {
+	spec *Spec
+	sp   *SamplePath
+	sim  *des.Simulator
+	ps   bool
+	h    des.HandlerID
+	// svcCh carries the FIFO completions; they all use the same fixed
+	// ServiceTime, so they fire in schedule order. PS completions have
+	// variable residual times and must stay on the heap (cancellable).
+	svcCh des.ChannelID
+
+	servers    []serverState
+	population stats.TimeWeighted
+	inNetwork  int64
+	departed   int64
+	delaySum   float64
+	delayCount int64
+	free       []*customer // recycled customers
+	res        *Result
+	warmupAt   float64
+}
+
+func (r *runner) newCustomer(arrival float64) *customer {
+	if n := len(r.free); n > 0 {
+		c := r.free[n-1]
+		r.free[n-1] = nil
+		r.free = r.free[:n-1]
+		c.arrival = arrival
+		c.remaining = 0
+		return c
+	}
+	return &customer{arrival: arrival}
+}
+
+func (r *runner) nextDecision(s int) int {
+	st := &r.servers[s]
+	d := r.sp.Decision(s, st.decisionsUsed)
+	st.decisionsUsed++
+	return d
+}
+
+func (r *runner) departNetwork(c *customer) {
+	now := r.sim.Now()
+	r.inNetwork--
+	r.population.Set(now, float64(r.inNetwork))
+	r.departed++
+	r.delaySum += now - c.arrival
+	r.delayCount++
+	r.free = append(r.free, c)
+}
+
+// HandleEvent dispatches one typed calendar event.
+func (r *runner) HandleEvent(kind, owner int32) {
+	switch kind {
+	case kArrival:
+		now := r.sim.Now()
+		c := r.newCustomer(now)
+		r.inNetwork++
+		r.population.Set(now, float64(r.inNetwork))
+		r.enqueue(int(owner), c)
+	case kComplete:
+		if r.ps {
+			r.psComplete(int(owner))
+		} else {
+			r.fifoComplete(int(owner))
+		}
+	case kObserve:
+		r.res.Observations = append(r.res.Observations, Observation{
+			Time:       r.sim.Now(),
+			Departures: r.departed,
+			Population: r.inNetwork,
+		})
+	case kWarmup:
+		r.population.Reset(r.warmupAt, float64(r.inNetwork))
+		for i := range r.servers {
+			r.servers[i].occupancy.Reset(r.warmupAt, r.servers[i].occupancy.Current())
+		}
+	default:
+		panic(fmt.Sprintf("queuenet: unknown event kind %d", kind))
+	}
+}
+
+// FIFO machinery ---------------------------------------------------------
+
+func (r *runner) fifoStart(s int, c *customer) {
+	r.servers[s].inService = c
+	r.sim.ScheduleChannel(r.svcCh, r.spec.ServiceTime, r.h, kComplete, int32(s))
+}
+
+func (r *runner) fifoComplete(s int) {
+	now := r.sim.Now()
+	st := &r.servers[s]
+	c := st.inService
+	st.inService = nil
+	st.occupancy.Set(now, float64(st.queue.Len()))
+	if st.queue.Len() > 0 {
+		r.fifoStart(s, st.queue.PopFront())
+	}
+	to := r.nextDecision(s)
+	if to < 0 {
+		r.departNetwork(c)
+	} else {
+		r.enqueue(to, c)
+	}
+}
+
+// PS machinery -----------------------------------------------------------
+
+func (r *runner) psUpdateWork(s int, now float64) {
+	st := &r.servers[s]
+	n := len(st.customers)
+	if n > 0 {
+		elapsed := now - st.lastUpdate
+		if elapsed > 0 {
+			share := elapsed / float64(n)
+			for _, c := range st.customers {
+				c.remaining -= share
+			}
+		}
+	}
+	st.lastUpdate = now
+}
+
+func (r *runner) psComplete(s int) {
+	now := r.sim.Now()
+	st := &r.servers[s]
+	r.psUpdateWork(s, now)
+	// Find the customer with the least remaining work (ties: first in
+	// slice order, which is arrival order).
+	best := -1
+	for i, c := range st.customers {
+		if best < 0 || c.remaining < st.customers[best].remaining-1e-15 {
+			best = i
+		}
+	}
+	if best < 0 {
+		panic("queuenet: PS completion with no customers")
+	}
+	c := st.customers[best]
+	st.customers = append(st.customers[:best], st.customers[best+1:]...)
+	st.occupancy.Set(now, float64(len(st.customers)))
+	st.completion = des.EventRef{}
+	r.psReschedule(s)
+	to := r.nextDecision(s)
+	if to < 0 {
+		r.departNetwork(c)
+	} else {
+		r.enqueue(to, c)
+	}
+}
+
+func (r *runner) psReschedule(s int) {
+	st := &r.servers[s]
+	r.sim.CancelRef(st.completion) // no-op for the zero ref
+	st.completion = des.EventRef{}
+	if len(st.customers) == 0 {
+		return
+	}
+	minRemaining := math.Inf(1)
+	for _, c := range st.customers {
+		if c.remaining < minRemaining {
+			minRemaining = c.remaining
+		}
+	}
+	if minRemaining < 0 {
+		minRemaining = 0
+	}
+	delay := minRemaining * float64(len(st.customers))
+	st.completion = r.sim.ScheduleCancellable(delay, r.h, kComplete, int32(s))
+}
+
+func (r *runner) enqueue(s int, c *customer) {
+	now := r.sim.Now()
+	st := &r.servers[s]
+	if r.ps {
+		r.psUpdateWork(s, now)
+		c.remaining = r.spec.ServiceTime
+		st.customers = append(st.customers, c)
+		st.occupancy.Set(now, float64(len(st.customers)))
+		r.psReschedule(s)
+		return
+	}
+	if st.inService == nil {
+		r.fifoStart(s, c)
+	} else {
+		st.queue.Push(c)
+	}
+	n := st.queue.Len()
+	if st.inService != nil {
+		n++
+	}
+	st.occupancy.Set(now, float64(n))
 }
 
 func runDiscipline(spec *Spec, sp *SamplePath, opts RunOptions, ps bool) Result {
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
-	sim := des.New()
-	servers := make([]serverState, spec.NumServers)
-	for i := range servers {
-		servers[i].occupancy.Set(0, 0)
-	}
-	var population stats.TimeWeighted
-	population.Set(0, 0)
-	inNetwork := int64(0)
-	departed := int64(0)
-	delaySum := 0.0
-	delayCount := int64(0)
 	res := Result{PerServerMeanNumber: make([]float64, spec.NumServers)}
-
-	nextDecision := func(s int) int {
-		st := &servers[s]
-		d := sp.Decision(s, st.decisionsUsed)
-		st.decisionsUsed++
-		return d
+	r := &runner{
+		spec:    spec,
+		sp:      sp,
+		sim:     des.New(),
+		ps:      ps,
+		servers: make([]serverState, spec.NumServers),
+		res:     &res,
 	}
-
-	var enqueue func(s int, c *customer)
-	var departNetwork func(c *customer)
-
-	departNetwork = func(c *customer) {
-		now := sim.Now()
-		inNetwork--
-		population.Set(now, float64(inNetwork))
-		departed++
-		delaySum += now - c.arrival
-		delayCount++
+	r.h = r.sim.RegisterHandler(r)
+	r.svcCh = r.sim.NewChannel()
+	for i := range r.servers {
+		r.servers[i].occupancy.Set(0, 0)
 	}
-
-	// FIFO machinery -----------------------------------------------------
-	var fifoComplete func(s int)
-	fifoStart := func(s int, c *customer) {
-		st := &servers[s]
-		st.inService = c
-		sim.Schedule(spec.ServiceTime, func() { fifoComplete(s) })
-	}
-	fifoComplete = func(s int) {
-		now := sim.Now()
-		st := &servers[s]
-		c := st.inService
-		st.inService = nil
-		st.occupancy.Set(now, float64(len(st.queue)))
-		if len(st.queue) > 0 {
-			next := st.queue[0]
-			copy(st.queue, st.queue[1:])
-			st.queue[len(st.queue)-1] = nil
-			st.queue = st.queue[:len(st.queue)-1]
-			fifoStart(s, next)
-		}
-		to := nextDecision(s)
-		if to < 0 {
-			departNetwork(c)
-		} else {
-			enqueue(to, c)
-		}
-	}
-
-	// PS machinery --------------------------------------------------------
-	var psReschedule func(s int)
-	psUpdateWork := func(s int, now float64) {
-		st := &servers[s]
-		n := len(st.customers)
-		if n > 0 {
-			elapsed := now - st.lastUpdate
-			if elapsed > 0 {
-				share := elapsed / float64(n)
-				for _, c := range st.customers {
-					c.remaining -= share
-				}
-			}
-		}
-		st.lastUpdate = now
-	}
-	psComplete := func(s int) {
-		now := sim.Now()
-		st := &servers[s]
-		psUpdateWork(s, now)
-		// Find the customer with the least remaining work (ties: first in
-		// slice order, which is arrival order).
-		best := -1
-		for i, c := range st.customers {
-			if best < 0 || c.remaining < st.customers[best].remaining-1e-15 {
-				best = i
-			}
-		}
-		if best < 0 {
-			panic("queuenet: PS completion with no customers")
-		}
-		c := st.customers[best]
-		st.customers = append(st.customers[:best], st.customers[best+1:]...)
-		st.occupancy.Set(now, float64(len(st.customers)))
-		st.completion = nil
-		psReschedule(s)
-		to := nextDecision(s)
-		if to < 0 {
-			departNetwork(c)
-		} else {
-			enqueue(to, c)
-		}
-	}
-	psReschedule = func(s int) {
-		st := &servers[s]
-		if st.completion != nil {
-			sim.Cancel(st.completion)
-			st.completion = nil
-		}
-		if len(st.customers) == 0 {
-			return
-		}
-		minRemaining := math.Inf(1)
-		for _, c := range st.customers {
-			if c.remaining < minRemaining {
-				minRemaining = c.remaining
-			}
-		}
-		if minRemaining < 0 {
-			minRemaining = 0
-		}
-		delay := minRemaining * float64(len(st.customers))
-		st.completion = sim.Schedule(delay, func() { psComplete(s) })
-	}
-
-	enqueue = func(s int, c *customer) {
-		now := sim.Now()
-		st := &servers[s]
-		if ps {
-			psUpdateWork(s, now)
-			c.remaining = spec.ServiceTime
-			st.customers = append(st.customers, c)
-			st.occupancy.Set(now, float64(len(st.customers)))
-			psReschedule(s)
-			return
-		}
-		if st.inService == nil {
-			fifoStart(s, c)
-		} else {
-			st.queue = append(st.queue, c)
-		}
-		n := len(st.queue)
-		if st.inService != nil {
-			n++
-		}
-		st.occupancy.Set(now, float64(n))
-	}
+	r.population.Set(0, 0)
 
 	// Schedule external arrivals.
 	for s := 0; s < spec.NumServers; s++ {
 		for _, t := range sp.Arrivals[s] {
-			s, t := s, t
-			sim.ScheduleAt(t, func() {
-				c := &customer{arrival: t}
-				inNetwork++
-				population.Set(t, float64(inNetwork))
-				enqueue(s, c)
-			})
+			r.sim.ScheduleEventAt(t, r.h, kArrival, int32(s))
 		}
 	}
 
 	// Observation schedule.
 	if opts.ObserveEvery > 0 {
 		for t := opts.ObserveEvery; t <= sp.Horizon+1e-9; t += opts.ObserveEvery {
-			t := t
-			sim.ScheduleAt(t, func() {
-				res.Observations = append(res.Observations, Observation{
-					Time:       t,
-					Departures: departed,
-					Population: inNetwork,
-				})
-			})
+			r.sim.ScheduleEventAt(t, r.h, kObserve, 0)
 		}
 	}
 
-	warmup := opts.Warmup
-	if warmup > 0 {
-		sim.ScheduleAt(warmup, func() {
-			population.Reset(warmup, float64(inNetwork))
-			for i := range servers {
-				servers[i].occupancy.Reset(warmup, servers[i].occupancy.Current())
-			}
-		})
+	if opts.Warmup > 0 {
+		r.warmupAt = opts.Warmup
+		r.sim.ScheduleEventAt(opts.Warmup, r.h, kWarmup, 0)
 	}
 
-	sim.RunUntil(sp.Horizon)
-	now := sim.Now()
-	res.MeanPopulation = population.MeanAt(now)
-	for i := range servers {
-		res.PerServerMeanNumber[i] = servers[i].occupancy.MeanAt(now)
+	r.sim.RunUntil(sp.Horizon)
+	now := r.sim.Now()
+	res.MeanPopulation = r.population.MeanAt(now)
+	for i := range r.servers {
+		res.PerServerMeanNumber[i] = r.servers[i].occupancy.MeanAt(now)
 	}
-	if delayCount > 0 {
-		res.MeanDelay = delaySum / float64(delayCount)
+	if r.delayCount > 0 {
+		res.MeanDelay = r.delaySum / float64(r.delayCount)
 	}
-	res.DelayCount = delayCount
-	res.Departed = departed
+	res.DelayCount = r.delayCount
+	res.Departed = r.departed
 	return res
 }

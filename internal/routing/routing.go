@@ -21,6 +21,7 @@ package routing
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/butterfly"
 	"repro/internal/hypercube"
@@ -33,21 +34,39 @@ import (
 // HypercubeRouter converts an origin/destination pair into a path, expressed
 // as the dense arc indices understood by the network simulator.
 type HypercubeRouter interface {
-	// Path returns the arc-index path from origin to dest. Randomized
-	// routers draw from rng; deterministic routers ignore it.
-	Path(c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int
+	// AppendPath appends the arc-index path from origin to dest to dst and
+	// returns the extended slice. Randomized routers draw from rng;
+	// deterministic routers ignore it. Sources that recycle packets call
+	// this with the packet's truncated Path so steady-state routing does
+	// not allocate.
+	AppendPath(dst []int, c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int
 	// Name identifies the scheme in reports.
 	Name() string
+}
+
+// Path returns the arc-index path from origin to dest in a fresh slice; it is
+// the convenience form of r.AppendPath for cold paths.
+func Path(r HypercubeRouter, c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int {
+	return r.AppendPath(nil, c, origin, dest, rng)
 }
 
 // DimensionOrder is the paper's greedy scheme: canonical increasing
 // dimension-order paths.
 type DimensionOrder struct{}
 
-// Path returns the canonical path as arc indices.
-func (DimensionOrder) Path(c *hypercube.Cube, origin, dest hypercube.Node, _ *xrand.Rand) []int {
-	arcs := c.CanonicalPath(origin, dest)
-	return arcIndices(c, arcs)
+// AppendPath appends the canonical path as arc indices, walking the
+// differing dimensions in increasing order without materialising arcs.
+func (DimensionOrder) AppendPath(dst []int, c *hypercube.Cube, origin, dest hypercube.Node, _ *xrand.Rand) []int {
+	diff := uint32(origin ^ dest)
+	cur := origin
+	for diff != 0 {
+		bit := diff & -diff
+		m := hypercube.Dimension(bits.TrailingZeros32(diff) + 1)
+		dst = append(dst, c.ArcIndexFrom(cur, m))
+		cur ^= hypercube.Node(bit)
+		diff &= diff - 1
+	}
+	return dst
 }
 
 // Name identifies the scheme.
@@ -59,15 +78,19 @@ func (DimensionOrder) Name() string { return "greedy-dimension-order" }
 // the "increasing index order" choice.
 type RandomDimensionOrder struct{}
 
-// Path returns a shortest path crossing the required dimensions in random
-// order.
-func (RandomDimensionOrder) Path(c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int {
+// AppendPath appends a shortest path crossing the required dimensions in
+// random order.
+func (RandomDimensionOrder) AppendPath(dst []int, c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int {
 	dims := c.DiffDimensions(origin, dest)
 	if len(dims) > 1 {
 		rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
 	}
-	arcs := c.PathInOrder(origin, dest, dims)
-	return arcIndices(c, arcs)
+	cur := origin
+	for _, m := range dims {
+		dst = append(dst, c.ArcIndexFrom(cur, m))
+		cur = c.Flip(cur, m)
+	}
+	return dst
 }
 
 // Name identifies the scheme.
@@ -81,42 +104,38 @@ func (RandomDimensionOrder) Name() string { return "greedy-random-order" }
 // the paper discuss exactly this trade-off.
 type ValiantTwoPhase struct{}
 
-// Path returns the concatenation of the two greedy phases.
-func (ValiantTwoPhase) Path(c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int {
+// AppendPath appends the concatenation of the two greedy phases.
+func (v ValiantTwoPhase) AppendPath(dst []int, c *hypercube.Cube, origin, dest hypercube.Node, rng *xrand.Rand) []int {
 	inter := hypercube.Node(rng.Intn(c.Nodes()))
-	phase1 := c.CanonicalPath(origin, inter)
-	phase2 := c.CanonicalPath(inter, dest)
-	out := make([]int, 0, len(phase1)+len(phase2))
-	for _, a := range phase1 {
-		out = append(out, c.ArcIndex(a))
-	}
-	for _, a := range phase2 {
-		out = append(out, c.ArcIndex(a))
-	}
-	return out
+	dst = DimensionOrder{}.AppendPath(dst, c, origin, inter, nil)
+	return DimensionOrder{}.AppendPath(dst, c, inter, dest, nil)
 }
 
 // Name identifies the scheme.
 func (ValiantTwoPhase) Name() string { return "valiant-two-phase" }
 
-// arcIndices converts topology arcs to dense indices.
-func arcIndices(c *hypercube.Cube, arcs []hypercube.Arc) []int {
-	out := make([]int, len(arcs))
-	for i, a := range arcs {
-		out[i] = c.ArcIndex(a)
+// AppendButterflyPath appends the unique butterfly path from origin row to
+// destination row as dense arc indices.
+func AppendButterflyPath(dst []int, b *butterfly.Butterfly, origin, dest butterfly.Row) []int {
+	cur := origin
+	for j := 1; j <= b.Dimension(); j++ {
+		bit := butterfly.Row(1) << uint(j-1)
+		kind := butterfly.Straight
+		if (cur^dest)&bit != 0 {
+			kind = butterfly.Vertical
+		}
+		dst = append(dst, b.ArcIndex(butterfly.Arc{Row: cur, Level: butterfly.Level(j), Kind: kind}))
+		if kind == butterfly.Vertical {
+			cur ^= bit
+		}
 	}
-	return out
+	return dst
 }
 
 // ButterflyPath returns the unique butterfly path from origin row to
-// destination row as dense arc indices.
+// destination row as dense arc indices in a fresh slice.
 func ButterflyPath(b *butterfly.Butterfly, origin, dest butterfly.Row) []int {
-	arcs := b.Path(origin, dest)
-	out := make([]int, len(arcs))
-	for i, a := range arcs {
-		out[i] = b.ArcIndex(a)
-	}
-	return out
+	return AppendButterflyPath(nil, b, origin, dest)
 }
 
 // PipelinedConfig parameterises the non-greedy batch scheme of §2.3.
@@ -237,7 +256,7 @@ func RunPipelined(cfg PipelinedConfig) PipelinedResult {
 					ID:     id,
 					Origin: x,
 					Dest:   int(pkt.dest),
-					Path:   router.Path(cube, hypercube.Node(x), pkt.dest, routeRNG),
+					Path:   Path(router, cube, hypercube.Node(x), pkt.dest, routeRNG),
 				})
 				injected++
 			}

@@ -17,7 +17,7 @@ func TestDimensionOrderPathShape(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		x := hypercube.Node(rng.Intn(c.Nodes()))
 		z := hypercube.Node(rng.Intn(c.Nodes()))
-		path := r.Path(c, x, z, rng)
+		path := Path(r, c, x, z, rng)
 		if len(path) != hypercube.Hamming(x, z) {
 			t.Fatalf("path length %d, Hamming %d", len(path), hypercube.Hamming(x, z))
 		}
@@ -52,7 +52,7 @@ func TestRandomDimensionOrderPathShape(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		x := hypercube.Node(rng.Intn(c.Nodes()))
 		z := hypercube.Node(rng.Intn(c.Nodes()))
-		path := r.Path(c, x, z, rng)
+		path := Path(r, c, x, z, rng)
 		if len(path) != hypercube.Hamming(x, z) {
 			t.Fatalf("path length %d, Hamming %d", len(path), hypercube.Hamming(x, z))
 		}
@@ -93,7 +93,7 @@ func TestValiantTwoPhasePath(t *testing.T) {
 	for i := 0; i < 2000; i++ {
 		x := hypercube.Node(rng.Intn(c.Nodes()))
 		z := hypercube.Node(rng.Intn(c.Nodes()))
-		path := r.Path(c, x, z, rng)
+		path := Path(r, c, x, z, rng)
 		// The path must be contiguous and reach the destination.
 		cur := x
 		for _, idx := range path {
@@ -137,7 +137,7 @@ func TestValiantMeanPathLength(t *testing.T) {
 	for i := 0; i < draws; i++ {
 		x := hypercube.Node(rng.Intn(c.Nodes()))
 		z := hypercube.Node(rng.Intn(c.Nodes()))
-		total += len(r.Path(c, x, z, rng))
+		total += len(Path(r, c, x, z, rng))
 	}
 	mean := float64(total) / draws
 	if math.Abs(mean-float64(c.Dimension())) > 0.15 {
@@ -241,7 +241,7 @@ func TestQuickRoutersReachDestination(t *testing.T) {
 		x := hypercube.Node(xr) & mask
 		z := hypercube.Node(zr) & mask
 		r := routers[int(which)%len(routers)]
-		path := r.Path(c, x, z, rng)
+		path := Path(r, c, x, z, rng)
 		cur := x
 		for _, idx := range path {
 			if idx < 0 || idx >= c.NumArcs() {
@@ -266,7 +266,7 @@ func BenchmarkDimensionOrderPath(b *testing.B) {
 	r := DimensionOrder{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = r.Path(c, hypercube.Node(i&1023), hypercube.Node((i*31)&1023), rng)
+		_ = Path(r, c, hypercube.Node(i&1023), hypercube.Node((i*31)&1023), rng)
 	}
 }
 
@@ -276,6 +276,6 @@ func BenchmarkValiantPath(b *testing.B) {
 	r := ValiantTwoPhase{}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = r.Path(c, hypercube.Node(i&1023), hypercube.Node((i*31)&1023), rng)
+		_ = Path(r, c, hypercube.Node(i&1023), hypercube.Node((i*31)&1023), rng)
 	}
 }

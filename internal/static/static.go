@@ -116,9 +116,9 @@ func RoutePermutation(d int, perm []hypercube.Node, scheme Scheme, seed uint64) 
 			var path []int
 			switch scheme {
 			case Greedy:
-				path = greedyRouter.Path(cube, origin, dest, rng)
+				path = routing.Path(greedyRouter, cube, origin, dest, rng)
 			case Valiant:
-				path = valiantRouter.Path(cube, origin, dest, rng)
+				path = routing.Path(valiantRouter, cube, origin, dest, rng)
 			default:
 				panic(fmt.Sprintf("static: unknown scheme %d", int(scheme)))
 			}

@@ -152,6 +152,10 @@ func (w *TimeWeighted) Set(now, v float64) {
 // Advance extends the current value to time now without changing it.
 func (w *TimeWeighted) Advance(now float64) { w.Set(now, w.lastValue) }
 
+// Add shifts the tracked value by delta at time now; it is the fused
+// Set(now, Current()+delta) used on the simulator's per-hop hot path.
+func (w *TimeWeighted) Add(now, delta float64) { w.Set(now, w.lastValue+delta) }
+
 // Mean returns the time-average of the process over [start, lastTime].
 func (w *TimeWeighted) Mean() float64 {
 	elapsed := w.lastTime - w.startTime
@@ -291,8 +295,9 @@ func (h *Histogram) TailFraction(x float64) float64 {
 // Quantiles computes exact empirical quantiles from a stored sample. It is
 // used where full per-packet samples are cheap to keep (small experiments).
 type Quantiles struct {
-	xs     []float64
-	sorted bool
+	xs      []float64
+	sorted  bool
+	selects int // quickselect calls since the last full sort
 }
 
 // Add appends an observation.
@@ -304,29 +309,85 @@ func (q *Quantiles) Add(x float64) {
 // Count returns the number of stored observations.
 func (q *Quantiles) Count() int { return len(q.xs) }
 
-// Value returns the p-quantile (0 <= p <= 1) of the stored sample.
+// Value returns the p-quantile (0 <= p <= 1) of the stored sample. The
+// simulators query only a handful of quantiles per run over samples of 10^5+
+// delays, so the first few calls use an expected-O(n) quickselect instead of
+// the O(n log n) full sort; if a caller keeps querying, the sample is sorted
+// once and further lookups are O(1). Either path returns exact order
+// statistics, so the reported values do not depend on the strategy.
 func (q *Quantiles) Value(p float64) float64 {
 	if len(q.xs) == 0 {
 		return 0
 	}
 	if !q.sorted {
-		sort.Float64s(q.xs)
-		q.sorted = true
+		q.selects++
+		if q.selects > 4 {
+			sort.Float64s(q.xs)
+			q.sorted = true
+		}
 	}
 	if p <= 0 {
-		return q.xs[0]
+		return q.orderStat(0)
 	}
 	if p >= 1 {
-		return q.xs[len(q.xs)-1]
+		return q.orderStat(len(q.xs) - 1)
 	}
 	idx := p * float64(len(q.xs)-1)
 	lo := int(math.Floor(idx))
 	hi := int(math.Ceil(idx))
 	if lo == hi {
-		return q.xs[lo]
+		return q.orderStat(lo)
 	}
 	frac := idx - float64(lo)
-	return q.xs[lo]*(1-frac) + q.xs[hi]*frac
+	return q.orderStat(lo)*(1-frac) + q.orderStat(hi)*frac
+}
+
+// orderStat returns the k-th smallest stored value (0-based), partitioning
+// the sample in place with a median-of-three Hoare quickselect when it is not
+// already sorted.
+func (q *Quantiles) orderStat(k int) float64 {
+	xs := q.xs
+	if q.sorted {
+		return xs[k]
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot, moved to the middle position.
+		mid := lo + (hi-lo)/2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+	return xs[lo]
 }
 
 // BatchMeans builds non-overlapping batch means from a stream of

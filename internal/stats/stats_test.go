@@ -451,3 +451,33 @@ func BenchmarkTimeWeightedSet(b *testing.B) {
 		w.Set(float64(i), float64(i&7))
 	}
 }
+
+func TestQuantilesQuickselectMatchesFullSort(t *testing.T) {
+	// The first few Value calls use quickselect, later calls the cached full
+	// sort; both must return identical exact order statistics.
+	rng := xrand.New(99)
+	var a, b Quantiles
+	for i := 0; i < 10007; i++ {
+		x := rng.Float64() * 1000
+		a.Add(x)
+		b.Add(x)
+	}
+	ps := []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1}
+	var fromSelect []float64
+	for _, p := range ps[:4] {
+		fromSelect = append(fromSelect, a.Value(p)) // quickselect regime
+	}
+	for i := 0; i < 10; i++ {
+		b.Value(0.5) // force b into the sorted regime
+	}
+	for i, p := range ps[:4] {
+		if got := b.Value(p); got != fromSelect[i] {
+			t.Fatalf("p=%v: quickselect %v != sorted %v", p, fromSelect[i], got)
+		}
+	}
+	for _, p := range ps[4:] {
+		if got, want := a.Value(p), b.Value(p); got != want {
+			t.Fatalf("p=%v: %v != %v (a crossed into sorted regime)", p, got, want)
+		}
+	}
+}
