@@ -96,6 +96,16 @@ func BenchmarkE15PerDimensionContention(b *testing.B) { runExperiment(b, "E15") 
 // translation-invariant destination distributions.
 func BenchmarkE16TranslationInvariantTraffic(b *testing.B) { runExperiment(b, "E16") }
 
+// BenchmarkE17SlottedAtScale regenerates E17: slotted heavy traffic at scale
+// under fine slot clocks — the headline workload of the slot-stepped kernel,
+// guarded by the CI perf gate.
+func BenchmarkE17SlottedAtScale(b *testing.B) { runExperiment(b, "E17") }
+
+// BenchmarkE18ButterflyAtScale regenerates E18: butterfly delay at scale —
+// the continuous-time workload of the slot-stepped kernel, guarded by the CI
+// perf gate.
+func BenchmarkE18ButterflyAtScale(b *testing.B) { runExperiment(b, "E18") }
+
 // BenchmarkAblationDimensionOrder regenerates A1: canonical versus random
 // dimension order.
 func BenchmarkAblationDimensionOrder(b *testing.B) { runExperiment(b, "A1") }

@@ -140,16 +140,21 @@ func compare(basePath, headPath, filter string, threshold float64) (bool, error)
 		fmt.Printf("%-45s base %14.0f ns/op  head %14.0f ns/op  ratio %5.3f  [%s]\n",
 			c.Name, c.BaseNsPerOp, c.HeadNsPerOp, c.Ratio, verdict)
 	}
-	// A gated benchmark that exists in the base but not the head would
-	// otherwise silently escape the gate (renamed or deleted benchmark).
+	// Benchmarks present on only one side are reported, not failed: a PR that
+	// adds a benchmark has no base measurement to compare, and a PR that
+	// renames or retires one shows up as removed for the reviewer to judge.
+	for _, h := range headMs {
+		if re.MatchString(h.Name) && !compared[h.Name] {
+			fmt.Printf("%-45s head %14.0f ns/op  [new: no base measurement]\n", h.Name, h.NsPerOp)
+		}
+	}
 	for _, b := range baseMs {
 		if re.MatchString(b.Name) && !compared[b.Name] {
-			fmt.Printf("%-45s present in base but MISSING from head\n", b.Name)
-			ok = false
+			fmt.Printf("%-45s base %14.0f ns/op  [removed: not in head]\n", b.Name, b.NsPerOp)
 		}
 	}
 	if !ok {
-		fmt.Printf("FAIL: a benchmark matching %q regressed beyond %.2fx or went missing\n", filter, threshold)
+		fmt.Printf("FAIL: a benchmark matching %q regressed beyond %.2fx\n", filter, threshold)
 	}
 	return ok, nil
 }

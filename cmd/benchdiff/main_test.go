@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBench(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCompareToleratesOneSidedBenchmarks pins the PR-gate contract: a
+// benchmark present in only one of base/head is reported as new/removed and
+// must not fail the comparison; only genuine regressions of gated benchmarks
+// fail it.
+func TestCompareToleratesOneSidedBenchmarks(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.txt", `
+BenchmarkE1Foo-4      3  1000000 ns/op
+BenchmarkE2Old-4      3  2000000 ns/op
+`)
+	head := writeBench(t, dir, "head.txt", `
+BenchmarkE1Foo-4      3  1050000 ns/op
+BenchmarkE17New-4     3  3000000 ns/op
+`)
+	ok, err := compare(base, head, "^BenchmarkE", 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("new/removed benchmarks must not fail the gate")
+	}
+}
+
+func TestCompareStillFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.txt", "BenchmarkE1Foo-4 3 1000000 ns/op\n")
+	head := writeBench(t, dir, "head.txt", "BenchmarkE1Foo-4 3 1500000 ns/op\n")
+	ok, err := compare(base, head, "^BenchmarkE", 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("a 1.5x regression must fail the gate")
+	}
+}
+
+func TestCompareIgnoresUngatedRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeBench(t, dir, "base.txt", "BenchmarkRingPushPop-4 3 100 ns/op\n")
+	head := writeBench(t, dir, "head.txt", "BenchmarkRingPushPop-4 3 500 ns/op\n")
+	ok, err := compare(base, head, "^BenchmarkE", 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("ungated benchmarks are informational only")
+	}
+}

@@ -15,12 +15,10 @@ import (
 
 	"repro/internal/bounds"
 	"repro/internal/butterfly"
-	"repro/internal/des"
 	"repro/internal/hypercube"
 	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/workload"
-	"repro/internal/xrand"
 )
 
 // RouterKind selects the hypercube routing scheme.
@@ -93,6 +91,10 @@ type HypercubeConfig struct {
 	Tau float64
 	// TrackQuantiles stores every delay so exact quantiles can be reported.
 	TrackQuantiles bool
+	// ReturnDelays additionally copies the measured per-packet delays into
+	// the result (requires TrackQuantiles); the cross-kernel golden tests
+	// use it. Off by default so quantile runs stay copy-free.
+	ReturnDelays bool
 	// TrackPerDimensionWait records per-dimension arc sojourn times
 	// (queueing wait plus the unit transmission), the contention profile
 	// discussed at the end of §3.3.
@@ -109,6 +111,17 @@ type HypercubeConfig struct {
 	// the bit-flip distribution) are reported as NaN; the per-dimension load
 	// factors lambda*p_j and the stability diagnosis remain available.
 	CustomWeights []float64
+	// SkipPerDimensionStats disables the per-dimension population tracking
+	// (two time-weighted updates per hop on the hot path). The result then
+	// reports zero PerDimensionMeanQueue; utilisation and load factors are
+	// unaffected. Experiments that do not report per-dimension occupancy
+	// (the slotted tables, heavy-traffic sweeps) set it.
+	SkipPerDimensionStats bool
+	// ForceEventDriven disables the slot-stepped fast path (internal/slotsim)
+	// that slotted FIFO configurations otherwise run on. Results are
+	// byte-identical either way; the escape hatch exists for cross-kernel
+	// verification and benchmarking.
+	ForceEventDriven bool
 }
 
 // normalize fills defaults and derives Lambda; it returns an error for
@@ -213,72 +226,48 @@ type HypercubeResult struct {
 	// meaningful only for the greedy dimension-order router on a stable
 	// system.
 	WithinPaperBounds bool
+	// Kernel names the simulation kernel the run executed on
+	// (KernelEventDriven or KernelSlotStepped).
+	Kernel string
+	// Delays holds the measured per-packet delays when ReturnDelays was set
+	// (nil otherwise). The order is deterministic for a given seed but
+	// unspecified; the cross-kernel golden tests compare it bitwise.
+	Delays []float64
 }
 
-// RunHypercube runs one hypercube simulation.
+// RunHypercube runs one hypercube simulation. Eligible workloads (the §3.4
+// slotted arrival model on FIFO arcs) execute on the slot-stepped fast
+// kernel; everything else runs on the event-driven calendar. The two kernels
+// produce byte-identical results on the same seed, and the simulation state
+// itself is pooled per worker, so repeated replications perform no setup
+// allocations in steady state.
 func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	cube := hypercube.New(cfg.D)
-	var dist workload.DestinationDist
-	if cfg.CustomWeights != nil {
-		dist = workload.NewTranslationInvariant(cfg.D, cfg.CustomWeights)
+	r := hyperRunners.Get().(*hyperRunner)
+	defer hyperRunners.Put(r)
+	var out runOutcome
+	kernel := KernelEventDriven
+	if cfg.slotKernelEligible() {
+		kernel = KernelSlotStepped
+		out = r.runSlotStepped(&cfg)
 	} else {
-		dist = workload.NewBitFlip(cfg.D, cfg.P)
+		out = r.runEventDriven(&cfg)
 	}
-	router := cfg.Router.router()
-
-	sys := network.NewSystem(network.Config{
-		NumArcs:     cube.NumArcs(),
-		GroupOf:     func(a int) int { return int(cube.DimensionOfArcIndex(a)) - 1 },
-		NumGroups:   cfg.D,
-		Discipline:  cfg.Discipline,
-		ServiceTime: 1,
-		Seed:        cfg.Seed,
-	})
-	if cfg.TrackQuantiles {
-		sys.EnableDelaySample()
-	}
-	if cfg.TrackPerDimensionWait {
-		sys.EnablePerHopWait()
-	}
-	if cfg.PopulationTraceInterval > 0 {
-		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
-	}
-
-	routeRNG := xrand.NewStream(cfg.Seed, 0xA11CE)
-	inject := func(origin hypercube.Node, rng *xrand.Rand) {
-		dest := dist.Sample(origin, rng)
-		p := sys.AcquirePacket()
-		p.ID = sys.NewPacketID()
-		p.Origin = int(origin)
-		p.Dest = int(dest)
-		p.Path = router.AppendPath(p.Path[:0], cube, origin, dest, routeRNG)
-		sys.Inject(p)
-	}
-
-	if cfg.Slotted {
-		scheduleSlottedHypercube(sys, cube, cfg, inject)
-	} else {
-		schedulePoissonHypercube(sys, cube, cfg, inject)
-	}
-
-	warmup := cfg.WarmupFraction * cfg.Horizon
-	sys.Sim.RunUntil(warmup)
-	sys.StartMeasurement()
-	sys.Sim.RunUntil(cfg.Horizon)
-	m := sys.Snapshot()
+	m := out.m
 
 	res := &HypercubeResult{
 		Params:     bounds.HypercubeParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
 		LoadFactor: cfg.Lambda * cfg.P,
 		Metrics:    m,
 		MeanDelay:  m.MeanDelay,
-		DelayP95:   sys.DelayQuantile(0.95),
-		DelayP99:   sys.DelayQuantile(0.99),
+		DelayP95:   out.q95,
+		DelayP99:   out.q99,
+		Kernel:     kernel,
+		Delays:     out.delays,
 	}
-	nodes := float64(cube.Nodes())
+	nodes := float64(r.cube.Nodes())
 	res.MeanPacketsPerNode = m.MeanPopulation / nodes
 	res.PerDimensionMeanQueue = make([]float64, cfg.D)
 	res.PerDimensionUtilization = make([]float64, cfg.D)
@@ -286,7 +275,7 @@ func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
 	for j := 0; j < cfg.D; j++ {
 		res.PerDimensionMeanQueue[j] = m.GroupMeanPopulation[j] / nodes
 		res.PerDimensionUtilization[j] = m.GroupArcUtilization[j]
-		res.PerDimensionLoadFactor[j] = cfg.Lambda * dist.FlipProbability(hypercube.Dimension(j+1))
+		res.PerDimensionLoadFactor[j] = cfg.Lambda * r.dist.FlipProbability(hypercube.Dimension(j+1))
 	}
 	if cfg.TrackPerDimensionWait {
 		res.PerDimensionMeanWait = append([]float64(nil), m.GroupMeanWait...)
@@ -333,102 +322,6 @@ func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
 	return res, nil
 }
 
-// poissonNodeSources drives one Poisson arrival stream per node through the
-// typed calendar: each node keeps exactly one pending typed event (owner =
-// node index) and schedules its successor when it fires, so steady-state
-// packet generation performs no per-arrival allocation. The arrival times and
-// the inject/reschedule order are identical to the old closure-per-arrival
-// wiring, so sample paths are unchanged.
-type poissonNodeSources struct {
-	sim     *des.Simulator
-	sources []*workload.PoissonSource
-	horizon float64
-	inject  func(node int32, rng *xrand.Rand)
-	handler des.HandlerID
-}
-
-// startPoissonNodeSources builds per-node sources seeded exactly as before
-// (stream = node index) and schedules each node's first arrival.
-func startPoissonNodeSources(sim *des.Simulator, nodes int, lambda, horizon float64, seed uint64,
-	inject func(node int32, rng *xrand.Rand)) {
-	d := &poissonNodeSources{
-		sim:     sim,
-		sources: make([]*workload.PoissonSource, nodes),
-		horizon: horizon,
-		inject:  inject,
-	}
-	d.handler = sim.RegisterHandler(d)
-	for x := 0; x < nodes; x++ {
-		src := workload.NewPoissonSource(lambda, seed, uint64(x))
-		d.sources[x] = src
-		if next := src.NextArrival(); next <= horizon {
-			src.Advance()
-			sim.ScheduleEventAt(next, d.handler, 0, int32(x))
-		}
-	}
-}
-
-// HandleEvent fires one node's arrival and schedules the next one.
-func (d *poissonNodeSources) HandleEvent(_, owner int32) {
-	src := d.sources[owner]
-	d.inject(owner, src.RNG())
-	if next := src.NextArrival(); next <= d.horizon {
-		src.Advance()
-		d.sim.ScheduleEventAt(next, d.handler, 0, owner)
-	}
-}
-
-// schedulePoissonHypercube wires one Poisson source per node; each node
-// schedules its own next arrival when the current one fires, keeping the
-// event calendar small.
-func schedulePoissonHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
-	inject func(hypercube.Node, *xrand.Rand)) {
-	startPoissonNodeSources(sys.Sim, cube.Nodes(), cfg.Lambda, cfg.Horizon, cfg.Seed,
-		func(node int32, rng *xrand.Rand) { inject(hypercube.Node(node), rng) })
-}
-
-// slottedHypercubeSources drives the §3.4 arrival model: at every slot start
-// each node generates a Poisson(lambda*tau) batch. The tick is a single
-// self-rescheduling typed event.
-type slottedHypercubeSources struct {
-	sim     *des.Simulator
-	sources []*workload.SlottedSource
-	tau     float64
-	horizon float64
-	inject  func(hypercube.Node, *xrand.Rand)
-	handler des.HandlerID
-}
-
-// HandleEvent fires one slot tick.
-func (d *slottedHypercubeSources) HandleEvent(_, _ int32) {
-	for x, src := range d.sources {
-		batch := src.BatchSize()
-		for k := 0; k < batch; k++ {
-			d.inject(hypercube.Node(x), src.RNG())
-		}
-	}
-	next := d.sim.Now() + d.tau
-	if next <= d.horizon {
-		d.sim.ScheduleEventAt(next, d.handler, 0, 0)
-	}
-}
-
-func scheduleSlottedHypercube(sys *network.System, cube *hypercube.Cube, cfg HypercubeConfig,
-	inject func(hypercube.Node, *xrand.Rand)) {
-	d := &slottedHypercubeSources{
-		sim:     sys.Sim,
-		sources: make([]*workload.SlottedSource, cube.Nodes()),
-		tau:     cfg.Tau,
-		horizon: cfg.Horizon,
-		inject:  inject,
-	}
-	for x := range d.sources {
-		d.sources[x] = workload.NewSlottedSource(cfg.Lambda, cfg.Tau, cfg.Seed, uint64(x))
-	}
-	d.handler = sys.Sim.RegisterHandler(d)
-	sys.Sim.ScheduleEventAt(0, d.handler, 0, 0)
-}
-
 // boundOrNaN converts a (value, error) bound evaluation into a plain float
 // with NaN marking "not defined" (unstable parameters).
 func boundOrNaN(f func() (float64, error)) float64 {
@@ -461,8 +354,15 @@ type ButterflyConfig struct {
 	Seed uint64
 	// TrackQuantiles stores every delay for exact quantiles.
 	TrackQuantiles bool
+	// ReturnDelays copies the measured per-packet delays into the result
+	// (requires TrackQuantiles); see HypercubeConfig.ReturnDelays.
+	ReturnDelays bool
 	// PopulationTraceInterval enables the population trace.
 	PopulationTraceInterval float64
+	// ForceEventDriven disables the slot-stepped fast path that FIFO
+	// butterfly runs otherwise execute on; results are byte-identical either
+	// way.
+	ForceEventDriven bool
 }
 
 func (c *ButterflyConfig) normalize() error {
@@ -521,67 +421,44 @@ type ButterflyResult struct {
 	// WithinPaperBounds reports whether the measured delay lies between the
 	// two bounds (with a small statistical tolerance).
 	WithinPaperBounds bool
+	// Kernel names the simulation kernel the run executed on.
+	Kernel string
+	// Delays holds the measured per-packet delays when TrackQuantiles was
+	// set; see HypercubeResult.Delays.
+	Delays []float64
 }
 
 // RunButterfly runs one butterfly simulation under greedy routing (the only
-// routing scheme the butterfly admits).
+// routing scheme the butterfly admits). FIFO runs — every experiment in the
+// registry — execute on the slot-stepped fast kernel (the butterfly is a
+// unit-service workload); RandomOrder arcs or ForceEventDriven select the
+// event-driven calendar. Both kernels produce byte-identical results on the
+// same seed.
 func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
 	if err := cfg.normalize(); err != nil {
 		return nil, err
 	}
-	bf := butterfly.New(cfg.D)
-	dist := workload.NewRowBitFlip(cfg.D, cfg.P)
-
-	// Group arcs as (level-1)*2 + kind so per-level and per-kind statistics
-	// can both be recovered.
-	groupOf := func(a int) int {
-		level := int(bf.LevelOfArcIndex(a)) - 1
-		kind := 0
-		if bf.KindOfArcIndex(a) == butterfly.Vertical {
-			kind = 1
-		}
-		return level*2 + kind
+	r := butterflyRunners.Get().(*butterflyRunner)
+	defer butterflyRunners.Put(r)
+	var out runOutcome
+	kernel := KernelEventDriven
+	if cfg.slotKernelEligible() {
+		kernel = KernelSlotStepped
+		out = r.runSlotStepped(&cfg)
+	} else {
+		out = r.runEventDriven(&cfg)
 	}
-	sys := network.NewSystem(network.Config{
-		NumArcs:     bf.NumArcs(),
-		GroupOf:     groupOf,
-		NumGroups:   2 * cfg.D,
-		Discipline:  cfg.Discipline,
-		ServiceTime: 1,
-		Seed:        cfg.Seed,
-	})
-	if cfg.TrackQuantiles {
-		sys.EnableDelaySample()
-	}
-	if cfg.PopulationTraceInterval > 0 {
-		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
-	}
-
-	startPoissonNodeSources(sys.Sim, bf.Rows(), cfg.Lambda, cfg.Horizon, cfg.Seed,
-		func(node int32, rng *xrand.Rand) {
-			origin := butterfly.Row(node)
-			dest := dist.SampleRow(origin, rng)
-			p := sys.AcquirePacket()
-			p.ID = sys.NewPacketID()
-			p.Origin = int(origin)
-			p.Dest = int(dest)
-			p.Path = routing.AppendButterflyPath(p.Path[:0], bf, origin, dest)
-			sys.Inject(p)
-		})
-
-	warmup := cfg.WarmupFraction * cfg.Horizon
-	sys.Sim.RunUntil(warmup)
-	sys.StartMeasurement()
-	sys.Sim.RunUntil(cfg.Horizon)
-	m := sys.Snapshot()
+	m := out.m
 
 	res := &ButterflyResult{
 		Params:     bounds.ButterflyParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
 		LoadFactor: cfg.Lambda * math.Max(cfg.P, 1-cfg.P),
 		Metrics:    m,
 		MeanDelay:  m.MeanDelay,
-		DelayP95:   sys.DelayQuantile(0.95),
-		DelayP99:   sys.DelayQuantile(0.99),
+		DelayP95:   out.q95,
+		DelayP99:   out.q99,
+		Kernel:     kernel,
+		Delays:     out.delays,
 	}
 	// Aggregate per-kind utilisation across levels.
 	var straight, vertical float64
@@ -591,7 +468,7 @@ func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
 	}
 	res.StraightUtilization = straight / float64(cfg.D)
 	res.VerticalUtilization = vertical / float64(cfg.D)
-	res.MeanPacketsPerNode = m.MeanPopulation / float64(cfg.D*bf.Rows())
+	res.MeanPacketsPerNode = m.MeanPopulation / float64(cfg.D*r.bf.Rows())
 	res.UniversalLowerBound = boundOrNaN(res.Params.UniversalLowerBound)
 	res.GreedyUpperBound = boundOrNaN(res.Params.GreedyUpperBound)
 	if !math.IsNaN(res.UniversalLowerBound) && !math.IsNaN(res.GreedyUpperBound) {

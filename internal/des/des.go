@@ -179,6 +179,30 @@ func New() *Simulator {
 // Now returns the current simulation time.
 func (s *Simulator) Now() float64 { return s.now }
 
+// Reset returns the simulator to a pristine time-zero state — empty calendar,
+// zero clock and sequence counter — while keeping registered handlers,
+// channels and all backing storage. Handler and channel ids issued before the
+// reset remain valid, so a pooled simulator can run many replications without
+// re-registering or reallocating its calendar.
+func (s *Simulator) Reset() {
+	s.now = 0
+	s.seq = 0
+	s.processed = 0
+	s.stopped = false
+	s.heap = s.heap[:0]
+	for i := range s.channels {
+		c := &s.channels[i]
+		c.head, c.n, c.last = 0, 0, 0
+	}
+	s.slots = s.slots[:0]
+	s.slotFree = s.slotFree[:0]
+	for i := range s.closures {
+		s.closures[i] = nil
+	}
+	s.closures = s.closures[:0]
+	s.closureFree = s.closureFree[:0]
+}
+
 // Pending returns the number of events in the calendar, including cancelled
 // events that have not yet been skipped.
 func (s *Simulator) Pending() int {

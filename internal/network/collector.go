@@ -1,0 +1,339 @@
+package network
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Collector owns the measurement state of one packet-level simulation run:
+// delay and hop tallies, per-class and per-group statistics, time-weighted
+// population processes, the optional exact delay sample and the population
+// trace. It is the single statistics sink shared by the event-driven System
+// and the slot-stepped fast-path kernel (internal/slotsim): both kernels feed
+// the same collector operations in the same order, which is what makes their
+// results byte-identical — float accumulation is order-sensitive, so sharing
+// the arithmetic (and not just the schema) is load-bearing for the
+// cross-kernel golden tests.
+//
+// All state is reusable in place: Reset re-initialises the collector for a
+// new run without discarding backing storage, so pooled simulators perform no
+// measurement allocations in steady state.
+type Collector struct {
+	numGroups   int
+	measureFrom float64
+	delay       stats.Tally
+	// mixed is false while every measured delivery has class 0 — the common
+	// case, where the class-0 tally would be a bit-for-bit copy of delay and
+	// is therefore elided from the hot path. The first non-zero class
+	// snapshots delay into clsDense[0] and switches to per-class tallies.
+	mixed      bool
+	clsDense   [maxDenseClass]stats.Tally
+	delayByCls map[int]*stats.Tally // classes outside [0, maxDenseClass)
+	hopCount   stats.Tally
+
+	sampleDelays bool
+	delaySample  stats.Quantiles
+
+	population stats.TimeWeighted
+	groupPop   []stats.TimeWeighted
+	groupWait  []stats.Tally
+	perHopWait bool
+
+	departures int64
+	generated  int64
+	inFlight   int64
+
+	popTrace   stats.Series
+	traceEvery float64
+	lastTrace  float64
+}
+
+// Reset re-initialises the collector for a run with numGroups statistics
+// groups, reusing all backing storage. Optional features (delay sampling,
+// per-hop waits, the population trace) are switched off and must be
+// re-enabled after the reset.
+func (c *Collector) Reset(numGroups int) {
+	if numGroups <= 0 {
+		numGroups = 1
+	}
+	c.numGroups = numGroups
+	c.measureFrom = 0
+	c.delay = stats.Tally{}
+	c.mixed = false
+	c.clsDense = [maxDenseClass]stats.Tally{}
+	if c.delayByCls == nil {
+		c.delayByCls = make(map[int]*stats.Tally)
+	} else {
+		for k := range c.delayByCls {
+			delete(c.delayByCls, k)
+		}
+	}
+	c.hopCount = stats.Tally{}
+	c.sampleDelays = false
+	c.delaySample.Reset()
+	c.population.Reset(0, 0)
+	if cap(c.groupPop) < numGroups {
+		c.groupPop = make([]stats.TimeWeighted, numGroups)
+	} else {
+		c.groupPop = c.groupPop[:numGroups]
+	}
+	for g := range c.groupPop {
+		c.groupPop[g].Reset(0, 0)
+	}
+	c.perHopWait = false
+	c.groupWait = c.groupWait[:0]
+	c.departures = 0
+	c.generated = 0
+	c.inFlight = 0
+	c.popTrace.Reset()
+	c.traceEvery = 0
+	c.lastTrace = 0
+}
+
+// EnableDelaySample stores every measured delay so exact quantiles can be
+// reported; it costs one float64 per delivered packet.
+func (c *Collector) EnableDelaySample() {
+	c.sampleDelays = true
+	c.delaySample.Reset()
+}
+
+// EnablePerHopWait records, for every arc traversal, the time from joining
+// the arc's queue to finishing transmission, aggregated per statistics group.
+func (c *Collector) EnablePerHopWait() {
+	c.perHopWait = true
+	if cap(c.groupWait) < c.numGroups {
+		c.groupWait = make([]stats.Tally, c.numGroups)
+	} else {
+		c.groupWait = c.groupWait[:c.numGroups]
+		for g := range c.groupWait {
+			c.groupWait[g] = stats.Tally{}
+		}
+	}
+}
+
+// EnablePopulationTrace records the total population every interval time
+// units (used by the stability experiments to estimate the growth slope).
+func (c *Collector) EnablePopulationTrace(interval float64) {
+	if interval <= 0 {
+		panic("network: trace interval must be positive")
+	}
+	c.traceEvery = interval
+}
+
+// CountGenerated counts one injected packet.
+func (c *Collector) CountGenerated() { c.generated++ }
+
+// PacketEntered records a packet entering the network at time now.
+func (c *Collector) PacketEntered(now float64) {
+	c.inFlight++
+	c.setPopulation(now)
+}
+
+// PacketLeft records a packet leaving the network at time now.
+func (c *Collector) PacketLeft(now float64) {
+	c.inFlight--
+	c.setPopulation(now)
+}
+
+// PopulationAdjust applies a batched net population change at time now. When
+// every individual change happened at time now and the population trace is
+// disabled, the result is bit-for-bit identical to the equivalent
+// PacketEntered/PacketLeft sequence: same-time updates contribute zero area,
+// the final value is the same, and — because within one instant completions
+// strictly precede injections, so the population moves monotonically down
+// then up — the running maximum is determined by the endpoint value. The
+// slot-stepped kernel uses this to fold a whole slot's population churn into
+// one time-weighted update; the caller must invoke it exactly at the
+// instants where the per-packet sequence would have updated the process
+// (the area segmentation must match).
+func (c *Collector) PopulationAdjust(now float64, delta int64) {
+	c.inFlight += delta
+	c.population.Set(now, float64(c.inFlight))
+}
+
+func (c *Collector) setPopulation(now float64) {
+	c.population.Set(now, float64(c.inFlight))
+	if c.traceEvery > 0 && now-c.lastTrace >= c.traceEvery {
+		c.popTrace.AddPoint(now, float64(c.inFlight))
+		c.lastTrace = now
+	}
+}
+
+// GroupPopulationAdd shifts the population of statistics group g by delta at
+// time now.
+func (c *Collector) GroupPopulationAdd(g int32, now, delta float64) {
+	c.groupPop[g].Add(now, delta)
+}
+
+// ArcWait records one completed arc traversal for group g: the time from
+// joining the arc's queue (enqueuedAt) to finishing transmission (now). It is
+// a no-op unless per-hop waits are enabled and the packet was generated
+// inside the measurement window.
+func (c *Collector) ArcWait(g int32, now, enqueuedAt, genTime float64) {
+	if c.perHopWait && genTime >= c.measureFrom {
+		c.groupWait[g].Add(now - enqueuedAt)
+	}
+}
+
+// Deliver records the delivery at time now of a packet generated at genTime
+// with the given total path length and class. Packets generated before the
+// measurement window are ignored.
+func (c *Collector) Deliver(now, genTime float64, hops, class int) {
+	if genTime < c.measureFrom {
+		return
+	}
+	d := now - genTime
+	if class != 0 && !c.mixed {
+		// Every measured delivery so far was class 0, so the class-0 tally
+		// equals the delay tally bit for bit; materialise it and switch to
+		// explicit per-class tracking.
+		c.clsDense[0] = c.delay
+		c.mixed = true
+	}
+	c.delay.Add(d)
+	c.hopCount.Add(float64(hops))
+	if c.sampleDelays {
+		c.delaySample.Add(d)
+	}
+	if c.mixed {
+		if class >= 0 && class < maxDenseClass {
+			c.clsDense[class].Add(d)
+		} else {
+			t, ok := c.delayByCls[class]
+			if !ok {
+				t = &stats.Tally{}
+				c.delayByCls[class] = t
+			}
+			t.Add(d)
+		}
+	}
+	c.departures++
+}
+
+// StartMeasurement discards the warm-up transient at time now: delay
+// statistics will only include packets generated from now on, and
+// time-weighted statistics restart from the current state.
+func (c *Collector) StartMeasurement(now float64) {
+	c.measureFrom = now
+	c.delay = stats.Tally{}
+	c.hopCount = stats.Tally{}
+	c.mixed = false
+	c.clsDense = [maxDenseClass]stats.Tally{}
+	for k := range c.delayByCls {
+		delete(c.delayByCls, k)
+	}
+	if c.sampleDelays {
+		c.delaySample.Reset()
+	}
+	c.departures = 0
+	c.generated = 0
+	if c.perHopWait {
+		for g := range c.groupWait {
+			c.groupWait[g] = stats.Tally{}
+		}
+	}
+	c.population.Reset(now, float64(c.inFlight))
+	for g := range c.groupPop {
+		c.groupPop[g].Reset(now, c.groupPop[g].Current())
+	}
+	c.popTrace.Reset()
+	c.lastTrace = now
+}
+
+// MeasureFrom returns the start of the measurement window.
+func (c *Collector) MeasureFrom() float64 { return c.measureFrom }
+
+// InFlight returns the current number of packets in the network.
+func (c *Collector) InFlight() int64 { return c.inFlight }
+
+// DelayQuantile returns the exact q-quantile of measured delays; it requires
+// EnableDelaySample and returns NaN otherwise.
+func (c *Collector) DelayQuantile(q float64) float64 {
+	if !c.sampleDelays {
+		return math.NaN()
+	}
+	return c.delaySample.Value(q)
+}
+
+// DelaySample returns the measured per-packet delays when delay sampling is
+// enabled (nil otherwise). The slice aliases internal storage and is valid
+// until the next run: treat it as read-only. Its order is the delivery order
+// until a quantile query partially reorders it; identical runs produce the
+// identical sequence either way, which is what the cross-kernel golden tests
+// compare.
+func (c *Collector) DelaySample() []float64 {
+	if !c.sampleDelays {
+		return nil
+	}
+	return c.delaySample.Values()
+}
+
+// Snapshot closes the measurement window at time now and assembles the
+// metrics. The caller supplies the per-group arc aggregates (arc counts, busy
+// time and arrival totals, accumulated in arc-index order), because arc state
+// lives with the kernel, not the collector.
+func (c *Collector) Snapshot(now float64, groupArcs []int, groupBusy, groupArrivals []float64) Metrics {
+	elapsed := now - c.measureFrom
+	m := Metrics{
+		Elapsed:             elapsed,
+		MeanDelay:           c.delay.Mean(),
+		DelayStdDev:         c.delay.StdDev(),
+		DelayCI95:           c.delay.ConfidenceInterval(0.95),
+		MaxDelay:            c.delay.Max(),
+		MeanHops:            c.hopCount.Mean(),
+		Delivered:           c.departures,
+		Generated:           c.generated,
+		MeanPopulation:      c.population.MeanAt(now),
+		MaxPopulation:       c.population.Max(),
+		InFlight:            c.inFlight,
+		GroupMeanPopulation: make([]float64, len(c.groupPop)),
+		GroupArcUtilization: make([]float64, len(c.groupPop)),
+		GroupArrivalRate:    make([]float64, len(c.groupPop)),
+		MeanDelayByClass:    make(map[int]float64, len(c.delayByCls)),
+	}
+	if elapsed > 0 {
+		m.Throughput = float64(c.departures) / elapsed
+	}
+	for g := range c.groupPop {
+		m.GroupMeanPopulation[g] = c.groupPop[g].MeanAt(now)
+	}
+	for g := range c.groupPop {
+		if groupArcs[g] > 0 && elapsed > 0 {
+			m.GroupArcUtilization[g] = groupBusy[g] / (float64(groupArcs[g]) * elapsed)
+			m.GroupArrivalRate[g] = groupArrivals[g] / (float64(groupArcs[g]) * elapsed)
+		}
+	}
+	if !c.mixed {
+		// All measured deliveries were class 0: the class tally is the delay
+		// tally (bit for bit), so it was never materialised.
+		if c.departures > 0 {
+			m.MeanDelayByClass[0] = c.delay.Mean()
+		}
+	} else {
+		for cls := range c.clsDense {
+			if c.clsDense[cls].Count() > 0 {
+				m.MeanDelayByClass[cls] = c.clsDense[cls].Mean()
+			}
+		}
+		for cls, t := range c.delayByCls {
+			m.MeanDelayByClass[cls] = t.Mean()
+		}
+	}
+	if c.perHopWait {
+		m.GroupMeanWait = make([]float64, len(c.groupWait))
+		for g := range c.groupWait {
+			m.GroupMeanWait[g] = c.groupWait[g].Mean()
+		}
+	}
+	if c.traceEvery > 0 {
+		m.PopulationSlope = c.popTrace.LinearSlope()
+	}
+	// Little's law check: L vs (departure rate) * (mean delay).
+	if elapsed > 0 && c.departures > 0 {
+		lw := m.Throughput * m.MeanDelay
+		denom := math.Max(m.MeanPopulation, 1e-12)
+		m.LittleLawError = math.Abs(m.MeanPopulation-lw) / denom
+	}
+	return m
+}

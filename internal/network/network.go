@@ -11,11 +11,9 @@ package network
 
 import (
 	"fmt"
-	"math"
 
 	"repro/internal/des"
 	"repro/internal/ringbuf"
-	"repro/internal/stats"
 	"repro/internal/xrand"
 )
 
@@ -80,6 +78,11 @@ type Config struct {
 	Discipline Discipline
 	// Seed drives the randomness used by the RandomOrder discipline.
 	Seed uint64
+	// SkipGroupPopulation disables the per-group time-weighted population
+	// processes (two updates per hop on the hot path); Metrics then reports
+	// zero GroupMeanPopulation. Callers that never read the per-group
+	// populations (the butterfly experiments) set it on both kernels.
+	SkipGroupPopulation bool
 }
 
 // arcState is the per-arc queue and busy/idle state.
@@ -122,28 +125,63 @@ type System struct {
 	// recycled when the callback returns, so it must not retain p.
 	OnDeliver func(p *Packet, now float64)
 
-	// Measurement state. Delay statistics include only packets generated at
-	// or after measureFrom; time-weighted statistics are reset at that time.
-	measureFrom float64
-	delay       stats.Tally
-	clsDense    [maxDenseClass]stats.Tally
-	delayByCls  map[int]*stats.Tally // classes outside [0, maxDenseClass)
-	hopCount    stats.Tally
-	delaySample *stats.Quantiles
-	population  stats.TimeWeighted
-	groupPop    []stats.TimeWeighted
-	groupWait   []stats.Tally
-	perHopWait  bool
-	departures  int64
-	generated   int64
-	inFlight    int64
-	popTrace    stats.Series
-	traceEvery  float64
-	lastTrace   float64
+	// col is the measurement state; delay statistics include only packets
+	// generated at or after the measurement start.
+	col Collector
+
+	// Snapshot scratch: per-group arc aggregates, reused across runs.
+	snapArcs     []int
+	snapBusy     []float64
+	snapArrivals []float64
 }
 
 // NewSystem builds a System from the configuration.
 func NewSystem(cfg Config) *System {
+	s := &System{
+		Sim: des.New(),
+		rng: xrand.New(0),
+	}
+	s.handler = s.Sim.RegisterHandler(s)
+	s.svcCh = s.Sim.NewChannel()
+	s.configure(cfg)
+	return s
+}
+
+// Reset rebuilds the system in place for a new run with the given
+// configuration, reusing the event calendar, arc storage, per-arc rings, the
+// packet pool and all measurement state; a pooled System therefore performs
+// no per-replication setup allocations in steady state. The embedded
+// simulator keeps its registered handlers and channels across the reset, so
+// traffic sources that registered handlers on Sim may keep using their ids.
+// Packets still queued from the previous run are recycled into the pool.
+func (s *System) Reset(cfg Config) {
+	for i := range s.arcs {
+		a := &s.arcs[i]
+		if a.inService != nil {
+			s.recycle(a.inService)
+			a.inService = nil
+		}
+		for a.queue.Len() > 0 {
+			s.recycle(a.queue.PopFront())
+		}
+		a.arrivals, a.busySince, a.busyTime = 0, 0, 0
+	}
+	s.Sim.Reset()
+	s.nextID = 0
+	s.OnDeliver = nil
+	s.configure(cfg)
+}
+
+// recycle returns a leftover pooled packet to the free list (caller-built
+// packets are dropped, as on delivery).
+func (s *System) recycle(p *Packet) {
+	if p.pooled {
+		s.releasePacket(p)
+	}
+}
+
+// configure validates cfg and (re-)initialises the config-dependent state.
+func (s *System) configure(cfg Config) {
 	if cfg.NumArcs <= 0 {
 		panic(fmt.Sprintf("network: NumArcs must be positive, got %d", cfg.NumArcs))
 	}
@@ -160,14 +198,16 @@ func NewSystem(cfg Config) *System {
 	if cfg.NumGroups <= 0 {
 		cfg.NumGroups = 1
 	}
-	s := &System{
-		Sim:        des.New(),
-		cfg:        cfg,
-		arcs:       make([]arcState, cfg.NumArcs),
-		groupOf:    make([]int32, cfg.NumArcs),
-		rng:        xrand.NewStream(cfg.Seed, 0xD15C),
-		groupPop:   make([]stats.TimeWeighted, cfg.NumGroups),
-		delayByCls: make(map[int]*stats.Tally),
+	s.cfg = cfg
+	if cap(s.arcs) < cfg.NumArcs {
+		s.arcs = make([]arcState, cfg.NumArcs)
+	} else {
+		s.arcs = s.arcs[:cfg.NumArcs]
+	}
+	if cap(s.groupOf) < cfg.NumArcs {
+		s.groupOf = make([]int32, cfg.NumArcs)
+	} else {
+		s.groupOf = s.groupOf[:cfg.NumArcs]
 	}
 	for i := range s.groupOf {
 		g := cfg.GroupOf(i)
@@ -176,13 +216,8 @@ func NewSystem(cfg Config) *System {
 		}
 		s.groupOf[i] = int32(g)
 	}
-	s.handler = s.Sim.RegisterHandler(s)
-	s.svcCh = s.Sim.NewChannel()
-	s.population.Set(0, 0)
-	for g := range s.groupPop {
-		s.groupPop[g].Set(0, 0)
-	}
-	return s
+	s.rng.SeedStream(cfg.Seed, 0xD15C)
+	s.col.Reset(cfg.NumGroups)
 }
 
 // HandleEvent dispatches the system's typed calendar events.
@@ -222,24 +257,18 @@ func (s *System) Config() Config { return s.cfg }
 
 // EnableDelaySample stores every measured delay so exact quantiles can be
 // reported; it costs one float64 per delivered packet.
-func (s *System) EnableDelaySample() { s.delaySample = &stats.Quantiles{} }
+func (s *System) EnableDelaySample() { s.col.EnableDelaySample() }
 
 // EnablePerHopWait records, for every arc traversal, the time from joining
 // the arc's queue to finishing transmission, aggregated per statistics group.
 // The hypercube experiments use it to measure the per-dimension contention
 // profile discussed at the end of §3.3.
-func (s *System) EnablePerHopWait() {
-	s.perHopWait = true
-	s.groupWait = make([]stats.Tally, s.cfg.NumGroups)
-}
+func (s *System) EnablePerHopWait() { s.col.EnablePerHopWait() }
 
 // EnablePopulationTrace records the total population every interval time
 // units (used by the stability experiments to estimate the growth slope).
 func (s *System) EnablePopulationTrace(interval float64) {
-	if interval <= 0 {
-		panic("network: trace interval must be positive")
-	}
-	s.traceEvery = interval
+	s.col.EnablePopulationTrace(interval)
 }
 
 // NewPacketID returns a fresh packet identifier.
@@ -256,13 +285,12 @@ func (s *System) Inject(p *Packet) {
 	now := s.Sim.Now()
 	p.GenTime = now
 	p.hop = 0
-	s.generated++
+	s.col.CountGenerated()
 	if len(p.Path) == 0 {
 		s.recordDelivery(p, now)
 		return
 	}
-	s.inFlight++
-	s.setPopulation(now)
+	s.col.PacketEntered(now)
 	s.enqueue(p, now)
 }
 
@@ -281,7 +309,9 @@ func (s *System) enqueue(p *Packet, now float64) {
 	} else {
 		a.queue.Push(p)
 	}
-	s.setGroupPopulation(idx, now, +1)
+	if !s.cfg.SkipGroupPopulation {
+		s.col.GroupPopulationAdd(s.groupOf[idx], now, +1)
+	}
 }
 
 // startService begins transmitting p on arc idx.
@@ -303,10 +333,10 @@ func (s *System) completeService(idx int) {
 	}
 	a.inService = nil
 	a.busyTime += now - a.busySince
-	s.setGroupPopulation(idx, now, -1)
-	if s.perHopWait && p.GenTime >= s.measureFrom {
-		s.groupWait[s.groupOf[idx]].Add(now - p.enqueuedAt)
+	if !s.cfg.SkipGroupPopulation {
+		s.col.GroupPopulationAdd(s.groupOf[idx], now, -1)
 	}
+	s.col.ArcWait(s.groupOf[idx], now, p.enqueuedAt, p.GenTime)
 
 	// Start the next packet on this arc.
 	if a.queue.Len() > 0 {
@@ -325,8 +355,7 @@ func (s *System) completeService(idx int) {
 	// Advance the completed packet.
 	p.hop++
 	if p.hop >= len(p.Path) {
-		s.inFlight--
-		s.setPopulation(now)
+		s.col.PacketLeft(now)
 		s.recordDelivery(p, now)
 		return
 	}
@@ -336,25 +365,7 @@ func (s *System) completeService(idx int) {
 // recordDelivery updates delay statistics, invokes the delivery callback and
 // recycles pooled packets.
 func (s *System) recordDelivery(p *Packet, now float64) {
-	if p.GenTime >= s.measureFrom {
-		d := now - p.GenTime
-		s.delay.Add(d)
-		s.hopCount.Add(float64(len(p.Path)))
-		if s.delaySample != nil {
-			s.delaySample.Add(d)
-		}
-		if c := p.Class; c >= 0 && c < maxDenseClass {
-			s.clsDense[c].Add(d)
-		} else {
-			t, ok := s.delayByCls[c]
-			if !ok {
-				t = &stats.Tally{}
-				s.delayByCls[c] = t
-			}
-			t.Add(d)
-		}
-		s.departures++
-	}
+	s.col.Deliver(now, p.GenTime, len(p.Path), p.Class)
 	if s.OnDeliver != nil {
 		s.OnDeliver(p, now)
 	}
@@ -363,41 +374,12 @@ func (s *System) recordDelivery(p *Packet, now float64) {
 	}
 }
 
-func (s *System) setPopulation(now float64) {
-	s.population.Set(now, float64(s.inFlight))
-	if s.traceEvery > 0 && now-s.lastTrace >= s.traceEvery {
-		s.popTrace.AddPoint(now, float64(s.inFlight))
-		s.lastTrace = now
-	}
-}
-
-func (s *System) setGroupPopulation(arcIdx int, now float64, delta float64) {
-	g := s.groupOf[arcIdx] // validated against NumGroups at NewSystem
-	s.groupPop[g].Add(now, delta)
-}
-
 // StartMeasurement discards the warm-up transient: delay statistics will only
 // include packets generated from now on, and time-weighted statistics restart
 // from the current state.
 func (s *System) StartMeasurement() {
 	now := s.Sim.Now()
-	s.measureFrom = now
-	s.delay = stats.Tally{}
-	s.hopCount = stats.Tally{}
-	s.clsDense = [maxDenseClass]stats.Tally{}
-	s.delayByCls = make(map[int]*stats.Tally)
-	if s.delaySample != nil {
-		s.delaySample = &stats.Quantiles{}
-	}
-	s.departures = 0
-	s.generated = 0
-	if s.perHopWait {
-		s.groupWait = make([]stats.Tally, s.cfg.NumGroups)
-	}
-	s.population.Reset(now, float64(s.inFlight))
-	for g := range s.groupPop {
-		s.groupPop[g].Reset(now, s.groupPop[g].Current())
-	}
+	s.col.StartMeasurement(now)
 	for i := range s.arcs {
 		s.arcs[i].arrivals = 0
 		s.arcs[i].busyTime = 0
@@ -405,8 +387,6 @@ func (s *System) StartMeasurement() {
 			s.arcs[i].busySince = now
 		}
 	}
-	s.popTrace = stats.Series{}
-	s.lastTrace = now
 }
 
 // Metrics is the measurement snapshot returned by Snapshot.
@@ -462,85 +442,45 @@ type Metrics struct {
 
 // DelayQuantile returns the exact q-quantile of measured delays; it requires
 // EnableDelaySample and returns NaN otherwise.
-func (s *System) DelayQuantile(q float64) float64 {
-	if s.delaySample == nil {
-		return math.NaN()
-	}
-	return s.delaySample.Value(q)
-}
+func (s *System) DelayQuantile(q float64) float64 { return s.col.DelayQuantile(q) }
+
+// DelaySample returns the measured per-packet delays when EnableDelaySample
+// was called (nil otherwise); see Collector.DelaySample for the aliasing and
+// ordering caveats.
+func (s *System) DelaySample() []float64 { return s.col.DelaySample() }
 
 // Snapshot closes the measurement window at the current simulation time and
 // returns the collected metrics. The simulation can continue afterwards.
 func (s *System) Snapshot() Metrics {
 	now := s.Sim.Now()
-	elapsed := now - s.measureFrom
-	m := Metrics{
-		Elapsed:             elapsed,
-		MeanDelay:           s.delay.Mean(),
-		DelayStdDev:         s.delay.StdDev(),
-		DelayCI95:           s.delay.ConfidenceInterval(0.95),
-		MaxDelay:            s.delay.Max(),
-		MeanHops:            s.hopCount.Mean(),
-		Delivered:           s.departures,
-		Generated:           s.generated,
-		MeanPopulation:      s.population.MeanAt(now),
-		MaxPopulation:       s.population.Max(),
-		InFlight:            s.inFlight,
-		GroupMeanPopulation: make([]float64, len(s.groupPop)),
-		GroupArcUtilization: make([]float64, len(s.groupPop)),
-		GroupArrivalRate:    make([]float64, len(s.groupPop)),
-		MeanDelayByClass:    make(map[int]float64, len(s.delayByCls)),
+	// Per-group utilisation and arrival-rate aggregates, accumulated in
+	// arc-index order (the order matters bit-for-bit: the slot-stepped kernel
+	// aggregates its arcs the same way so cross-kernel snapshots agree).
+	n := s.cfg.NumGroups
+	if cap(s.snapArcs) < n {
+		s.snapArcs = make([]int, n)
+		s.snapBusy = make([]float64, n)
+		s.snapArrivals = make([]float64, n)
 	}
-	if elapsed > 0 {
-		m.Throughput = float64(s.departures) / elapsed
+	s.snapArcs = s.snapArcs[:n]
+	s.snapBusy = s.snapBusy[:n]
+	s.snapArrivals = s.snapArrivals[:n]
+	for g := 0; g < n; g++ {
+		s.snapArcs[g] = 0
+		s.snapBusy[g] = 0
+		s.snapArrivals[g] = 0
 	}
-	for g := range s.groupPop {
-		m.GroupMeanPopulation[g] = s.groupPop[g].MeanAt(now)
-	}
-	// Per-group utilisation and arrival rate.
-	groupArcs := make([]int, len(s.groupPop))
-	groupBusy := make([]float64, len(s.groupPop))
-	groupArrivals := make([]float64, len(s.groupPop))
 	for i := range s.arcs {
 		g := s.groupOf[i]
-		groupArcs[g]++
+		s.snapArcs[g]++
 		busy := s.arcs[i].busyTime
 		if s.arcs[i].inService != nil {
 			busy += now - s.arcs[i].busySince
 		}
-		groupBusy[g] += busy
-		groupArrivals[g] += float64(s.arcs[i].arrivals)
+		s.snapBusy[g] += busy
+		s.snapArrivals[g] += float64(s.arcs[i].arrivals)
 	}
-	for g := range s.groupPop {
-		if groupArcs[g] > 0 && elapsed > 0 {
-			m.GroupArcUtilization[g] = groupBusy[g] / (float64(groupArcs[g]) * elapsed)
-			m.GroupArrivalRate[g] = groupArrivals[g] / (float64(groupArcs[g]) * elapsed)
-		}
-	}
-	for cls := range s.clsDense {
-		if s.clsDense[cls].Count() > 0 {
-			m.MeanDelayByClass[cls] = s.clsDense[cls].Mean()
-		}
-	}
-	for cls, t := range s.delayByCls {
-		m.MeanDelayByClass[cls] = t.Mean()
-	}
-	if s.perHopWait {
-		m.GroupMeanWait = make([]float64, len(s.groupWait))
-		for g := range s.groupWait {
-			m.GroupMeanWait[g] = s.groupWait[g].Mean()
-		}
-	}
-	if s.traceEvery > 0 {
-		m.PopulationSlope = s.popTrace.LinearSlope()
-	}
-	// Little's law check: L vs (departure rate) * (mean delay).
-	if elapsed > 0 && s.departures > 0 {
-		lw := m.Throughput * m.MeanDelay
-		denom := math.Max(m.MeanPopulation, 1e-12)
-		m.LittleLawError = math.Abs(m.MeanPopulation-lw) / denom
-	}
-	return m
+	return s.col.Snapshot(now, s.snapArcs, s.snapBusy, s.snapArrivals)
 }
 
 // QueueLength returns the number of packets at arc idx, including the one in
@@ -555,7 +495,7 @@ func (s *System) QueueLength(idx int) int {
 }
 
 // InFlight returns the current number of packets in the network.
-func (s *System) InFlight() int64 { return s.inFlight }
+func (s *System) InFlight() int64 { return s.col.InFlight() }
 
 // TotalQueued returns the total number of packets across all arcs (queued or
 // in service); it must equal InFlight and exists as an invariant check for
@@ -574,6 +514,6 @@ func (s *System) TotalQueued() int64 {
 // RunWhile already runs until the condition fails or the calendar empties, so
 // no extra stepping is needed afterwards.
 func (s *System) Drain() float64 {
-	s.Sim.RunWhile(func() bool { return s.inFlight > 0 })
+	s.Sim.RunWhile(func() bool { return s.col.InFlight() > 0 })
 	return s.Sim.Now()
 }

@@ -72,6 +72,18 @@ func (r *Ring[T]) RemoveSwap(i int) T {
 	return v
 }
 
+// Clear empties the ring in place, zeroing the occupied slots so that any
+// references they held are released, and keeps the allocated capacity for
+// reuse.
+func (r *Ring[T]) Clear() {
+	var zero T
+	mask := len(r.buf) - 1
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)&mask] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
 // grow doubles the capacity (starting at 8) and linearises the contents so
 // head restarts at zero.
 func (r *Ring[T]) grow() {

@@ -1,0 +1,822 @@
+// Package slotsim is the synchronous fast-path kernel for unit-service FIFO
+// workloads: the slotted-time hypercube model of §3.4 and the butterfly
+// experiments. On these workloads every transmission takes exactly one time
+// unit, so the general event calendar of internal/des — heap pushes, handler
+// dispatch, cancellation slots — is pure overhead: the whole simulation
+// advances in lock-step, and the only event sources are the slot clock (or
+// the aggregate Poisson arrival stream) and a single monotone stream of
+// service completions.
+//
+// The kernel moves packets by value: a packet is a 32-byte record
+// (generation time, stepped-route state, hop counters) that lives inside the
+// arc record while in service and inside the arc's flat ringbuf ring while
+// queued, so a hop touches only the arc record and its ring — both local,
+// sequential memory — where the event-driven path chases *Packet pointers
+// through the heap. Randomized routers additionally materialise their routes
+// in a fixed-stride slab referenced by packet-held slots; the stepped modes
+// need no route storage at all. Time is driven by two specialised queues: a
+// flat FIFO ring
+// of service completions (their due times are non-decreasing because every
+// service lasts exactly 1) and either the slot clock (slotted mode) or the
+// single pending arrival of the aggregate Poisson stream (continuous mode —
+// the superposition of the per-node processes, whose arrivals pick a
+// uniformly random origin node; Poisson splitting makes that the same
+// process in law). There is no handler indirection and no per-event
+// allocation; once the arena, rings and sample buffers have grown to their
+// steady-state size, a whole replication — per-replication setup included,
+// since a pooled kernel (internal/core reuses one per worker via sync.Pool)
+// reseeds rather than reconstructs — performs zero allocations. Only the
+// Metrics snapshot handed to the caller is freshly allocated, because the
+// caller owns it.
+//
+// # Event-order equivalence with the event-driven calendar
+//
+// Results are pinned to the des-based path exactly, not statistically: for
+// any eligible configuration the kernel fires the same events at the same
+// (bit-identical) times in the same order, performs the same statistics
+// updates in the same order against the shared network.Collector, and
+// consumes the same random streams in the same per-stream order, so every
+// metric — per-packet delays included — is byte-identical to the event-driven
+// kernel on the same seed. The ordering argument:
+//
+//   - The des calendar fires simultaneous events in schedule (sequence)
+//     order.
+//   - Slotted mode: every service starts at a slot instant and completes one
+//     unit later, so completion due-times are non-decreasing in scheduling
+//     order — a FIFO ring replays them exactly. A slot tick at time t is
+//     scheduled at the end of the previous tick's handler, after every
+//     service start that can complete at t, so at equal times completions
+//     precede the tick; the kernel hard-codes that rule.
+//   - Continuous mode (aggregate Poisson arrivals): completions still form a
+//     monotone FIFO stream, and the single pending arrival carries a
+//     (time, sequence) key with the sequence number assigned at exactly the
+//     moment the des path would call Schedule — so even exact time ties
+//     (measure zero, but possible in floating point) break identically.
+package slotsim
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/network"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Traffic samples a packet's destination and appends its arc-index route.
+// Implementations are provided by internal/core (hypercube routing schemes,
+// the unique butterfly path); they must consume rng (the aggregate source's
+// payload stream) and any private routing stream exactly as the event-driven
+// path does, because stream consumption order is part of the cross-kernel
+// contract.
+type Traffic interface {
+	// AppendRoute appends the route of a new packet from origin to dst and
+	// returns the extended slice. dst has the kernel's MaxHops capacity;
+	// routes must not exceed it.
+	AppendRoute(origin int32, rng *xrand.Rand, dst []int) []int
+}
+
+// DestSampler draws a packet's destination identity (hypercube node or
+// butterfly row) for the stepped route modes, consuming rng exactly as the
+// event-driven path's destination sampling does.
+type DestSampler interface {
+	SampleDest(origin int32, rng *xrand.Rand) uint32
+}
+
+// RouteMode selects how the kernel derives per-hop arc indices.
+type RouteMode int
+
+const (
+	// RouteStored materializes every route into the arena's flat route
+	// buffer via Traffic.AppendRoute — the general mode, needed for
+	// randomized hypercube routers whose paths depend on a routing stream.
+	RouteStored RouteMode = iota
+	// RouteHypercubeGreedy steps the canonical dimension-order path
+	// arithmetically: the packet state is (current node, remaining
+	// difference mask) and the next arc is tz(mask)*2^d + node — no stored
+	// route, no per-hop memory load. Identical arc-for-arc to
+	// routing.DimensionOrder.AppendPath.
+	RouteHypercubeGreedy
+	// RouteButterfly steps the unique butterfly path: at hop h the packet
+	// crosses (row; h+1; s/v), vertical exactly when row and destination
+	// differ in bit h. Identical arc-for-arc to routing.AppendButterflyPath.
+	RouteButterfly
+)
+
+// Config describes one kernel run. Service time is fixed at 1 (the paper's
+// unit transmission time); that assumption is what makes the completion
+// stream monotone.
+type Config struct {
+	// NumArcs is the number of servers (arcs) in the network.
+	NumArcs int
+	// GroupOf maps an arc index to a statistics group; nil puts every arc in
+	// group 0.
+	GroupOf func(arc int) int
+	// NumGroups is the number of distinct statistics groups.
+	NumGroups int
+	// Sources is the number of traffic sources (hypercube nodes or butterfly
+	// first-level rows); arrivals of the aggregate stream pick one uniformly.
+	Sources int
+	// MaxHops is the per-packet route capacity (the arena stride).
+	MaxHops int
+	// Horizon is the simulated time span; Warmup is the absolute time at
+	// which measurement starts (events at exactly Warmup still precede it,
+	// matching des.RunUntil semantics).
+	Horizon, Warmup float64
+	// Seed drives all randomness; the aggregate source's streams are derived
+	// exactly as the event-driven drivers derive them.
+	Seed uint64
+	// Lambda is the per-source generation rate (the aggregate stream runs at
+	// Sources*Lambda).
+	Lambda float64
+	// Slotted selects the §3.4 slot-clock arrival model with slot length Tau;
+	// otherwise arrivals form a continuous-time Poisson stream.
+	Slotted bool
+	// Tau is the slot length in slotted mode (0 < Tau <= 1).
+	Tau float64
+	// Mode selects stored or stepped routing.
+	Mode RouteMode
+	// Traffic builds packet routes; required in RouteStored mode.
+	Traffic Traffic
+	// Dest samples destinations; required in the stepped route modes.
+	Dest DestSampler
+	// TrackQuantiles stores every measured delay for exact quantiles.
+	TrackQuantiles bool
+	// TrackPerHopWait records per-group arc sojourn times.
+	TrackPerHopWait bool
+	// SkipGroupPopulation disables the per-group time-weighted population
+	// processes (two updates per hop); the butterfly experiments never read
+	// them. Must match the event-driven run's setting for cross-kernel
+	// identity.
+	SkipGroupPopulation bool
+	// TraceInterval enables the population trace (0 disables it).
+	TraceInterval float64
+}
+
+// pkt is one packet, moved by value between the arc records and the per-arc
+// rings (24 bytes). Queue-join times for the optional per-hop wait statistic
+// live in side storage so the common case stays small.
+type pkt struct {
+	genTime float64
+	u, v    uint32 // stepped-route state: current identity, mask/dest row
+	slot    int32  // stored-route slab slot, -1 in stepped modes
+	hop     int16  // hops already served
+	hops    int16  // total route length (delivery statistics)
+}
+
+// arcRec is one arc's server and queue state; the packet in transmission
+// lives inside the record, the waiting packets inside the arc-local ring
+// (power-of-two capacity, head-indexed — the ringbuf layout, monomorphised
+// here so the 24-byte value pushes inline into the per-hop path).
+type arcRec struct {
+	svc       pkt
+	busy      bool
+	group     int32
+	arrivals  int64
+	busySince float64
+	busyTime  float64
+	svcEnqAt  float64 // queue-join time of svc (per-hop wait stat only)
+	qHead     int32
+	qLen      int32
+	qBuf      []pkt
+	qTimes    []float64 // queue-join times, allocated only for per-hop waits
+}
+
+// completion is one pending service completion; seq replays the des
+// calendar's tie-breaking in continuous mode.
+type completion struct {
+	time float64
+	seq  uint64
+	arc  int32
+}
+
+// Kernel is a reusable slot-stepped simulator. The zero value is ready for
+// use; Run may be called repeatedly (with differing configs) and reuses all
+// internal storage.
+type Kernel struct {
+	cfg      Config
+	col      network.Collector
+	trackGrp bool
+	hopWait  bool
+	bfHops   int32 // butterfly mode: hops per packet (= log2 Sources)
+
+	// Hot copies of config fields, so the per-hop path never reloads the
+	// config struct.
+	mode    RouteMode
+	srcN    int
+	maxHops int
+
+	arcs []arcRec
+	// Stored-route slab: MaxHops ints per slot, with a slot free list.
+	paths    []int
+	pathFree []int32
+	numSlots int
+
+	// Completion FIFO: a power-of-two ring over comp[compHead ... ).
+	comp     []completion
+	compHead int
+	compLen  int
+
+	seq uint64
+
+	// Continuous mode: the single pending aggregate arrival.
+	arrTime    float64
+	arrSeq     uint64
+	arrPending bool
+
+	// Slotted mode: batched population updates (see Collector.
+	// PopulationAdjust) — one time-weighted update per slot instant instead
+	// of one per packet. Only valid while the population trace is off.
+	batchPop bool
+	popDelta int64
+	popDirty bool
+
+	// Aggregate traffic sources, reseeded in place per run.
+	slotSrc *workload.SlottedSource
+	poisSrc *workload.PoissonSource
+
+	// Snapshot scratch.
+	snapArcs     []int
+	snapBusy     []float64
+	snapArrivals []float64
+}
+
+// Run executes one replication described by cfg and returns the measurement
+// snapshot taken at the horizon. The kernel's internal state is rebuilt from
+// cfg, so Run may be called repeatedly with unrelated configurations.
+func (k *Kernel) Run(cfg Config) network.Metrics {
+	k.reset(cfg)
+	if cfg.Slotted {
+		k.runSlotted()
+	} else {
+		k.runContinuous()
+	}
+	return k.snapshot()
+}
+
+// DelayQuantile returns the exact q-quantile of the delays measured by the
+// last Run; it requires TrackQuantiles and returns NaN otherwise.
+func (k *Kernel) DelayQuantile(q float64) float64 { return k.col.DelayQuantile(q) }
+
+// DelaySample returns the per-packet delays measured by the last Run when
+// TrackQuantiles was set; see network.Collector.DelaySample for caveats.
+func (k *Kernel) DelaySample() []float64 { return k.col.DelaySample() }
+
+// reset validates cfg and rebuilds all state in place.
+func (k *Kernel) reset(cfg Config) {
+	if cfg.NumArcs <= 0 {
+		panic(fmt.Sprintf("slotsim: NumArcs must be positive, got %d", cfg.NumArcs))
+	}
+	if cfg.Sources <= 0 {
+		panic(fmt.Sprintf("slotsim: Sources must be positive, got %d", cfg.Sources))
+	}
+	if cfg.Horizon <= 0 {
+		panic(fmt.Sprintf("slotsim: Horizon must be positive, got %v", cfg.Horizon))
+	}
+	if cfg.Warmup < 0 || cfg.Warmup > cfg.Horizon {
+		panic(fmt.Sprintf("slotsim: Warmup %v outside [0, horizon]", cfg.Warmup))
+	}
+	if cfg.Slotted && (cfg.Tau <= 0 || cfg.Tau > 1) {
+		panic(fmt.Sprintf("slotsim: slotted mode requires 0 < tau <= 1, got %v", cfg.Tau))
+	}
+	switch cfg.Mode {
+	case RouteStored:
+		if cfg.Traffic == nil {
+			panic("slotsim: RouteStored requires Traffic")
+		}
+		if cfg.MaxHops <= 0 {
+			panic(fmt.Sprintf("slotsim: RouteStored requires positive MaxHops, got %d", cfg.MaxHops))
+		}
+	case RouteHypercubeGreedy, RouteButterfly:
+		if cfg.Dest == nil {
+			panic("slotsim: stepped route modes require Dest")
+		}
+		if cfg.Sources&(cfg.Sources-1) != 0 {
+			panic(fmt.Sprintf("slotsim: stepped route modes require 2^d sources, got %d", cfg.Sources))
+		}
+		cfg.MaxHops = 0 // no stored routes
+	default:
+		panic(fmt.Sprintf("slotsim: unknown route mode %d", cfg.Mode))
+	}
+	if cfg.GroupOf == nil {
+		cfg.GroupOf = func(int) int { return 0 }
+		cfg.NumGroups = 1
+	}
+	if cfg.NumGroups <= 0 {
+		cfg.NumGroups = 1
+	}
+	k.cfg = cfg
+	k.trackGrp = !cfg.SkipGroupPopulation
+	k.hopWait = cfg.TrackPerHopWait
+	k.bfHops = int32(bits.TrailingZeros32(uint32(cfg.Sources)))
+	k.mode = cfg.Mode
+	k.srcN = cfg.Sources
+	k.maxHops = cfg.MaxHops
+
+	k.arcs = resize(k.arcs, cfg.NumArcs)
+	for i := range k.arcs {
+		a := &k.arcs[i]
+		g := cfg.GroupOf(i)
+		if g < 0 || g >= cfg.NumGroups {
+			panic(fmt.Sprintf("slotsim: GroupOf(%d) = %d outside [0,%d)", i, g, cfg.NumGroups))
+		}
+		a.svc = pkt{}
+		a.busy = false
+		a.group = int32(g)
+		a.arrivals = 0
+		a.busySince = 0
+		a.busyTime = 0
+		a.svcEnqAt = 0
+		a.qHead, a.qLen = 0, 0 // buffers are reused; pkt holds no references
+		if k.hopWait && a.qBuf != nil && a.qTimes == nil {
+			a.qTimes = make([]float64, len(a.qBuf))
+		}
+	}
+
+	// Stored-route slab: every slot is free again; re-stride for the
+	// (possibly changed) MaxHops.
+	k.pathFree = k.pathFree[:0]
+	for i := k.numSlots - 1; i >= 0; i-- {
+		k.pathFree = append(k.pathFree, int32(i))
+	}
+	if need := k.numSlots * cfg.MaxHops; cap(k.paths) >= need {
+		k.paths = k.paths[:need]
+	} else {
+		k.paths = make([]int, need)
+	}
+
+	k.compHead, k.compLen = 0, 0
+	k.seq = 0
+	k.arrPending = false
+	k.batchPop = cfg.Slotted && cfg.TraceInterval == 0
+	k.popDelta = 0
+	k.popDirty = false
+
+	// Aggregate sources, seeded exactly as the event-driven drivers seed
+	// theirs: one stream of rate Sources*Lambda whose arrivals pick a
+	// uniformly random origin (Poisson superposition/splitting — the same
+	// process in law as independent per-node streams).
+	rate := float64(cfg.Sources) * cfg.Lambda
+	if cfg.Slotted {
+		if k.slotSrc == nil {
+			k.slotSrc = workload.NewSlottedSource(rate, cfg.Tau, cfg.Seed, 0)
+		} else {
+			k.slotSrc.Reseed(rate, cfg.Tau, cfg.Seed, 0)
+		}
+	} else {
+		if k.poisSrc == nil {
+			k.poisSrc = workload.NewPoissonSource(rate, cfg.Seed, 0)
+		} else {
+			k.poisSrc.Reseed(rate, cfg.Seed, 0)
+		}
+		if next := k.poisSrc.NextArrival(); next <= cfg.Horizon {
+			k.poisSrc.Advance()
+			k.arrTime = next
+			k.arrSeq = k.nextSeq()
+			k.arrPending = true
+		}
+	}
+
+	k.col.Reset(cfg.NumGroups)
+	if cfg.TrackQuantiles {
+		k.col.EnableDelaySample()
+	}
+	if cfg.TrackPerHopWait {
+		k.col.EnablePerHopWait()
+	}
+	if cfg.TraceInterval > 0 {
+		k.col.EnablePopulationTrace(cfg.TraceInterval)
+	}
+}
+
+// resize returns s with length n, reusing capacity when possible.
+func resize[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return append(s[:cap(s)], make([]T, n-cap(s))...)
+}
+
+// runSlotted advances the slot clock: at every slot instant, due completions
+// fire first (FIFO), then the tick injects the network-wide Poisson batch.
+func (k *Kernel) runSlotted() {
+	horizon, warmup, tau := k.cfg.Horizon, k.cfg.Warmup, k.cfg.Tau
+	tick := 0.0 // next tick time, accumulated exactly like the des driver
+	tickPending := true
+	measuring := false
+	cur := 0.0 // instant the batched population delta accumulated over
+	for {
+		var next float64
+		compFirst := false
+		switch {
+		case k.compLen > 0 && tickPending:
+			// Completions due at the tick instant precede the tick: they
+			// were scheduled no later than the end of the previous tick's
+			// handler, which is also where the tick itself was scheduled.
+			if ct := k.comp[k.compHead].time; ct <= tick {
+				next, compFirst = ct, true
+			} else {
+				next = tick
+			}
+		case k.compLen > 0:
+			next, compFirst = k.comp[k.compHead].time, true
+		case tickPending:
+			next = tick
+		default:
+			k.flushPop(cur)
+			if !measuring {
+				k.startMeasurement(warmup)
+			}
+			return
+		}
+		if next > horizon {
+			break
+		}
+		if next != cur {
+			k.flushPop(cur)
+			cur = next
+		}
+		if !measuring && next > warmup {
+			k.startMeasurement(warmup)
+			measuring = true
+		}
+		if compFirst {
+			c := k.popCompletion()
+			k.complete(int(c.arc), c.time)
+		} else {
+			k.fireTick(tick)
+			tick += tau
+			tickPending = tick <= horizon
+		}
+	}
+	k.flushPop(cur)
+	if !measuring {
+		k.startMeasurement(warmup)
+	}
+}
+
+// runContinuous merges the aggregate arrival stream with the completion
+// stream in exact (time, seq) order.
+func (k *Kernel) runContinuous() {
+	horizon, warmup := k.cfg.Horizon, k.cfg.Warmup
+	nodes := uint64(k.srcN)
+	src := k.poisSrc
+	rng := src.RNG()
+	measuring := false
+	for {
+		var next float64
+		compFirst := false
+		switch {
+		case k.compLen > 0 && k.arrPending:
+			c := &k.comp[k.compHead]
+			if c.time < k.arrTime || (c.time == k.arrTime && c.seq < k.arrSeq) {
+				next, compFirst = c.time, true
+			} else {
+				next = k.arrTime
+			}
+		case k.compLen > 0:
+			next, compFirst = k.comp[k.compHead].time, true
+		case k.arrPending:
+			next = k.arrTime
+		default:
+			if !measuring {
+				k.startMeasurement(warmup)
+			}
+			return
+		}
+		if next > horizon {
+			break
+		}
+		if !measuring && next > warmup {
+			k.startMeasurement(warmup)
+			measuring = true
+		}
+		if compFirst {
+			c := k.popCompletion()
+			k.complete(int(c.arc), c.time)
+		} else {
+			t := k.arrTime
+			k.arrPending = false
+			node := int32(rng.Uint64n(nodes))
+			k.inject(node, rng, t)
+			if nxt := src.NextArrival(); nxt <= horizon {
+				src.Advance()
+				k.arrTime = nxt
+				k.arrSeq = k.nextSeq()
+				k.arrPending = true
+			}
+		}
+	}
+	if !measuring {
+		k.startMeasurement(warmup)
+	}
+}
+
+// fireTick injects the network-wide slot batch at time now; each packet picks
+// a uniformly random origin node from the aggregate source's payload stream.
+func (k *Kernel) fireTick(now float64) {
+	src := k.slotSrc
+	nodes := uint64(k.srcN)
+	batch := src.BatchSize()
+	rng := src.RNG()
+	for j := 0; j < batch; j++ {
+		node := int32(rng.Uint64n(nodes))
+		k.inject(node, rng, now)
+	}
+}
+
+// inject creates one packet at time now; it mirrors network.System.Inject.
+func (k *Kernel) inject(node int32, rng *xrand.Rand, now float64) {
+	p := pkt{genTime: now, slot: -1}
+	switch k.mode {
+	case RouteHypercubeGreedy:
+		dest := k.cfg.Dest.SampleDest(node, rng)
+		p.u = uint32(node)
+		p.v = uint32(node) ^ dest
+		p.hops = int16(bits.OnesCount32(p.v))
+	case RouteButterfly:
+		p.u = uint32(node)
+		p.v = k.cfg.Dest.SampleDest(node, rng)
+		p.hops = int16(k.bfHops)
+	default:
+		slot := k.allocPathSlot()
+		base := int(slot) * k.maxHops
+		route := k.cfg.Traffic.AppendRoute(node, rng, k.paths[base:base:base+k.maxHops])
+		if len(route) > k.maxHops {
+			panic(fmt.Sprintf("slotsim: route of %d hops exceeds MaxHops %d", len(route), k.maxHops))
+		}
+		if len(route) > 0 && &route[0] != &k.paths[base] {
+			// A Traffic implementation that did not append in place still works.
+			copy(k.paths[base:base+len(route)], route)
+		}
+		p.slot = slot
+		p.hops = int16(len(route))
+	}
+	k.col.CountGenerated()
+	if p.hops == 0 {
+		k.col.Deliver(now, now, 0, 0)
+		if p.slot >= 0 {
+			k.pathFree = append(k.pathFree, p.slot)
+		}
+		return
+	}
+	k.packetEntered(now)
+	k.enqueue(&p, now)
+}
+
+// nextArc returns the arc index of the packet's current hop, advancing the
+// stepped-route state. The stepped arithmetic reproduces the arc indices of
+// routing.DimensionOrder.AppendPath and routing.AppendButterflyPath exactly.
+func (k *Kernel) nextArc(p *pkt) int {
+	switch k.mode {
+	case RouteHypercubeGreedy:
+		bit := p.v & -p.v
+		dim := uint32(bits.TrailingZeros32(p.v))
+		idx := int(dim)*k.srcN + int(p.u)
+		p.u ^= bit
+		p.v &^= bit
+		return idx
+	case RouteButterfly:
+		bit := uint32(1) << uint32(p.hop)
+		idx := int(p.hop) * 2 * k.srcN
+		if (p.u^p.v)&bit != 0 {
+			idx += k.srcN + int(p.u)
+			p.u ^= bit
+		} else {
+			idx += int(p.u)
+		}
+		return idx
+	default:
+		idx := k.paths[int(p.slot)*k.maxHops+int(p.hop)]
+		if idx < 0 || idx >= len(k.arcs) {
+			panic(fmt.Sprintf("slotsim: route refers to arc %d outside [0,%d)", idx, len(k.arcs)))
+		}
+		return idx
+	}
+}
+
+// enqueue places the packet at its current arc; it mirrors System.enqueue.
+// The packet value is copied into the arc record (idle arc) or the arc-local
+// ring (busy arc).
+func (k *Kernel) enqueue(p *pkt, now float64) {
+	idx := k.nextArc(p)
+	a := &k.arcs[idx]
+	a.arrivals++
+	if !a.busy {
+		if k.hopWait {
+			a.svcEnqAt = now
+		}
+		k.startService(a, int32(idx), p, now)
+	} else {
+		if int(a.qLen) == len(a.qBuf) {
+			k.growQueue(a)
+		}
+		pos := (int(a.qHead) + int(a.qLen)) & (len(a.qBuf) - 1)
+		a.qBuf[pos] = *p
+		if k.hopWait {
+			a.qTimes[pos] = now
+		}
+		a.qLen++
+	}
+	if k.trackGrp {
+		k.col.GroupPopulationAdd(a.group, now, +1)
+	}
+}
+
+// startService begins the unit transmission of p on arc a.
+func (k *Kernel) startService(a *arcRec, idx int32, p *pkt, now float64) {
+	a.svc = *p
+	a.busy = true
+	a.busySince = now
+	k.pushCompletion(completion{time: now + 1, seq: k.nextSeq(), arc: idx})
+}
+
+// growQueue doubles an arc queue's power-of-two capacity (starting at 8),
+// linearising the contents so the head restarts at zero.
+func (k *Kernel) growQueue(a *arcRec) {
+	newCap := 2 * len(a.qBuf)
+	if newCap == 0 {
+		newCap = 8
+	}
+	nb := make([]pkt, newCap)
+	mask := len(a.qBuf) - 1
+	for i := 0; i < int(a.qLen); i++ {
+		nb[i] = a.qBuf[(int(a.qHead)+i)&mask]
+	}
+	if k.hopWait {
+		nt := make([]float64, newCap)
+		for i := 0; i < int(a.qLen); i++ {
+			nt[i] = a.qTimes[(int(a.qHead)+i)&mask]
+		}
+		a.qTimes = nt
+	} else if a.qTimes != nil {
+		a.qTimes = make([]float64, newCap)
+	}
+	a.qBuf = nb
+	a.qHead = 0
+}
+
+// complete finishes the transmission on arc idx; it mirrors
+// System.completeService (FIFO discipline).
+func (k *Kernel) complete(idx int, now float64) {
+	a := &k.arcs[idx]
+	if !a.busy {
+		panic(fmt.Sprintf("slotsim: completion on idle arc %d", idx))
+	}
+	p := a.svc
+	a.busy = false
+	a.busyTime += now - a.busySince
+	if k.trackGrp {
+		k.col.GroupPopulationAdd(a.group, now, -1)
+	}
+	if k.hopWait {
+		k.col.ArcWait(a.group, now, a.svcEnqAt, p.genTime)
+	}
+
+	// Start the next queued packet on this arc.
+	if a.qLen > 0 {
+		head := int(a.qHead)
+		next := a.qBuf[head]
+		if k.hopWait {
+			a.svcEnqAt = a.qTimes[head]
+		}
+		a.qHead = int32((head + 1) & (len(a.qBuf) - 1))
+		a.qLen--
+		k.startService(a, int32(idx), &next, now)
+	}
+
+	p.hop++
+	if p.hop >= p.hops {
+		k.packetLeft(now)
+		k.col.Deliver(now, p.genTime, int(p.hops), 0)
+		if p.slot >= 0 {
+			k.pathFree = append(k.pathFree, p.slot)
+		}
+		return
+	}
+	k.enqueue(&p, now)
+}
+
+// startMeasurement discards the warm-up transient at the given instant.
+func (k *Kernel) startMeasurement(now float64) {
+	k.col.StartMeasurement(now)
+	for i := range k.arcs {
+		a := &k.arcs[i]
+		a.arrivals = 0
+		a.busyTime = 0
+		if a.busy {
+			a.busySince = now
+		}
+	}
+}
+
+// snapshot closes the run at the horizon, aggregating per-arc state in
+// arc-index order exactly as System.Snapshot does.
+func (k *Kernel) snapshot() network.Metrics {
+	n := k.cfg.NumGroups
+	k.snapArcs = resize(k.snapArcs, n)
+	k.snapBusy = resize(k.snapBusy, n)
+	k.snapArrivals = resize(k.snapArrivals, n)
+	for g := 0; g < n; g++ {
+		k.snapArcs[g] = 0
+		k.snapBusy[g] = 0
+		k.snapArrivals[g] = 0
+	}
+	now := k.cfg.Horizon
+	for i := range k.arcs {
+		a := &k.arcs[i]
+		g := a.group
+		k.snapArcs[g]++
+		busy := a.busyTime
+		if a.busy {
+			busy += now - a.busySince
+		}
+		k.snapBusy[g] += busy
+		k.snapArrivals[g] += float64(a.arrivals)
+	}
+	return k.col.Snapshot(now, k.snapArcs, k.snapBusy, k.snapArrivals)
+}
+
+// allocPathSlot takes a stored-route slab slot from the free list, growing
+// the slab when it is exhausted.
+func (k *Kernel) allocPathSlot() int32 {
+	if n := len(k.pathFree); n > 0 {
+		s := k.pathFree[n-1]
+		k.pathFree = k.pathFree[:n-1]
+		return s
+	}
+	s := int32(k.numSlots)
+	k.numSlots++
+	for i := 0; i < k.maxHops; i++ {
+		k.paths = append(k.paths, 0)
+	}
+	return s
+}
+
+func (k *Kernel) nextSeq() uint64 {
+	s := k.seq
+	k.seq++
+	return s
+}
+
+// packetEntered and packetLeft update the population process, batching
+// same-instant changes in slotted mode.
+func (k *Kernel) packetEntered(now float64) {
+	if k.batchPop {
+		k.popDelta++
+		k.popDirty = true
+		return
+	}
+	k.col.PacketEntered(now)
+}
+
+func (k *Kernel) packetLeft(now float64) {
+	if k.batchPop {
+		k.popDelta--
+		k.popDirty = true
+		return
+	}
+	k.col.PacketLeft(now)
+}
+
+// flushPop materialises the batched population change at the instant it
+// accumulated over; it must run before the clock moves past that instant.
+func (k *Kernel) flushPop(at float64) {
+	if k.popDirty {
+		k.col.PopulationAdjust(at, k.popDelta)
+		k.popDelta = 0
+		k.popDirty = false
+	}
+}
+
+// pushCompletion appends to the completion ring, growing (power-of-two
+// capacity) when full.
+func (k *Kernel) pushCompletion(c completion) {
+	if k.compLen == len(k.comp) {
+		k.growComp()
+	}
+	k.comp[(k.compHead+k.compLen)&(len(k.comp)-1)] = c
+	k.compLen++
+}
+
+// popCompletion removes the head completion; the caller has checked compLen.
+func (k *Kernel) popCompletion() completion {
+	c := k.comp[k.compHead]
+	k.compHead = (k.compHead + 1) & (len(k.comp) - 1)
+	k.compLen--
+	return c
+}
+
+func (k *Kernel) growComp() {
+	newCap := 2 * len(k.comp)
+	if newCap == 0 {
+		newCap = 64
+	}
+	nb := make([]completion, newCap)
+	mask := len(k.comp) - 1
+	for i := 0; i < k.compLen; i++ {
+		nb[i] = k.comp[(k.compHead+i)&mask]
+	}
+	k.comp = nb
+	k.compHead = 0
+}

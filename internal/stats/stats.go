@@ -128,18 +128,13 @@ type TimeWeighted struct {
 }
 
 // Set records that the tracked process takes value v from time now onwards.
-// Calls must have non-decreasing time stamps.
+// Calls must have non-decreasing time stamps. The common case is small
+// enough to inline into the simulators' per-hop hot path; initialisation and
+// the went-backwards panic live in setSlow.
 func (w *TimeWeighted) Set(now, v float64) {
-	if !w.started {
-		w.started = true
-		w.startTime = now
-		w.lastTime = now
-		w.lastValue = v
-		w.maxValue = v
+	if !w.started || now < w.lastTime {
+		w.setSlow(now, v)
 		return
-	}
-	if now < w.lastTime {
-		panic(fmt.Sprintf("stats: TimeWeighted.Set time went backwards: %v < %v", now, w.lastTime))
 	}
 	w.area += w.lastValue * (now - w.lastTime)
 	w.lastTime = now
@@ -147,6 +142,17 @@ func (w *TimeWeighted) Set(now, v float64) {
 	if v > w.maxValue {
 		w.maxValue = v
 	}
+}
+
+func (w *TimeWeighted) setSlow(now, v float64) {
+	if w.started {
+		panic(fmt.Sprintf("stats: TimeWeighted.Set time went backwards: %v < %v", now, w.lastTime))
+	}
+	w.started = true
+	w.startTime = now
+	w.lastTime = now
+	w.lastValue = v
+	w.maxValue = v
 }
 
 // Advance extends the current value to time now without changing it.
@@ -308,6 +314,19 @@ func (q *Quantiles) Add(x float64) {
 
 // Count returns the number of stored observations.
 func (q *Quantiles) Count() int { return len(q.xs) }
+
+// Values returns the stored observations. The slice aliases internal storage:
+// treat it as read-only, and note that quantile queries may partially reorder
+// it in place (deterministically for a given sample).
+func (q *Quantiles) Values() []float64 { return q.xs }
+
+// Reset discards the stored sample, keeping the backing array so a pooled
+// collector does not reallocate it.
+func (q *Quantiles) Reset() {
+	q.xs = q.xs[:0]
+	q.sorted = false
+	q.selects = 0
+}
 
 // Value returns the p-quantile (0 <= p <= 1) of the stored sample. The
 // simulators query only a handful of quantiles per run over samples of 10^5+
@@ -540,6 +559,12 @@ func (s *Series) AddPoint(x, y float64) {
 
 // Len returns the number of points.
 func (s *Series) Len() int { return len(s.X) }
+
+// Reset discards the points, keeping the backing arrays for reuse.
+func (s *Series) Reset() {
+	s.X = s.X[:0]
+	s.Y = s.Y[:0]
+}
 
 // MaxY returns the largest y value (0 for an empty series).
 func (s *Series) MaxY() float64 {

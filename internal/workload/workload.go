@@ -52,8 +52,15 @@ func NewBitFlip(d int, p float64) BitFlip {
 	return BitFlip{D: d, P: p}
 }
 
-// Sample flips each bit of origin independently with probability P.
+// Sample flips each bit of origin independently with probability P. At
+// P = 1/2 — uniform traffic, the paper's default — all d flips are sampled
+// with a single uniform draw (every bit of a random word is an independent
+// fair coin), which is the destination-sampling hot path of both simulation
+// kernels.
 func (b BitFlip) Sample(origin hypercube.Node, rng *xrand.Rand) hypercube.Node {
+	if b.P == 0.5 {
+		return origin ^ hypercube.Node(rng.Uint64n(uint64(1)<<uint(b.D)))
+	}
 	dest := origin
 	for m := 0; m < b.D; m++ {
 		if rng.Bernoulli(b.P) {
@@ -232,8 +239,12 @@ func NewRowBitFlip(d int, p float64) RowBitFlip {
 	return RowBitFlip{D: d, P: p}
 }
 
-// SampleRow flips each origin-row bit independently with probability P.
+// SampleRow flips each origin-row bit independently with probability P; at
+// P = 1/2 all d flips come from a single uniform draw (see BitFlip.Sample).
 func (b RowBitFlip) SampleRow(origin butterfly.Row, rng *xrand.Rand) butterfly.Row {
+	if b.P == 0.5 {
+		return origin ^ butterfly.Row(rng.Uint64n(uint64(1)<<uint(b.D)))
+	}
 	dest := origin
 	for m := 0; m < b.D; m++ {
 		if rng.Bernoulli(b.P) {
@@ -249,14 +260,33 @@ func (b RowBitFlip) FlipProbability() float64 { return b.P }
 // String names the distribution.
 func (b RowBitFlip) String() string { return fmt.Sprintf("row-bitflip(p=%g)", b.P) }
 
+// timingStreamOffset separates the stream that drives a source's arrival
+// timing (inter-arrival gaps, batch sizes) from the stream that drives its
+// per-packet payload sampling (destinations). Payload streams use the node
+// index directly (0..N-1) and the simulators' auxiliary streams use small
+// fixed tags, so an offset of 2^40 cannot collide with either. Keeping the
+// two processes on separate streams is what lets the timing draws be buffered
+// in bulk (xrand.FillExp / FillPoisson) without the interleaved destination
+// draws changing the sample path.
+const timingStreamOffset = uint64(1) << 40
+
+// sourceGapBuffer is the number of timing draws a source buffers ahead. The
+// values are identical to scalar draws (the bulk fillers are bit-exact), so
+// the buffer size only trades set-up amortisation against lookahead waste.
+const sourceGapBuffer = 32
+
 // PoissonSource models one node's packet-generating Poisson process in
 // continuous time. Successive inter-arrival times are exponential with the
-// source's rate; each source carries its own random stream so that different
-// nodes generate independently (and so that runs are reproducible no matter
-// how events interleave).
+// source's rate. Each source carries two private random streams — one for the
+// arrival gaps, one for per-packet payload sampling (RNG) — so that different
+// nodes generate independently, runs are reproducible no matter how events
+// interleave, and gaps can be pre-drawn in bulk.
 type PoissonSource struct {
 	Rate float64
-	rng  *xrand.Rand
+	rng  *xrand.Rand // payload stream (destination sampling via RNG)
+	gaps *xrand.Rand // timing stream
+	buf  [sourceGapBuffer]float64
+	pos  int
 	next float64
 }
 
@@ -264,16 +294,40 @@ type PoissonSource struct {
 // derived from (seed, stream). A non-positive rate yields a source that never
 // generates (NextArrival returns +Inf).
 func NewPoissonSource(rate float64, seed, stream uint64) *PoissonSource {
-	s := &PoissonSource{Rate: rate, rng: xrand.NewStream(seed, stream)}
-	s.next = s.draw(0)
+	s := &PoissonSource{
+		rng:  xrand.NewStream(seed, stream),
+		gaps: xrand.NewStream(seed, stream+timingStreamOffset),
+	}
+	s.reset(rate)
 	return s
+}
+
+// Reseed re-initialises the source in place to the exact state
+// NewPoissonSource(rate, seed, stream) would produce, reusing both
+// generators; pooled simulators call it once per replication.
+func (s *PoissonSource) Reseed(rate float64, seed, stream uint64) {
+	s.rng.SeedStream(seed, stream)
+	s.gaps.SeedStream(seed, stream+timingStreamOffset)
+	s.reset(rate)
+}
+
+func (s *PoissonSource) reset(rate float64) {
+	s.Rate = rate
+	s.pos = len(s.buf)
+	s.next = s.draw(0)
 }
 
 func (s *PoissonSource) draw(now float64) float64 {
 	if s.Rate <= 0 {
 		return math.Inf(1)
 	}
-	return now + s.rng.Exp(s.Rate)
+	if s.pos == len(s.buf) {
+		s.gaps.FillExp(s.buf[:], s.Rate)
+		s.pos = 0
+	}
+	g := s.buf[s.pos]
+	s.pos++
+	return now + g
 }
 
 // NextArrival returns the time of the source's next arrival.
@@ -284,18 +338,22 @@ func (s *PoissonSource) Advance() {
 	s.next = s.draw(s.next)
 }
 
-// RNG exposes the source's random stream so the caller can sample the
-// packet's destination from the same stream (keeping the whole per-node
-// sample path reproducible).
+// RNG exposes the source's payload stream so the caller can sample the
+// packet's destination from it (keeping the whole per-node sample path
+// reproducible and independent of other nodes).
 func (s *PoissonSource) RNG() *xrand.Rand { return s.rng }
 
 // SlottedSource models the slotted-time arrival process of §3.4: at the start
 // of every slot of length Tau the node generates a Poisson(Rate*Tau) batch of
-// packets.
+// packets. Like PoissonSource it keeps batch-size draws and payload draws on
+// separate streams, buffering the batch sizes through xrand.FillPoisson.
 type SlottedSource struct {
-	Rate float64
-	Tau  float64
-	rng  *xrand.Rand
+	Rate   float64
+	Tau    float64
+	rng    *xrand.Rand // payload stream (destination sampling via RNG)
+	counts *xrand.Rand // batch-size stream
+	buf    [sourceGapBuffer]int
+	pos    int
 }
 
 // NewSlottedSource creates a slotted source. Tau must be positive.
@@ -303,7 +361,27 @@ func NewSlottedSource(rate, tau float64, seed, stream uint64) *SlottedSource {
 	if tau <= 0 {
 		panic(fmt.Sprintf("workload: SlottedSource requires tau > 0, got %v", tau))
 	}
-	return &SlottedSource{Rate: rate, Tau: tau, rng: xrand.NewStream(seed, stream)}
+	s := &SlottedSource{
+		Rate:   rate,
+		Tau:    tau,
+		rng:    xrand.NewStream(seed, stream),
+		counts: xrand.NewStream(seed, stream+timingStreamOffset),
+	}
+	s.pos = len(s.buf)
+	return s
+}
+
+// Reseed re-initialises the source in place to the exact state
+// NewSlottedSource(rate, tau, seed, stream) would produce. Tau must be
+// positive.
+func (s *SlottedSource) Reseed(rate, tau float64, seed, stream uint64) {
+	if tau <= 0 {
+		panic(fmt.Sprintf("workload: SlottedSource requires tau > 0, got %v", tau))
+	}
+	s.Rate, s.Tau = rate, tau
+	s.rng.SeedStream(seed, stream)
+	s.counts.SeedStream(seed, stream+timingStreamOffset)
+	s.pos = len(s.buf)
 }
 
 // BatchSize draws the number of packets generated at the start of a slot.
@@ -311,10 +389,16 @@ func (s *SlottedSource) BatchSize() int {
 	if s.Rate <= 0 {
 		return 0
 	}
-	return s.rng.Poisson(s.Rate * s.Tau)
+	if s.pos == len(s.buf) {
+		s.counts.FillPoisson(s.buf[:], s.Rate*s.Tau)
+		s.pos = 0
+	}
+	n := s.buf[s.pos]
+	s.pos++
+	return n
 }
 
-// RNG exposes the source's random stream for destination sampling.
+// RNG exposes the source's payload stream for destination sampling.
 func (s *SlottedSource) RNG() *xrand.Rand { return s.rng }
 
 // Permutation returns a uniformly random permutation destination assignment

@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"testing"
+)
+
+// TestSeedStreamMatchesNewStream pins the in-place reseeding contract: a
+// recycled generator must continue the exact sequence a freshly constructed
+// stream would produce.
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	r := New(1)
+	for _, tc := range []struct{ seed, stream uint64 }{
+		{0, 0}, {7, 3}, {7, 4}, {42, 1 << 40}, {^uint64(0), 99},
+	} {
+		r.SeedStream(tc.seed, tc.stream)
+		want := NewStream(tc.seed, tc.stream)
+		for i := 0; i < 16; i++ {
+			if g, w := r.Uint64(), want.Uint64(); g != w {
+				t.Fatalf("SeedStream(%d,%d) diverges at draw %d: %d vs %d", tc.seed, tc.stream, i, g, w)
+			}
+		}
+	}
+}
+
+// TestFillExpMatchesScalar checks that bulk exponential generation consumes
+// the stream exactly like repeated Exp calls, bit for bit.
+func TestFillExpMatchesScalar(t *testing.T) {
+	for _, rate := range []float64{0.1, 1, 3.7} {
+		bulk := NewStream(11, 2)
+		scalar := NewStream(11, 2)
+		dst := make([]float64, 257)
+		bulk.FillExp(dst, rate)
+		for i, v := range dst {
+			if w := scalar.Exp(rate); v != w {
+				t.Fatalf("rate %v: FillExp[%d] = %v, Exp = %v", rate, i, v, w)
+			}
+		}
+	}
+}
+
+// TestFillPoissonMatchesScalar checks both the Knuth and the PTRS regime.
+func TestFillPoissonMatchesScalar(t *testing.T) {
+	for _, mean := range []float64{0, 0.35, 2, 29.9, 30, 250} {
+		bulk := NewStream(5, 9)
+		scalar := NewStream(5, 9)
+		dst := make([]int, 300)
+		bulk.FillPoisson(dst, mean)
+		for i, v := range dst {
+			if w := scalar.Poisson(mean); v != w {
+				t.Fatalf("mean %v: FillPoisson[%d] = %d, Poisson = %d", mean, i, v, w)
+			}
+		}
+	}
+}
+
+// TestFillGeometricMatchesScalar checks bulk geometric draws, including the
+// degenerate p = 1 case.
+func TestFillGeometricMatchesScalar(t *testing.T) {
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		bulk := NewStream(3, 1)
+		scalar := NewStream(3, 1)
+		dst := make([]int, 300)
+		bulk.FillGeometric(dst, p)
+		for i, v := range dst {
+			if w := scalar.Geometric(p); v != w {
+				t.Fatalf("p %v: FillGeometric[%d] = %d, Geometric = %d", p, i, v, w)
+			}
+		}
+	}
+}
+
+func TestFillPanics(t *testing.T) {
+	r := New(1)
+	for name, fn := range map[string]func(){
+		"FillExp rate 0":      func() { r.FillExp(make([]float64, 1), 0) },
+		"FillGeometric p 0":   func() { r.FillGeometric(make([]int, 1), 0) },
+		"FillGeometric p 1.5": func() { r.FillGeometric(make([]int, 1), 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkExpScalar(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp(1.5)
+	}
+}
+
+func BenchmarkFillExp(b *testing.B) {
+	r := New(1)
+	dst := make([]float64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		r.FillExp(dst, 1.5)
+	}
+}
+
+func BenchmarkPoissonScalarSmallMean(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Poisson(0.35)
+	}
+}
+
+func BenchmarkFillPoissonSmallMean(b *testing.B) {
+	r := New(1)
+	dst := make([]int, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		r.FillPoisson(dst, 0.35)
+	}
+}
+
+func BenchmarkFillGeometric(b *testing.B) {
+	r := New(1)
+	dst := make([]int, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(dst) {
+		r.FillGeometric(dst, 0.3)
+	}
+}

@@ -87,6 +87,20 @@ func (r *Rand) Seed(seed uint64) {
 	r.normalizeState()
 }
 
+// SeedStream resets the generator in place to the exact state NewStream(seed,
+// stream) would produce. Pooled simulators use it to re-seed long-lived
+// generators between replications without allocating.
+func (r *Rand) SeedStream(seed uint64, stream uint64) {
+	sm := seed
+	_ = splitMix64(&sm)
+	sm ^= 0x6a09e667f3bcc909 * (stream + 1)
+	_ = splitMix64(&sm)
+	for i := range r.s {
+		r.s[i] = splitMix64(&sm)
+	}
+	r.normalizeState()
+}
+
 // normalizeState guards against the (astronomically unlikely, but fatal)
 // all-zero state of xoshiro256**.
 func (r *Rand) normalizeState() {
@@ -175,14 +189,75 @@ func (r *Rand) Poisson(mean float64) int {
 	case mean <= 0:
 		return 0
 	case mean < 30:
-		return r.poissonKnuth(mean)
+		return r.poissonKnuth(math.Exp(-mean))
 	default:
-		return r.poissonPTRS(mean)
+		p := newPTRSParams(mean)
+		return r.poissonPTRS(&p)
 	}
 }
 
-func (r *Rand) poissonKnuth(mean float64) int {
-	limit := math.Exp(-mean)
+// FillExp fills dst with independent exponential draws of the given rate. The
+// values are exactly the ones len(dst) successive Exp calls would return, so
+// arrival generators can buffer inter-arrival gaps ahead of time without
+// changing the sample path; the bulk form amortises the per-call overhead
+// across the batch. It panics if rate <= 0.
+func (r *Rand) FillExp(dst []float64, rate float64) {
+	if rate <= 0 {
+		panic("xrand: FillExp called with non-positive rate")
+	}
+	for i := range dst {
+		dst[i] = -math.Log(1-r.Float64()) / rate
+	}
+}
+
+// FillPoisson fills dst with independent Poisson draws of the given mean,
+// exactly the values len(dst) successive Poisson calls would return. The bulk
+// form hoists the mean-dependent set-up (exp(-mean) for the Knuth sampler,
+// the PTRS constants for large means) out of the per-draw loop, which is
+// where most of the scalar sampler's time goes for small means.
+func (r *Rand) FillPoisson(dst []int, mean float64) {
+	switch {
+	case mean <= 0:
+		for i := range dst {
+			dst[i] = 0
+		}
+	case mean < 30:
+		limit := math.Exp(-mean)
+		for i := range dst {
+			dst[i] = r.poissonKnuth(limit)
+		}
+	default:
+		p := newPTRSParams(mean)
+		for i := range dst {
+			dst[i] = r.poissonPTRS(&p)
+		}
+	}
+}
+
+// FillGeometric fills dst with independent Geometric(p) draws (failures
+// before the first success), exactly the values len(dst) successive Geometric
+// calls would return; the log(1-p) denominator is computed once for the whole
+// batch. It rounds out the bulk-sampler set for workloads that draw
+// geometric queue lengths or retrial counts in batches. It panics if p <= 0
+// or p > 1.
+func (r *Rand) FillGeometric(dst []int, p float64) {
+	if p <= 0 || p > 1 {
+		panic("xrand: FillGeometric requires 0 < p <= 1")
+	}
+	if p == 1 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	lnQ := math.Log(1 - p)
+	for i := range dst {
+		dst[i] = int(math.Floor(math.Log(1-r.Float64()) / lnQ))
+	}
+}
+
+// poissonKnuth draws one Poisson variate given limit = exp(-mean).
+func (r *Rand) poissonKnuth(limit float64) int {
 	k := 0
 	prod := r.Float64()
 	for prod > limit {
@@ -192,27 +267,39 @@ func (r *Rand) poissonKnuth(mean float64) int {
 	return k
 }
 
+// ptrsParams holds the mean-dependent constants of the PTRS sampler so that
+// bulk generation computes them once per batch.
+type ptrsParams struct {
+	mean, b, a, invAlpha, vr float64
+}
+
+func newPTRSParams(mean float64) ptrsParams {
+	b := 0.931 + 2.53*math.Sqrt(mean)
+	return ptrsParams{
+		mean:     mean,
+		b:        b,
+		a:        -0.059 + 0.02483*b,
+		invAlpha: 1.1239 + 1.1328/(b-3.4),
+		vr:       0.9277 - 3.6224/(b-2),
+	}
+}
+
 // poissonPTRS implements Hörmann's PTRS algorithm for Poisson generation
 // with mean >= 10 (we use it for mean >= 30).
-func (r *Rand) poissonPTRS(mean float64) int {
-	b := 0.931 + 2.53*math.Sqrt(mean)
-	a := -0.059 + 0.02483*b
-	invAlpha := 1.1239 + 1.1328/(b-3.4)
-	vr := 0.9277 - 3.6224/(b-2)
-
+func (r *Rand) poissonPTRS(p *ptrsParams) int {
 	for {
 		u := r.Float64() - 0.5
 		v := r.Float64()
 		us := 0.5 - math.Abs(u)
-		k := math.Floor((2*a/us+b)*u + mean + 0.43)
-		if us >= 0.07 && v <= vr {
+		k := math.Floor((2*p.a/us+p.b)*u + p.mean + 0.43)
+		if us >= 0.07 && v <= p.vr {
 			return int(k)
 		}
 		if k < 0 || (us < 0.013 && v > us) {
 			continue
 		}
-		if math.Log(v)+math.Log(invAlpha)-math.Log(a/(us*us)+b) <=
-			k*math.Log(mean)-mean-logGamma(k+1) {
+		if math.Log(v)+math.Log(p.invAlpha)-math.Log(p.a/(us*us)+p.b) <=
+			k*math.Log(p.mean)-p.mean-logGamma(k+1) {
 			return int(k)
 		}
 	}
