@@ -1,8 +1,8 @@
-// Benchmarks that regenerate every experiment of the reproduction (E1..E12)
+// Benchmarks that regenerate every experiment of the reproduction (E1..E18)
 // and the design ablations (A1..A3), one benchmark per experiment, matching
-// the per-experiment index in DESIGN.md. Each benchmark iteration runs the
-// experiment in Quick mode (shortened horizons); the cmd/experiments binary
-// runs the same code at full size. The reported ns/op is therefore the cost
+// the registry in internal/harness (see README.md for the index). Each
+// benchmark iteration runs the experiment in Quick mode (shortened
+// horizons); the cmd/experiments binary runs the same code at full size. The reported ns/op is therefore the cost
 // of regenerating the experiment's table, and the benchmark body also
 // verifies that no check column reports a violation, so `go test -bench=.`
 // doubles as an end-to-end validation pass.

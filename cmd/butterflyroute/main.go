@@ -1,6 +1,6 @@
-// Command butterflyroute runs butterfly greedy-routing simulations and
-// prints the measured delay and utilisation statistics next to the paper's
-// bounds (Propositions 14-17).
+// Command butterflyroute runs butterfly greedy-routing simulations through
+// the unified scenario API (repro/sim) and prints the measured delay and
+// utilisation statistics next to the paper's bounds (Propositions 14-17).
 //
 // With -reps N (N > 1) it becomes a Monte-Carlo harness: N independent
 // replications execute on the sharded parallel engine with deterministically
@@ -14,13 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
-	"repro/greedy"
 	"repro/internal/harness"
+	"repro/sim"
 )
 
 func main() {
@@ -39,8 +39,8 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := greedy.ButterflyConfig{
-		D:              *d,
+	sc := sim.Scenario{
+		Topology:       sim.Butterfly(*d),
 		P:              *p,
 		Horizon:        *horizon,
 		WarmupFraction: *warmup,
@@ -48,16 +48,16 @@ func main() {
 		TrackQuantiles: *quantile,
 	}
 	if *lambda > 0 {
-		cfg.Lambda = *lambda
+		sc.Lambda = *lambda
 	} else {
-		cfg.LoadFactor = *rho
+		sc.LoadFactor = *rho
 	}
 
 	var table *harness.Table
 	if *reps > 1 {
-		table = replicated(cfg, *quantile, *reps, *parallelism, *seed)
+		table = replicated(sc, *quantile, *reps, *parallelism)
 	} else {
-		table = single(cfg, *quantile)
+		table = single(sc, *quantile)
 	}
 	if *jsonOut {
 		data, err := table.JSON()
@@ -71,24 +71,30 @@ func main() {
 	fmt.Print(table.String())
 }
 
-func single(cfg greedy.ButterflyConfig, quantile bool) *harness.Table {
-	res, err := greedy.RunButterfly(cfg)
+func runScenario(sc sim.Scenario) *sim.Result {
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "butterflyroute: %v\n", err)
 		os.Exit(1)
 	}
+	return res
+}
+
+func single(sc sim.Scenario, quantile bool) *harness.Table {
+	res := runScenario(sc)
+	b := res.Butterfly
 
 	table := harness.NewTable(
 		fmt.Sprintf("butterfly d=%d p=%.3g lambda=%.4g rho=%.4g",
-			res.Params.D, res.Params.P, res.Params.Lambda, res.LoadFactor),
+			b.Params.D, b.Params.P, b.Params.Lambda, res.LoadFactor),
 		"quantity", "value")
 	table.AddRow("mean delay T", harness.F(res.MeanDelay))
 	table.AddRow("delay 95% CI (half-width)", harness.F(res.Metrics.DelayCI95))
-	table.AddRow("universal lower bound (Prop 14)", harness.F(res.UniversalLowerBound))
-	table.AddRow("greedy upper bound (Prop 17)", harness.F(res.GreedyUpperBound))
+	table.AddRow("universal lower bound (Prop 14)", harness.F(b.UniversalLowerBound))
+	table.AddRow("greedy upper bound (Prop 17)", harness.F(b.GreedyUpperBound))
 	table.AddRow("within paper bounds", fmt.Sprintf("%v", res.WithinPaperBounds))
-	table.AddRow("straight-arc utilisation (lambda*(1-p))", harness.F(res.StraightUtilization))
-	table.AddRow("vertical-arc utilisation (lambda*p)", harness.F(res.VerticalUtilization))
+	table.AddRow("straight-arc utilisation (lambda*(1-p))", harness.F(b.StraightUtilization))
+	table.AddRow("vertical-arc utilisation (lambda*p)", harness.F(b.VerticalUtilization))
 	table.AddRow("mean packets per switching node", harness.F(res.MeanPacketsPerNode))
 	table.AddRow("throughput (packets/time)", harness.F(res.Metrics.Throughput))
 	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
@@ -99,60 +105,44 @@ func single(cfg greedy.ButterflyConfig, quantile bool) *harness.Table {
 	return table
 }
 
-// replicated runs the configuration reps times on the engine with split seeds
-// and reports each quantity as mean ± 95% CI over the replications.
-func replicated(cfg greedy.ButterflyConfig, quantile bool, reps, parallelism int, baseSeed uint64) *harness.Table {
-	// One ordered metric list drives both the per-replication measurement map
-	// and the report rows, so the two cannot drift apart.
+// replicated runs the scenario reps times on the engine with split seeds and
+// reports each quantity as mean ± 95% CI over the replications.
+func replicated(sc sim.Scenario, quantile bool, reps, parallelism int) *harness.Table {
+	sc.Replications = reps
+	sc.Parallelism = parallelism
+	res := runScenario(sc)
+	b := res.Butterfly
+
+	// One ordered metric list drives both the report rows and the lookup
+	// into the engine's merged tallies, so the two cannot drift apart.
 	type metric struct {
-		name    string
-		extract func(*greedy.ButterflyResult) float64
+		name string
+		key  string
 	}
 	metrics := []metric{
-		{"mean delay T", func(r *greedy.ButterflyResult) float64 { return r.MeanDelay }},
-		{"straight-arc utilisation", func(r *greedy.ButterflyResult) float64 { return r.StraightUtilization }},
-		{"vertical-arc utilisation", func(r *greedy.ButterflyResult) float64 { return r.VerticalUtilization }},
-		{"mean packets per switching node", func(r *greedy.ButterflyResult) float64 { return r.MeanPacketsPerNode }},
-		{"throughput (packets/time)", func(r *greedy.ButterflyResult) float64 { return r.Metrics.Throughput }},
+		{"mean delay T", sim.MetricMeanDelay},
+		{"straight-arc utilisation", sim.MetricStraightUtilization},
+		{"vertical-arc utilisation", sim.MetricVerticalUtilization},
+		{"mean packets per switching node", sim.MetricMeanPacketsPerNode},
+		{"throughput (packets/time)", sim.MetricThroughput},
 	}
 	if quantile {
 		metrics = append(metrics,
-			metric{"delay P95", func(r *greedy.ButterflyResult) float64 { return r.DelayP95 }},
-			metric{"delay P99", func(r *greedy.ButterflyResult) float64 { return r.DelayP99 }},
+			metric{"delay P95", sim.MetricDelayP95},
+			metric{"delay P99", sim.MetricDelayP99},
 		)
 	}
 
-	// The analytic bounds and derived parameters are pure functions of the
-	// configuration, so any replication's result can supply them; capture the
-	// first one instead of paying for an extra reference simulation.
-	var once sync.Once
-	var ref *greedy.ButterflyResult
-	out := harness.ReplicateVector(reps, parallelism, baseSeed, func(seed uint64) map[string]float64 {
-		c := cfg
-		c.Seed = seed
-		res, err := greedy.RunButterfly(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "butterflyroute: %v\n", err)
-			os.Exit(1)
-		}
-		once.Do(func() { ref = res })
-		m := make(map[string]float64, len(metrics))
-		for _, mt := range metrics {
-			m[mt.name] = mt.extract(res)
-		}
-		return m
-	})
-
 	table := harness.NewTable(
 		fmt.Sprintf("butterfly d=%d p=%.3g lambda=%.4g rho=%.4g reps=%d",
-			ref.Params.D, ref.Params.P, ref.Params.Lambda, ref.LoadFactor, reps),
+			b.Params.D, b.Params.P, b.Params.Lambda, res.LoadFactor, reps),
 		"quantity", "mean", "ci95", "min", "max")
 	for _, mt := range metrics {
-		r := out[mt.name]
+		r := res.Replicated[mt.key]
 		table.AddRow(mt.name, harness.F(r.Mean), harness.F(r.CI95), harness.F(r.Min), harness.F(r.Max))
 	}
-	table.AddRow("universal lower bound (Prop 14)", harness.F(ref.UniversalLowerBound), "", "", "")
-	table.AddRow("greedy upper bound (Prop 17)", harness.F(ref.GreedyUpperBound), "", "", "")
-	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, baseSeed)
+	table.AddRow("universal lower bound (Prop 14)", harness.F(b.UniversalLowerBound), "", "", "")
+	table.AddRow("greedy upper bound (Prop 17)", harness.F(b.GreedyUpperBound), "", "", "")
+	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, sc.Seed)
 	return table
 }

@@ -1,8 +1,9 @@
-// Command experiments regenerates every experiment table listed in DESIGN.md
-// and EXPERIMENTS.md (E1..E12 plus the ablations A1..A3). Experiments execute
-// their replications and grid points on the sharded parallel engine
-// (internal/engine); identical seeds produce identical tables at any
-// parallelism.
+// Command experiments regenerates every table of the experiment registry
+// (run with -list to see the live set: E1..E18 plus the ablations A1..A3;
+// README.md carries the index). Experiments are expressed over the unified
+// scenario API (repro/sim) and execute their replications and grid points on
+// the sharded parallel engine (internal/engine); identical seeds produce
+// identical tables at any parallelism.
 //
 // Examples:
 //
@@ -10,6 +11,7 @@
 //	experiments -quick            # shortened horizons, for a fast check
 //	experiments -only E5,E7       # run a subset
 //	experiments -list             # show the registry
+//	experiments -spec file.json   # run ad-hoc scenarios from a JSON spec file
 //	experiments -csv              # emit CSV instead of aligned text
 //	experiments -json             # emit machine-readable JSON artifacts
 //	experiments -artifacts out/   # also write one JSON artifact per experiment
@@ -19,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +32,14 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/sim"
 )
 
 func main() {
 	var (
 		quick       = flag.Bool("quick", false, "use shortened horizons and fewer replications")
 		only        = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		spec        = flag.String("spec", "", "run ad-hoc scenarios from this JSON spec file instead of the registry")
 		list        = flag.Bool("list", false, "list the experiment registry and exit")
 		csv         = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
@@ -60,14 +65,27 @@ func main() {
 	// Validate everything that can fail cheaply before profiling starts, so
 	// the exits below cannot truncate a live CPU profile.
 	var selected []harness.Experiment
-	if *only == "" {
+	switch {
+	case *spec != "":
+		if *only != "" {
+			fmt.Fprintf(os.Stderr, "experiments: -spec and -only are mutually exclusive\n")
+			os.Exit(2)
+		}
+		scs, err := harness.LoadScenarios(*spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(2)
+		}
+		selected = specExperiments(*spec, scs)
+	case *only == "":
 		selected = registry
-	} else {
+	default:
 		for _, id := range strings.Split(*only, ",") {
 			id = strings.TrimSpace(id)
-			e, ok := harness.ByID(id)
+			e, ok := harness.ByID(id) // case-insensitive
 			if !ok {
-				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (valid: %s)\n",
+					id, strings.Join(harness.IDs(), ", "))
 				os.Exit(2)
 			}
 			selected = append(selected, e)
@@ -156,6 +174,40 @@ func main() {
 			fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
 		}
 	}
+}
+
+// specExperiments wraps the scenarios of a spec file as registry-shaped
+// experiments so the rendering, artifact and profiling paths below treat
+// them exactly like E1..E18. A scenario keeps the seed from its spec (the
+// -seed flag applies to registry experiments only); -parallelism bounds its
+// replication shards and -progress reports per-replication completion.
+func specExperiments(path string, scs []sim.Scenario) []harness.Experiment {
+	exps := make([]harness.Experiment, 0, len(scs))
+	for i, sc := range scs {
+		sc := sc
+		id := sc.Name
+		if id == "" {
+			id = fmt.Sprintf("scenario-%d", i+1)
+		}
+		exps = append(exps, harness.Experiment{
+			ID:    id,
+			Title: sc.Title(),
+			Claim: fmt.Sprintf("ad-hoc scenario from %s", path),
+			Run: func(cfg harness.RunConfig) *harness.Table {
+				sc.Parallelism = cfg.Parallelism
+				if cfg.Progress != nil {
+					sc.Progress = cfg.Progress
+				}
+				res, err := sim.Run(context.Background(), sc)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+					os.Exit(1)
+				}
+				return harness.ScenarioTable(sc, res)
+			},
+		})
+	}
+	return exps
 }
 
 func writeArtifact(dir string, artifact harness.Artifact) error {

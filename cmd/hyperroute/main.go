@@ -1,5 +1,6 @@
-// Command hyperroute runs hypercube greedy-routing simulations and prints
-// the measured delay and queue statistics next to the paper's bounds.
+// Command hyperroute runs hypercube greedy-routing simulations through the
+// unified scenario API (repro/sim) and prints the measured delay and queue
+// statistics next to the paper's bounds.
 //
 // With -reps N (N > 1) it becomes a Monte-Carlo harness: N independent
 // replications execute on the sharded parallel engine with deterministically
@@ -13,13 +14,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"sync"
 
-	"repro/greedy"
 	"repro/internal/harness"
+	"repro/sim"
 )
 
 func main() {
@@ -41,8 +42,8 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := greedy.HypercubeConfig{
-		D:              *d,
+	sc := sim.Scenario{
+		Topology:       sim.Hypercube(*d),
 		P:              *p,
 		Horizon:        *horizon,
 		WarmupFraction: *warmup,
@@ -50,21 +51,21 @@ func main() {
 		TrackQuantiles: *quantile,
 	}
 	if *lambda > 0 {
-		cfg.Lambda = *lambda
+		sc.Lambda = *lambda
 	} else {
-		cfg.LoadFactor = *rho
+		sc.LoadFactor = *rho
 	}
 	if *slotted {
-		cfg.Slotted = true
-		cfg.Tau = *tau
+		sc.Slotted = true
+		sc.Tau = *tau
 	}
 	switch *router {
 	case "greedy":
-		cfg.Router = greedy.GreedyDimensionOrder
+		sc.Router = sim.GreedyDimensionOrder
 	case "random-order":
-		cfg.Router = greedy.GreedyRandomOrder
+		sc.Router = sim.GreedyRandomOrder
 	case "valiant":
-		cfg.Router = greedy.ValiantTwoPhase
+		sc.Router = sim.ValiantTwoPhase
 	default:
 		fmt.Fprintf(os.Stderr, "unknown router %q\n", *router)
 		os.Exit(2)
@@ -72,9 +73,9 @@ func main() {
 
 	var table *harness.Table
 	if *reps > 1 {
-		table = replicated(cfg, *quantile, *reps, *parallelism, *seed)
+		table = replicated(sc, *quantile, *reps, *parallelism)
 	} else {
-		table = single(cfg, *quantile)
+		table = single(sc, *quantile)
 	}
 	printTable(table, *jsonOut)
 }
@@ -92,25 +93,31 @@ func printTable(table *harness.Table, jsonOut bool) {
 	fmt.Print(table.String())
 }
 
-func single(cfg greedy.HypercubeConfig, quantile bool) *harness.Table {
-	res, err := greedy.RunHypercube(cfg)
+func runScenario(sc sim.Scenario) *sim.Result {
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
 		os.Exit(1)
 	}
+	return res
+}
+
+func single(sc sim.Scenario, quantile bool) *harness.Table {
+	res := runScenario(sc)
+	h := res.Hypercube
 
 	table := harness.NewTable(
 		fmt.Sprintf("hypercube d=%d p=%.3g lambda=%.4g rho=%.4g router=%s",
-			res.Params.D, res.Params.P, res.Params.Lambda, res.LoadFactor, cfg.Router),
+			h.Params.D, h.Params.P, h.Params.Lambda, res.LoadFactor, sc.Router),
 		"quantity", "value")
 	table.AddRow("mean delay T", harness.F(res.MeanDelay))
 	table.AddRow("delay 95% CI (half-width)", harness.F(res.Metrics.DelayCI95))
-	table.AddRow("greedy lower bound (Prop 13)", harness.F(res.GreedyLowerBound))
-	table.AddRow("greedy upper bound (Prop 12)", harness.F(res.GreedyUpperBound))
-	table.AddRow("universal lower bound (Prop 2)", harness.F(res.UniversalLowerBound))
-	table.AddRow("oblivious lower bound (Prop 3)", harness.F(res.ObliviousLowerBound))
-	if cfg.Slotted {
-		table.AddRow("slotted upper bound (§3.4)", harness.F(res.SlottedUpperBound))
+	table.AddRow("greedy lower bound (Prop 13)", harness.F(h.GreedyLowerBound))
+	table.AddRow("greedy upper bound (Prop 12)", harness.F(h.GreedyUpperBound))
+	table.AddRow("universal lower bound (Prop 2)", harness.F(h.UniversalLowerBound))
+	table.AddRow("oblivious lower bound (Prop 3)", harness.F(h.ObliviousLowerBound))
+	if sc.Slotted {
+		table.AddRow("slotted upper bound (§3.4)", harness.F(h.SlottedUpperBound))
 	}
 	table.AddRow("within paper bounds", fmt.Sprintf("%v", res.WithinPaperBounds))
 	table.AddRow("mean hops (d*p expected)", harness.F(res.Metrics.MeanHops))
@@ -122,66 +129,50 @@ func single(cfg greedy.HypercubeConfig, quantile bool) *harness.Table {
 		table.AddRow("delay P95", harness.F(res.DelayP95))
 		table.AddRow("delay P99", harness.F(res.DelayP99))
 	}
-	for j, u := range res.PerDimensionUtilization {
+	for j, u := range h.PerDimensionUtilization {
 		table.AddRow(fmt.Sprintf("dimension %d arc utilisation", j+1), harness.F(u))
 	}
 	return table
 }
 
-// replicated runs the configuration reps times on the engine with split seeds
-// and reports each quantity as mean ± 95% CI over the replications.
-func replicated(cfg greedy.HypercubeConfig, quantile bool, reps, parallelism int, baseSeed uint64) *harness.Table {
-	// One ordered metric list drives both the per-replication measurement map
-	// and the report rows, so the two cannot drift apart.
+// replicated runs the scenario reps times on the engine with split seeds and
+// reports each quantity as mean ± 95% CI over the replications.
+func replicated(sc sim.Scenario, quantile bool, reps, parallelism int) *harness.Table {
+	sc.Replications = reps
+	sc.Parallelism = parallelism
+	res := runScenario(sc)
+	h := res.Hypercube
+
+	// One ordered metric list drives both the report rows and the lookup
+	// into the engine's merged tallies, so the two cannot drift apart.
 	type metric struct {
-		name    string
-		extract func(*greedy.HypercubeResult) float64
+		name string
+		key  string
 	}
 	metrics := []metric{
-		{"mean delay T", func(r *greedy.HypercubeResult) float64 { return r.MeanDelay }},
-		{"mean hops (d*p expected)", func(r *greedy.HypercubeResult) float64 { return r.Metrics.MeanHops }},
-		{"mean packets per node", func(r *greedy.HypercubeResult) float64 { return r.MeanPacketsPerNode }},
-		{"mean total population", func(r *greedy.HypercubeResult) float64 { return r.Metrics.MeanPopulation }},
-		{"throughput (packets/time)", func(r *greedy.HypercubeResult) float64 { return r.Metrics.Throughput }},
+		{"mean delay T", sim.MetricMeanDelay},
+		{"mean hops (d*p expected)", sim.MetricMeanHops},
+		{"mean packets per node", sim.MetricMeanPacketsPerNode},
+		{"mean total population", sim.MetricMeanPopulation},
+		{"throughput (packets/time)", sim.MetricThroughput},
 	}
 	if quantile {
 		metrics = append(metrics,
-			metric{"delay P95", func(r *greedy.HypercubeResult) float64 { return r.DelayP95 }},
-			metric{"delay P99", func(r *greedy.HypercubeResult) float64 { return r.DelayP99 }},
+			metric{"delay P95", sim.MetricDelayP95},
+			metric{"delay P99", sim.MetricDelayP99},
 		)
 	}
 
-	// The analytic bounds and derived parameters are pure functions of the
-	// configuration, so any replication's result can supply them; capture the
-	// first one instead of paying for an extra reference simulation.
-	var once sync.Once
-	var ref *greedy.HypercubeResult
-	out := harness.ReplicateVector(reps, parallelism, baseSeed, func(seed uint64) map[string]float64 {
-		c := cfg
-		c.Seed = seed
-		res, err := greedy.RunHypercube(c)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hyperroute: %v\n", err)
-			os.Exit(1)
-		}
-		once.Do(func() { ref = res })
-		m := make(map[string]float64, len(metrics))
-		for _, mt := range metrics {
-			m[mt.name] = mt.extract(res)
-		}
-		return m
-	})
-
 	table := harness.NewTable(
 		fmt.Sprintf("hypercube d=%d p=%.3g lambda=%.4g rho=%.4g router=%s reps=%d",
-			ref.Params.D, ref.Params.P, ref.Params.Lambda, ref.LoadFactor, cfg.Router, reps),
+			h.Params.D, h.Params.P, h.Params.Lambda, res.LoadFactor, sc.Router, reps),
 		"quantity", "mean", "ci95", "min", "max")
 	for _, mt := range metrics {
-		r := out[mt.name]
+		r := res.Replicated[mt.key]
 		table.AddRow(mt.name, harness.F(r.Mean), harness.F(r.CI95), harness.F(r.Min), harness.F(r.Max))
 	}
-	table.AddRow("greedy lower bound (Prop 13)", harness.F(ref.GreedyLowerBound), "", "", "")
-	table.AddRow("greedy upper bound (Prop 12)", harness.F(ref.GreedyUpperBound), "", "", "")
-	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, baseSeed)
+	table.AddRow("greedy lower bound (Prop 13)", harness.F(h.GreedyLowerBound), "", "", "")
+	table.AddRow("greedy upper bound (Prop 12)", harness.F(h.GreedyUpperBound), "", "", "")
+	table.AddNote("%d independent replications with deterministically split seeds (base %d).", reps, sc.Seed)
 	return table
 }

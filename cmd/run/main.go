@@ -1,0 +1,116 @@
+// Command run executes declarative scenario spec files through the unified
+// scenario API (repro/sim). A spec file holds one JSON scenario object or an
+// array of them (see sim.Scenario for the schema and specs/sample.json for a
+// worked example); every scenario runs end to end — validation, kernel
+// selection, optional engine-native replication — and renders in the same
+// table/CSV/JSON formats as the registry experiments.
+//
+// Examples:
+//
+//	run specs/sample.json
+//	run -csv specs/sample.json
+//	run -json specs/sample.json > results.json
+//	run -artifacts out/ specs/a.json specs/b.json
+//	run -parallelism 4 -progress specs/sample.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/harness"
+	"repro/sim"
+)
+
+func main() {
+	var (
+		csvOut      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
+		artifactDir = flag.String("artifacts", "", "directory to write per-scenario JSON artifacts (empty = none)")
+		parallelism = flag.Int("parallelism", 0, "max concurrent replication shards (0 = GOMAXPROCS)")
+		progress    = flag.Bool("progress", false, "report per-replication progress on stderr")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintf(os.Stderr, "usage: run [flags] spec.json [spec2.json ...]\n")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "run: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *artifactDir != "" {
+		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
+			fail(err)
+		}
+	}
+
+	n := 0
+	for _, path := range flag.Args() {
+		scs, err := harness.LoadScenarios(path)
+		if err != nil {
+			fail(err)
+		}
+		for _, sc := range scs {
+			n++
+			sc.Parallelism = *parallelism
+			if *progress {
+				title := sc.Title()
+				sc.Progress = func(done, total int) {
+					fmt.Fprintf(os.Stderr, "%s: replication %d/%d done\n", title, done, total)
+				}
+			}
+			start := time.Now()
+			res, err := sim.Run(context.Background(), sc)
+			if err != nil {
+				fail(fmt.Errorf("%s: %w", path, err))
+			}
+			elapsed := time.Since(start)
+			table := harness.ScenarioTable(sc, res)
+			id := sc.Name
+			if id == "" {
+				id = fmt.Sprintf("scenario-%d", n)
+			}
+			artifact := harness.NewArtifact(harness.Experiment{
+				ID:    id,
+				Title: sc.Title(),
+				Claim: fmt.Sprintf("ad-hoc scenario from %s", path),
+			}, harness.RunConfig{Seed: sc.Seed, Parallelism: *parallelism}, table, elapsed)
+
+			if *artifactDir != "" {
+				data, err := artifact.JSON()
+				if err != nil {
+					fail(err)
+				}
+				file := filepath.Join(*artifactDir, id+".json")
+				if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
+					fail(err)
+				}
+			}
+
+			switch {
+			case *jsonOut:
+				data, err := artifact.JSON()
+				if err != nil {
+					fail(err)
+				}
+				fmt.Printf("%s\n", data)
+			case *csvOut:
+				fmt.Printf("== %s\n", sc.Title())
+				fmt.Print(table.CSV())
+				fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+			default:
+				fmt.Printf("== %s\n", sc.Title())
+				fmt.Print(table.String())
+				fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+			}
+		}
+	}
+}

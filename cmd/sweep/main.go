@@ -17,15 +17,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/greedy"
 	"repro/internal/asciiplot"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/stats"
+	"repro/sim"
 )
 
 func main() {
@@ -53,14 +54,14 @@ func main() {
 	}
 }
 
-// runPoints executes one simulation per sweep point on the engine's worker
+// runPoints executes one scenario per sweep point on the engine's worker
 // pool and returns the results in point order. Any simulation error aborts
 // the sweep.
-func runPoints(n, parallelism int, run func(i int) (*greedy.HypercubeResult, error)) []*greedy.HypercubeResult {
-	results := make([]*greedy.HypercubeResult, n)
-	errs := make([]error, n)
-	engine.ForEach(n, parallelism, func(i int) {
-		results[i], errs[i] = run(i)
+func runPoints(parallelism int, scs []sim.Scenario) []*sim.Result {
+	results := make([]*sim.Result, len(scs))
+	errs := make([]error, len(scs))
+	engine.ForEach(len(scs), parallelism, func(i int) {
+		results[i], errs[i] = sim.Run(context.Background(), scs[i])
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -98,17 +99,19 @@ func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly,
 	measured.Name = "measured T"
 	lower.Name = "lower bound (Prop 13)"
 	upper.Name = "upper bound (Prop 12)"
-	results := runPoints(len(rhos), parallelism, func(i int) (*greedy.HypercubeResult, error) {
-		return greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rhos[i], Horizon: horizon, Seed: seed,
-		})
-	})
-	for i, res := range results {
+	scs := make([]sim.Scenario, len(rhos))
+	for i, rho := range rhos {
+		scs[i] = sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+		}
+	}
+	for i, res := range runPoints(parallelism, scs) {
+		h := res.Hypercube
 		table.AddRow(harness.F(rhos[i]), harness.F(res.MeanDelay),
-			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound))
+			harness.F(h.GreedyLowerBound), harness.F(h.GreedyUpperBound))
 		measured.AddPoint(rhos[i], res.MeanDelay)
-		lower.AddPoint(rhos[i], res.GreedyLowerBound)
-		upper.AddPoint(rhos[i], res.GreedyUpperBound)
+		lower.AddPoint(rhos[i], h.GreedyLowerBound)
+		upper.AddPoint(rhos[i], h.GreedyUpperBound)
 	}
 	emit(table, []stats.Series{measured, lower, upper}, jsonOut, csvOnly, "rho")
 }
@@ -120,18 +123,20 @@ func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOn
 	var measured, upper stats.Series
 	measured.Name = "measured T"
 	upper.Name = "upper bound (Prop 12)"
-	results := runPoints(len(dims), parallelism, func(i int) (*greedy.HypercubeResult, error) {
-		return greedy.RunHypercube(greedy.HypercubeConfig{
-			D: dims[i], P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
-		})
-	})
-	for i, res := range results {
+	scs := make([]sim.Scenario, len(dims))
+	for i, d := range dims {
+		scs[i] = sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
+		}
+	}
+	for i, res := range runPoints(parallelism, scs) {
 		d := dims[i]
+		h := res.Hypercube
 		table.AddRow(fmt.Sprintf("%d", d), harness.F(res.MeanDelay),
-			harness.F(res.GreedyLowerBound), harness.F(res.GreedyUpperBound),
+			harness.F(h.GreedyLowerBound), harness.F(h.GreedyUpperBound),
 			harness.F(res.MeanDelay/float64(d)))
 		measured.AddPoint(float64(d), res.MeanDelay)
-		upper.AddPoint(float64(d), res.GreedyUpperBound)
+		upper.AddPoint(float64(d), h.GreedyUpperBound)
 	}
 	emit(table, []stats.Series{measured, upper}, jsonOut, csvOnly, "d")
 }

@@ -2,17 +2,22 @@
 // and Butterflies" (G. D. Stamoulis and J. N. Tsitsiklis, SPAA 1991 /
 // MIT LIDS-P-1999).
 //
-// The public API lives in the repro/greedy package. The experiment registry
-// and report harness live in internal/harness; experiments execute their
+// The public API lives in the repro/sim package: one topology-polymorphic
+// sim.Scenario (hypercube | butterfly) with shared validation, one
+// sim.Run(ctx, scenario) entry point with engine-native replication, and a
+// JSON spec schema for declarative scenario files. The repro/greedy package
+// remains as a thin compatibility facade with the original per-topology
+// RunHypercube/RunButterfly entry points. The experiment registry (E1..E18
+// plus the ablations A1..A3 — run `experiments -list` for the live set) and
+// the report harness live in internal/harness; experiments execute their
 // replications and grid points on the sharded parallel engine in
 // internal/engine, which derives deterministic per-shard RNG substreams by
 // seed splitting (internal/xrand), runs shards on a worker pool bounded by
 // the configured parallelism, and merges per-shard streaming statistics
 // (internal/stats) in shard order — so identical seeds produce byte-identical
 // tables at any parallelism. Everything is exposed through the
-// cmd/experiments, cmd/sweep, cmd/hyperroute and cmd/butterflyroute binaries
-// (all of which take -parallelism and -json flags) and the root-level
-// benchmarks in bench_test.go. See README.md for the layout and the engine
-// architecture, and EXPERIMENTS.md for the paper-versus-measured record of
-// every experiment.
+// cmd/experiments, cmd/run, cmd/sweep, cmd/hyperroute and cmd/butterflyroute
+// binaries (all of which take -parallelism and -json flags) and the
+// root-level benchmarks in bench_test.go. See README.md for the layout, the
+// engine architecture, the scenario API and the experiment index.
 package repro

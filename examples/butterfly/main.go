@@ -1,36 +1,46 @@
 // Butterfly: greedy routing on the d-dimensional butterfly with an asymmetric
-// destination distribution (p != 1/2). The load factor is lambda*max{p, 1-p}
-// because whichever arc type carries more traffic becomes the bottleneck
-// (§4.2); the measured per-arc-type utilisations reproduce Proposition 15 and
-// the delay stays inside the Prop 14 / Prop 17 envelope.
+// destination distribution (p != 1/2), expressed through the unified scenario
+// API (repro/sim). The load factor is lambda*max{p, 1-p} because whichever
+// arc type carries more traffic becomes the bottleneck (§4.2); the measured
+// per-arc-type utilisations reproduce Proposition 15 and the delay stays
+// inside the Prop 14 / Prop 17 envelope.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/greedy"
+	"repro/sim"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
 	const d = 6
+	horizon := 6000.0
+	if *quick {
+		horizon = 800
+	}
 	fmt.Println("Greedy routing on the 6-dimensional butterfly")
 	fmt.Printf("%-5s  %-7s  %-10s  %-12s  %-12s  %-10s  %-10s\n",
 		"p", "rho", "T", "lower(P14)", "upper(P17)", "util(s)", "util(v)")
 	for _, p := range []float64{0.2, 0.35, 0.5, 0.65, 0.8} {
-		res, err := greedy.RunButterfly(greedy.ButterflyConfig{
-			D:          d,
+		res, err := sim.Run(context.Background(), sim.Scenario{
+			Topology:   sim.Butterfly(d),
 			P:          p,
 			LoadFactor: 0.85,
-			Horizon:    6000,
+			Horizon:    horizon,
 			Seed:       3,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
+		b := res.Butterfly
 		fmt.Printf("%-5.2f  %-7.3f  %-10.3f  %-12.3f  %-12.3f  %-10.3f  %-10.3f\n",
-			p, res.LoadFactor, res.MeanDelay, res.UniversalLowerBound, res.GreedyUpperBound,
-			res.StraightUtilization, res.VerticalUtilization)
+			p, res.LoadFactor, res.MeanDelay, b.UniversalLowerBound, b.GreedyUpperBound,
+			b.StraightUtilization, b.VerticalUtilization)
 	}
 	fmt.Println("\nStraight arcs are busy a fraction lambda*(1-p) of the time and vertical arcs")
 	fmt.Println("lambda*p (Proposition 15); the delay is O(d) for every fixed rho < 1.")

@@ -1,35 +1,44 @@
 // Deflection vs store-and-forward: compare the paper's greedy queueing
-// scheme against hot-potato (deflection) routing, the bufferless alternative
-// analysed approximately by Greenberg and Hajek and cited in the paper's
-// related-work section. Deflection never queues inside the network, but under
-// load it pays for that with extra (unprofitable) hops, while greedy routing
-// keeps every packet on a shortest path and queues instead.
+// scheme (run through the unified scenario API, repro/sim) against hot-potato
+// (deflection) routing, the bufferless alternative analysed approximately by
+// Greenberg and Hajek and cited in the paper's related-work section.
+// Deflection never queues inside the network, but under load it pays for
+// that with extra (unprofitable) hops, while greedy routing keeps every
+// packet on a shortest path and queues instead.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/greedy"
 	"repro/internal/deflection"
+	"repro/sim"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
 	const d = 6
 	const p = 0.5
+	horizon := 4000.0
+	if *quick {
+		horizon = 800
+	}
 
 	fmt.Println("Greedy store-and-forward vs deflection routing on the 6-cube")
 	fmt.Printf("%-6s  %-12s  %-14s  %-16s  %-14s\n",
 		"rho", "greedy T", "deflection T", "extra hops/pkt", "deflections/pkt")
 	for _, rho := range []float64{0.2, 0.5, 0.8} {
-		g, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: 4000, Seed: 17,
+		g, err := sim.Run(context.Background(), sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: 17,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defl, err := deflection.Run(deflection.Config{
-			D: d, Lambda: rho / p, P: p, Slots: 4000, Seed: 17,
+			D: d, Lambda: rho / p, P: p, Slots: int(horizon), Seed: 17,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -1,29 +1,38 @@
 // Heavy traffic: push the load factor towards one on a 6-cube and watch the
 // delay grow like 1/(1-rho), the behaviour the paper proves is optimal for
 // any fixed dimension. The scaled quantity (1-rho)*T stays inside the
-// interval [p/2, d*p] predicted at the end of §3.3.
+// interval [p/2, d*p] predicted at the end of §3.3. Scenarios run through
+// the unified API in repro/sim.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/greedy"
+	"repro/sim"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
 	const d = 6
 	const p = 0.5
-	params := greedy.HypercubeParams{D: d, Lambda: 1, P: p}
+	horizon := 8000.0
+	if *quick {
+		horizon = 1200
+	}
+	params := sim.HypercubeParams{D: d, Lambda: 1, P: p}
 
 	fmt.Println("Heavy-traffic behaviour of greedy routing on the 6-cube (p = 1/2)")
 	fmt.Printf("%-6s  %-12s  %-12s  %-12s  %-12s\n", "rho", "T measured", "(1-rho)*T", "interval lo", "interval hi")
 	for _, rho := range []float64{0.5, 0.7, 0.8, 0.9, 0.95} {
-		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D:              d,
+		res, err := sim.Run(context.Background(), sim.Scenario{
+			Topology:       sim.Hypercube(d),
 			P:              p,
 			LoadFactor:     rho,
-			Horizon:        8000,
+			Horizon:        horizon,
 			WarmupFraction: 0.3,
 			Seed:           7,
 		})

@@ -1,9 +1,14 @@
 // Quickstart: run greedy dimension-order routing on an 8-dimensional
 // hypercube at 80% load with uniform traffic and compare the measured mean
 // delay against the paper's closed-form bounds.
+//
+// This example deliberately uses the repro/greedy compatibility facade — a
+// thin shim over the unified scenario API in repro/sim — so its output pins
+// the shim's equivalence; the other examples use sim.Run directly.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -11,11 +16,17 @@ import (
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
+	horizon := 4000.0
+	if *quick {
+		horizon = 600
+	}
 	res, err := greedy.RunHypercube(greedy.HypercubeConfig{
-		D:          8,    // 256 nodes, 2048 arcs
-		P:          0.5,  // uniform destination distribution
-		LoadFactor: 0.8,  // rho = lambda*p
-		Horizon:    4000, // simulated time units
+		D:          8,       // 256 nodes, 2048 arcs
+		P:          0.5,     // uniform destination distribution
+		LoadFactor: 0.8,     // rho = lambda*p
+		Horizon:    horizon, // simulated time units
 		Seed:       1,
 	})
 	if err != nil {

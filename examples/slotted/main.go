@@ -1,41 +1,51 @@
 // Slotted time: the §3.4 variant in which every node generates a
 // Poisson(lambda*tau) batch of packets at the start of each slot of length
 // tau. The measured delay exceeds the continuous-time value by less than one
-// slot, matching the bound T_slotted <= dp/(1-rho) + tau.
+// slot, matching the bound T_slotted <= dp/(1-rho) + tau. Scenarios run
+// through the unified API in repro/sim.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/greedy"
+	"repro/sim"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
 	const d = 6
 	const p = 0.5
 	const rho = 0.7
+	horizon := 6000.0
+	if *quick {
+		horizon = 800
+	}
 
-	cont, err := greedy.RunHypercube(greedy.HypercubeConfig{
-		D: d, P: p, LoadFactor: rho, Horizon: 6000, Seed: 5,
-	})
+	base := sim.Scenario{
+		Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: 5,
+	}
+	cont, err := sim.Run(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("Continuous time reference: T = %.3f (bound %.3f)\n\n",
-		cont.MeanDelay, cont.GreedyUpperBound)
+		cont.MeanDelay, cont.Hypercube.GreedyUpperBound)
 
 	fmt.Printf("%-6s  %-12s  %-16s  %-12s\n", "tau", "T slotted", "bound dp/(1-rho)+tau", "extra vs continuous")
 	for _, tau := range []float64{0.25, 0.5, 1.0} {
-		res, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: 6000, Seed: 5,
-			Slotted: true, Tau: tau,
-		})
+		sc := base
+		sc.Slotted = true
+		sc.Tau = tau
+		res, err := sim.Run(context.Background(), sc)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6.2f  %-12.3f  %-16.3f  %+.3f\n",
-			tau, res.MeanDelay, res.SlottedUpperBound, res.MeanDelay-cont.MeanDelay)
+			tau, res.MeanDelay, res.Hypercube.SlottedUpperBound, res.MeanDelay-cont.MeanDelay)
 	}
 	fmt.Println("\nSlotting synchronises arrivals into bursts, but costs at most one slot of delay (§3.4).")
 }

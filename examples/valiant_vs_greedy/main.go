@@ -9,34 +9,43 @@
 //   - the non-greedy pipelined batch scheme of §2.3 only sustains loads of
 //     order 1/d and its origin backlog explodes at loads greedy handles
 //     easily.
+//
+// The two scenario-API runs differ only in Scenario.Router.
 package main
 
 import (
+	"context"
+	"flag"
 	"fmt"
 	"log"
 
-	"repro/greedy"
 	"repro/internal/routing"
+	"repro/sim"
 )
 
 func main() {
+	quick := flag.Bool("quick", false, "shortened horizon for smoke runs")
+	flag.Parse()
 	const d = 6
 	const p = 0.5
-	const horizon = 4000
+	horizon := 4000.0
+	if *quick {
+		horizon = 800
+	}
 
 	fmt.Println("Dynamic routing on the 6-cube: greedy vs Valiant two-phase vs pipelined batches")
 	fmt.Printf("%-6s  %-14s  %-14s  %-22s\n", "rho", "greedy T", "valiant T", "pipelined (T, backlog/s)")
 	for _, rho := range []float64{0.1, 0.3, 0.5} {
-		g, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: 11,
-		})
+		base := sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: 11,
+		}
+		g, err := sim.Run(context.Background(), base)
 		if err != nil {
 			log.Fatal(err)
 		}
-		v, err := greedy.RunHypercube(greedy.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: 11,
-			Router: greedy.ValiantTwoPhase,
-		})
+		valiant := base
+		valiant.Router = sim.ValiantTwoPhase
+		v, err := sim.Run(context.Background(), valiant)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,10 +1,14 @@
-// Package greedy is the public facade of the library: a reproduction of
-// "The Efficiency of Greedy Routing in Hypercubes and Butterflies"
-// (Stamoulis & Tsitsiklis, SPAA 1991). It re-exports the experiment API of
-// internal/core and the analytic bounds of internal/bounds so that a
-// downstream user can run hypercube and butterfly routing simulations and
-// compare them against the paper's results without importing internal
-// packages.
+// Package greedy is the original public facade of the library: a
+// reproduction of "The Efficiency of Greedy Routing in Hypercubes and
+// Butterflies" (Stamoulis & Tsitsiklis, SPAA 1991). It re-exports the
+// per-topology configuration types of internal/core — which are now thin
+// compatibility shims over the unified scenario API in repro/sim — and the
+// analytic bounds of internal/bounds, so that a downstream user can run
+// hypercube and butterfly routing simulations and compare them against the
+// paper's results without importing internal packages. New code should
+// prefer repro/sim: one topology-polymorphic Scenario, engine-native
+// replication and declarative JSON scenario specs. Results are
+// byte-identical across the two APIs for the same seeds.
 //
 // Quick start:
 //

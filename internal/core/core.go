@@ -1,66 +1,45 @@
-// Package core is the high-level experiment API of the library: it wires the
-// topology (hypercube or butterfly), the traffic model (per-node Poisson or
-// slotted batch arrivals with bit-flip destinations), a routing scheme and
-// the packet-level simulator together, runs one simulation, and returns the
-// measured delay/queue statistics next to the paper's analytic bounds.
+// Package core is the compatibility layer between the original per-topology
+// experiment API (HypercubeConfig/RunHypercube, ButterflyConfig/RunButterfly)
+// and the unified scenario API in repro/sim, where the validation,
+// normalization, kernel selection and result assembly now live. The exported
+// facade package "repro/greedy" re-exports these types for library users.
 //
-// The exported facade package "repro/greedy" re-exports these types for
-// library users; the cmd/ binaries, the examples and the benchmark harness
-// are all built on this package.
+// The shims are exact: a config converts to the equivalent sim.Scenario, runs
+// through sim.Run, and the unified Result maps back onto the original
+// per-topology result structs, so results are byte-identical to the
+// pre-promotion implementation for the same seeds.
 package core
 
 import (
-	"fmt"
-	"math"
+	"context"
 
 	"repro/internal/bounds"
-	"repro/internal/butterfly"
-	"repro/internal/hypercube"
 	"repro/internal/network"
-	"repro/internal/routing"
-	"repro/internal/workload"
+	"repro/sim"
 )
 
 // RouterKind selects the hypercube routing scheme.
-type RouterKind int
+type RouterKind = sim.RouterKind
 
 const (
 	// GreedyDimensionOrder is the paper's scheme (§3).
-	GreedyDimensionOrder RouterKind = iota
+	GreedyDimensionOrder = sim.GreedyDimensionOrder
 	// GreedyRandomOrder crosses the required dimensions in random order.
-	GreedyRandomOrder
+	GreedyRandomOrder = sim.GreedyRandomOrder
 	// ValiantTwoPhase routes through a uniformly random intermediate node.
-	ValiantTwoPhase
+	ValiantTwoPhase = sim.ValiantTwoPhase
 )
 
-// String names the routing scheme.
-func (k RouterKind) String() string {
-	switch k {
-	case GreedyDimensionOrder:
-		return "greedy-dimension-order"
-	case GreedyRandomOrder:
-		return "greedy-random-order"
-	case ValiantTwoPhase:
-		return "valiant-two-phase"
-	default:
-		return fmt.Sprintf("router(%d)", int(k))
-	}
-}
+// Kernel identifiers reported in the result structs.
+const (
+	// KernelEventDriven is the general discrete-event calendar.
+	KernelEventDriven = sim.KernelEventDriven
+	// KernelSlotStepped is the synchronous unit-service fast path.
+	KernelSlotStepped = sim.KernelSlotStepped
+)
 
-func (k RouterKind) router() routing.HypercubeRouter {
-	switch k {
-	case GreedyDimensionOrder:
-		return routing.DimensionOrder{}
-	case GreedyRandomOrder:
-		return routing.RandomDimensionOrder{}
-	case ValiantTwoPhase:
-		return routing.ValiantTwoPhase{}
-	default:
-		panic(fmt.Sprintf("core: unknown router kind %d", int(k)))
-	}
-}
-
-// HypercubeConfig describes one hypercube simulation.
+// HypercubeConfig describes one hypercube simulation. See sim.Scenario for
+// the unified form; every field here maps onto a scenario field.
 type HypercubeConfig struct {
 	// D is the cube dimension.
 	D int
@@ -86,101 +65,61 @@ type HypercubeConfig struct {
 	// Slotted switches to the §3.4 slotted-time arrival model with slot
 	// length Tau.
 	Slotted bool
-	// Tau is the slot length when Slotted is true (must divide 1 evenly to
-	// match the paper's assumption; validated loosely).
+	// Tau is the slot length when Slotted is true (ignored otherwise, for
+	// backwards compatibility; sim.Scenario rejects a stray Tau).
 	Tau float64
 	// TrackQuantiles stores every delay so exact quantiles can be reported.
 	TrackQuantiles bool
 	// ReturnDelays additionally copies the measured per-packet delays into
-	// the result (requires TrackQuantiles); the cross-kernel golden tests
-	// use it. Off by default so quantile runs stay copy-free.
+	// the result (requires TrackQuantiles; ignored without it, for
+	// backwards compatibility).
 	ReturnDelays bool
-	// TrackPerDimensionWait records per-dimension arc sojourn times
-	// (queueing wait plus the unit transmission), the contention profile
-	// discussed at the end of §3.3.
+	// TrackPerDimensionWait records per-dimension arc sojourn times.
 	TrackPerDimensionWait bool
 	// PopulationTraceInterval enables the population trace used by the
 	// stability experiments (0 disables it).
 	PopulationTraceInterval float64
 	// CustomWeights, when non-nil, replaces the bit-flip destination
 	// distribution with the general translation-invariant distribution of
-	// §2.2: CustomWeights[v] is proportional to the probability that a
-	// packet's destination differs from its origin by the vector v
-	// (2^D entries). Lambda must then be given directly, P is ignored for
-	// sampling, and the paper's greedy delay bounds (which are proved for
-	// the bit-flip distribution) are reported as NaN; the per-dimension load
-	// factors lambda*p_j and the stability diagnosis remain available.
+	// §2.2 (2^D entries). Lambda must then be given directly.
 	CustomWeights []float64
-	// SkipPerDimensionStats disables the per-dimension population tracking
-	// (two time-weighted updates per hop on the hot path). The result then
-	// reports zero PerDimensionMeanQueue; utilisation and load factors are
-	// unaffected. Experiments that do not report per-dimension occupancy
-	// (the slotted tables, heavy-traffic sweeps) set it.
+	// SkipPerDimensionStats disables the per-dimension population tracking.
 	SkipPerDimensionStats bool
-	// ForceEventDriven disables the slot-stepped fast path (internal/slotsim)
-	// that slotted FIFO configurations otherwise run on. Results are
-	// byte-identical either way; the escape hatch exists for cross-kernel
-	// verification and benchmarking.
+	// ForceEventDriven disables the slot-stepped fast path.
 	ForceEventDriven bool
 }
 
-// normalize fills defaults and derives Lambda; it returns an error for
-// inconsistent configurations.
-func (c *HypercubeConfig) normalize() error {
-	if c.D < 1 || c.D > hypercube.MaxDimension {
-		return fmt.Errorf("core: dimension %d out of range [1,%d]", c.D, hypercube.MaxDimension)
+// scenario converts the config to its unified form, preserving the original
+// lenient semantics (a stray Tau or ReturnDelays is dropped rather than
+// rejected).
+func (c HypercubeConfig) scenario() sim.Scenario {
+	sc := sim.Scenario{
+		Topology:                sim.Hypercube(c.D),
+		P:                       c.P,
+		Lambda:                  c.Lambda,
+		LoadFactor:              c.LoadFactor,
+		CustomWeights:           c.CustomWeights,
+		Router:                  c.Router,
+		Discipline:              sim.Discipline(c.Discipline),
+		Slotted:                 c.Slotted,
+		Tau:                     c.Tau,
+		Horizon:                 c.Horizon,
+		WarmupFraction:          c.WarmupFraction,
+		Seed:                    c.Seed,
+		TrackQuantiles:          c.TrackQuantiles,
+		ReturnDelays:            c.ReturnDelays,
+		TrackPerDimensionWait:   c.TrackPerDimensionWait,
+		PopulationTraceInterval: c.PopulationTraceInterval,
+		SkipPerDimensionStats:   c.SkipPerDimensionStats,
+		ForceEventDriven:        c.ForceEventDriven,
 	}
-	if c.P < 0 || c.P > 1 {
-		return fmt.Errorf("core: p = %v outside [0,1]", c.P)
+	if !sc.Slotted {
+		sc.Tau = 0
 	}
-	if c.Horizon <= 0 {
-		return fmt.Errorf("core: horizon must be positive, got %v", c.Horizon)
+	if !sc.TrackQuantiles {
+		sc.ReturnDelays = false
 	}
-	if c.Lambda < 0 || c.LoadFactor < 0 {
-		return fmt.Errorf("core: negative rate parameters")
-	}
-	if c.Lambda == 0 && c.LoadFactor == 0 {
-		return fmt.Errorf("core: one of Lambda or LoadFactor must be set")
-	}
-	if c.Lambda > 0 && c.LoadFactor > 0 {
-		return fmt.Errorf("core: set only one of Lambda and LoadFactor")
-	}
-	if c.LoadFactor > 0 {
-		if c.P == 0 {
-			return fmt.Errorf("core: cannot derive Lambda from LoadFactor when p = 0")
-		}
-		c.Lambda = c.LoadFactor / c.P
-	}
-	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
-		return fmt.Errorf("core: warmup fraction %v outside [0,1)", c.WarmupFraction)
-	}
-	if c.WarmupFraction == 0 {
-		c.WarmupFraction = 0.2
-	}
-	if c.Slotted {
-		if c.Tau <= 0 || c.Tau > 1 {
-			return fmt.Errorf("core: slotted mode requires 0 < tau <= 1, got %v", c.Tau)
-		}
-	}
-	if c.CustomWeights != nil {
-		if len(c.CustomWeights) != 1<<uint(c.D) {
-			return fmt.Errorf("core: CustomWeights needs %d entries, got %d", 1<<uint(c.D), len(c.CustomWeights))
-		}
-		if c.LoadFactor > 0 {
-			return fmt.Errorf("core: set Lambda (not LoadFactor) with CustomWeights")
-		}
-		sum := 0.0
-		for i, w := range c.CustomWeights {
-			if w < 0 || math.IsNaN(w) {
-				return fmt.Errorf("core: CustomWeights[%d] = %v is invalid", i, w)
-			}
-			sum += w
-		}
-		if sum <= 0 {
-			return fmt.Errorf("core: CustomWeights sum to zero")
-		}
-	}
-	return nil
+	return sc
 }
 
 // HypercubeResult reports one hypercube simulation.
@@ -206,130 +145,59 @@ type HypercubeResult struct {
 	// dimension; Proposition 5 predicts rho for every dimension.
 	PerDimensionUtilization []float64
 	// PerDimensionMeanWait is the mean time a packet spends at an arc of
-	// each dimension (queueing plus the unit transmission); populated only
-	// when TrackPerDimensionWait was set.
+	// each dimension; populated only when TrackPerDimensionWait was set.
 	PerDimensionMeanWait []float64
 	// PerDimensionLoadFactor is lambda*p_j, the offered load of each
-	// dimension (all equal to rho for the bit-flip distribution, §2.2 in
-	// general).
+	// dimension.
 	PerDimensionLoadFactor []float64
 	// GreedyLowerBound, GreedyUpperBound, UniversalLowerBound and
-	// ObliviousLowerBound are the paper's analytic bounds evaluated at the
-	// run's parameters (Props 13, 12, 2 and 3). They are NaN when the
-	// system is unstable.
+	// ObliviousLowerBound are the paper's analytic bounds (Props 13, 12, 2
+	// and 3); NaN when the system is unstable.
 	GreedyLowerBound, GreedyUpperBound       float64
 	UniversalLowerBound, ObliviousLowerBound float64
 	// SlottedUpperBound is the §3.4 bound (only set in slotted mode).
 	SlottedUpperBound float64
-	// WithinPaperBounds reports whether the measured delay lies in
-	// [GreedyLowerBound - tolerance, GreedyUpperBound + tolerance]; it is
-	// meaningful only for the greedy dimension-order router on a stable
-	// system.
+	// WithinPaperBounds reports whether the measured delay lies in the
+	// paper's envelope (with a small statistical tolerance).
 	WithinPaperBounds bool
-	// Kernel names the simulation kernel the run executed on
-	// (KernelEventDriven or KernelSlotStepped).
+	// Kernel names the simulation kernel the run executed on.
 	Kernel string
-	// Delays holds the measured per-packet delays when ReturnDelays was set
-	// (nil otherwise). The order is deterministic for a given seed but
-	// unspecified; the cross-kernel golden tests compare it bitwise.
+	// Delays holds the measured per-packet delays when ReturnDelays was set.
 	Delays []float64
 }
 
-// RunHypercube runs one hypercube simulation. Eligible workloads (the §3.4
-// slotted arrival model on FIFO arcs) execute on the slot-stepped fast
-// kernel; everything else runs on the event-driven calendar. The two kernels
-// produce byte-identical results on the same seed, and the simulation state
-// itself is pooled per worker, so repeated replications perform no setup
-// allocations in steady state.
+// RunHypercube runs one hypercube simulation through the unified scenario
+// API. Eligible workloads (the §3.4 slotted arrival model on FIFO arcs)
+// execute on the slot-stepped fast kernel; everything else runs on the
+// event-driven calendar. The two kernels produce byte-identical results on
+// the same seed.
 func RunHypercube(cfg HypercubeConfig) (*HypercubeResult, error) {
-	if err := cfg.normalize(); err != nil {
+	res, err := sim.Run(context.Background(), cfg.scenario())
+	if err != nil {
 		return nil, err
 	}
-	r := hyperRunners.Get().(*hyperRunner)
-	defer hyperRunners.Put(r)
-	var out runOutcome
-	kernel := KernelEventDriven
-	if cfg.slotKernelEligible() {
-		kernel = KernelSlotStepped
-		out = r.runSlotStepped(&cfg)
-	} else {
-		out = r.runEventDriven(&cfg)
-	}
-	m := out.m
-
-	res := &HypercubeResult{
-		Params:     bounds.HypercubeParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
-		LoadFactor: cfg.Lambda * cfg.P,
-		Metrics:    m,
-		MeanDelay:  m.MeanDelay,
-		DelayP95:   out.q95,
-		DelayP99:   out.q99,
-		Kernel:     kernel,
-		Delays:     out.delays,
-	}
-	nodes := float64(r.cube.Nodes())
-	res.MeanPacketsPerNode = m.MeanPopulation / nodes
-	res.PerDimensionMeanQueue = make([]float64, cfg.D)
-	res.PerDimensionUtilization = make([]float64, cfg.D)
-	res.PerDimensionLoadFactor = make([]float64, cfg.D)
-	for j := 0; j < cfg.D; j++ {
-		res.PerDimensionMeanQueue[j] = m.GroupMeanPopulation[j] / nodes
-		res.PerDimensionUtilization[j] = m.GroupArcUtilization[j]
-		res.PerDimensionLoadFactor[j] = cfg.Lambda * r.dist.FlipProbability(hypercube.Dimension(j+1))
-	}
-	if cfg.TrackPerDimensionWait {
-		res.PerDimensionMeanWait = append([]float64(nil), m.GroupMeanWait...)
-	}
-	if cfg.CustomWeights != nil {
-		// The paper's closed-form greedy bounds are proved for the bit-flip
-		// distribution; for general translation-invariant traffic only the
-		// per-dimension load factors (and hence the stability condition of
-		// §2.2) are reported.
-		maxLoad := 0.0
-		for _, l := range res.PerDimensionLoadFactor {
-			if l > maxLoad {
-				maxLoad = l
-			}
-		}
-		res.LoadFactor = maxLoad
-		res.Params.P = 0
-		res.GreedyLowerBound = math.NaN()
-		res.GreedyUpperBound = math.NaN()
-		res.UniversalLowerBound = math.NaN()
-		res.ObliviousLowerBound = math.NaN()
-		return res, nil
-	}
-	res.GreedyLowerBound = boundOrNaN(res.Params.GreedyLowerBound)
-	res.GreedyUpperBound = boundOrNaN(res.Params.GreedyUpperBound)
-	res.UniversalLowerBound = boundOrNaN(res.Params.UniversalLowerBound)
-	res.ObliviousLowerBound = boundOrNaN(res.Params.ObliviousLowerBound)
-	if cfg.Slotted {
-		if b, err := res.Params.SlottedUpperBound(cfg.Tau); err == nil {
-			res.SlottedUpperBound = b
-		} else {
-			res.SlottedUpperBound = math.NaN()
-		}
-	}
-	upper := res.GreedyUpperBound
-	if cfg.Slotted && !math.IsNaN(res.SlottedUpperBound) {
-		upper = res.SlottedUpperBound
-	}
-	if !math.IsNaN(res.GreedyLowerBound) && !math.IsNaN(upper) {
-		tol := 3 * m.DelayCI95
-		res.WithinPaperBounds = m.MeanDelay >= res.GreedyLowerBound-tol-1e-9 &&
-			m.MeanDelay <= upper+tol+1e-9
-	}
-	return res, nil
-}
-
-// boundOrNaN converts a (value, error) bound evaluation into a plain float
-// with NaN marking "not defined" (unstable parameters).
-func boundOrNaN(f func() (float64, error)) float64 {
-	v, err := f()
-	if err != nil {
-		return math.NaN()
-	}
-	return v
+	h := res.Hypercube
+	return &HypercubeResult{
+		Params:                  h.Params,
+		LoadFactor:              res.LoadFactor,
+		Metrics:                 res.Metrics,
+		MeanDelay:               res.MeanDelay,
+		DelayP95:                res.DelayP95,
+		DelayP99:                res.DelayP99,
+		MeanPacketsPerNode:      res.MeanPacketsPerNode,
+		PerDimensionMeanQueue:   h.PerDimensionMeanQueue,
+		PerDimensionUtilization: h.PerDimensionUtilization,
+		PerDimensionMeanWait:    h.PerDimensionMeanWait,
+		PerDimensionLoadFactor:  h.PerDimensionLoadFactor,
+		GreedyLowerBound:        h.GreedyLowerBound,
+		GreedyUpperBound:        h.GreedyUpperBound,
+		UniversalLowerBound:     h.UniversalLowerBound,
+		ObliviousLowerBound:     h.ObliviousLowerBound,
+		SlottedUpperBound:       h.SlottedUpperBound,
+		WithinPaperBounds:       res.WithinPaperBounds,
+		Kernel:                  res.Kernel,
+		Delays:                  res.Delays,
+	}, nil
 }
 
 // ButterflyConfig describes one butterfly simulation.
@@ -355,45 +223,34 @@ type ButterflyConfig struct {
 	// TrackQuantiles stores every delay for exact quantiles.
 	TrackQuantiles bool
 	// ReturnDelays copies the measured per-packet delays into the result
-	// (requires TrackQuantiles); see HypercubeConfig.ReturnDelays.
+	// (requires TrackQuantiles).
 	ReturnDelays bool
 	// PopulationTraceInterval enables the population trace.
 	PopulationTraceInterval float64
-	// ForceEventDriven disables the slot-stepped fast path that FIFO
-	// butterfly runs otherwise execute on; results are byte-identical either
-	// way.
+	// ForceEventDriven disables the slot-stepped fast path.
 	ForceEventDriven bool
 }
 
-func (c *ButterflyConfig) normalize() error {
-	if c.D < 1 || c.D > butterfly.MaxDimension {
-		return fmt.Errorf("core: butterfly dimension %d out of range [1,%d]", c.D, butterfly.MaxDimension)
+// scenario converts the config to its unified form.
+func (c ButterflyConfig) scenario() sim.Scenario {
+	sc := sim.Scenario{
+		Topology:                sim.Butterfly(c.D),
+		P:                       c.P,
+		Lambda:                  c.Lambda,
+		LoadFactor:              c.LoadFactor,
+		Discipline:              sim.Discipline(c.Discipline),
+		Horizon:                 c.Horizon,
+		WarmupFraction:          c.WarmupFraction,
+		Seed:                    c.Seed,
+		TrackQuantiles:          c.TrackQuantiles,
+		ReturnDelays:            c.ReturnDelays,
+		PopulationTraceInterval: c.PopulationTraceInterval,
+		ForceEventDriven:        c.ForceEventDriven,
 	}
-	if c.P < 0 || c.P > 1 {
-		return fmt.Errorf("core: p = %v outside [0,1]", c.P)
+	if !sc.TrackQuantiles {
+		sc.ReturnDelays = false
 	}
-	if c.Horizon <= 0 {
-		return fmt.Errorf("core: horizon must be positive, got %v", c.Horizon)
-	}
-	if c.Lambda < 0 || c.LoadFactor < 0 {
-		return fmt.Errorf("core: negative rate parameters")
-	}
-	if c.Lambda == 0 && c.LoadFactor == 0 {
-		return fmt.Errorf("core: one of Lambda or LoadFactor must be set")
-	}
-	if c.Lambda > 0 && c.LoadFactor > 0 {
-		return fmt.Errorf("core: set only one of Lambda and LoadFactor")
-	}
-	if c.LoadFactor > 0 {
-		c.Lambda = workload.RequiredLambdaButterfly(c.LoadFactor, c.P)
-	}
-	if c.WarmupFraction < 0 || c.WarmupFraction >= 1 {
-		return fmt.Errorf("core: warmup fraction %v outside [0,1)", c.WarmupFraction)
-	}
-	if c.WarmupFraction == 0 {
-		c.WarmupFraction = 0.2
-	}
-	return nil
+	return sc
 }
 
 // ButterflyResult reports one butterfly simulation.
@@ -423,58 +280,32 @@ type ButterflyResult struct {
 	WithinPaperBounds bool
 	// Kernel names the simulation kernel the run executed on.
 	Kernel string
-	// Delays holds the measured per-packet delays when TrackQuantiles was
-	// set; see HypercubeResult.Delays.
+	// Delays holds the measured per-packet delays when ReturnDelays was set.
 	Delays []float64
 }
 
 // RunButterfly runs one butterfly simulation under greedy routing (the only
-// routing scheme the butterfly admits). FIFO runs — every experiment in the
-// registry — execute on the slot-stepped fast kernel (the butterfly is a
-// unit-service workload); RandomOrder arcs or ForceEventDriven select the
-// event-driven calendar. Both kernels produce byte-identical results on the
-// same seed.
+// routing scheme the butterfly admits) through the unified scenario API.
 func RunButterfly(cfg ButterflyConfig) (*ButterflyResult, error) {
-	if err := cfg.normalize(); err != nil {
+	res, err := sim.Run(context.Background(), cfg.scenario())
+	if err != nil {
 		return nil, err
 	}
-	r := butterflyRunners.Get().(*butterflyRunner)
-	defer butterflyRunners.Put(r)
-	var out runOutcome
-	kernel := KernelEventDriven
-	if cfg.slotKernelEligible() {
-		kernel = KernelSlotStepped
-		out = r.runSlotStepped(&cfg)
-	} else {
-		out = r.runEventDriven(&cfg)
-	}
-	m := out.m
-
-	res := &ButterflyResult{
-		Params:     bounds.ButterflyParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
-		LoadFactor: cfg.Lambda * math.Max(cfg.P, 1-cfg.P),
-		Metrics:    m,
-		MeanDelay:  m.MeanDelay,
-		DelayP95:   out.q95,
-		DelayP99:   out.q99,
-		Kernel:     kernel,
-		Delays:     out.delays,
-	}
-	// Aggregate per-kind utilisation across levels.
-	var straight, vertical float64
-	for level := 0; level < cfg.D; level++ {
-		straight += m.GroupArcUtilization[level*2]
-		vertical += m.GroupArcUtilization[level*2+1]
-	}
-	res.StraightUtilization = straight / float64(cfg.D)
-	res.VerticalUtilization = vertical / float64(cfg.D)
-	res.MeanPacketsPerNode = m.MeanPopulation / float64(cfg.D*r.bf.Rows())
-	res.UniversalLowerBound = boundOrNaN(res.Params.UniversalLowerBound)
-	res.GreedyUpperBound = boundOrNaN(res.Params.GreedyUpperBound)
-	if !math.IsNaN(res.UniversalLowerBound) && !math.IsNaN(res.GreedyUpperBound) {
-		tol := 3 * m.DelayCI95
-		res.WithinPaperBounds = m.MeanDelay >= res.UniversalLowerBound-tol-1e-9 &&
-			m.MeanDelay <= res.GreedyUpperBound+tol+1e-9
-	}
-	return res, nil
+	b := res.Butterfly
+	return &ButterflyResult{
+		Params:              b.Params,
+		LoadFactor:          res.LoadFactor,
+		Metrics:             res.Metrics,
+		MeanDelay:           res.MeanDelay,
+		DelayP95:            res.DelayP95,
+		DelayP99:            res.DelayP99,
+		StraightUtilization: b.StraightUtilization,
+		VerticalUtilization: b.VerticalUtilization,
+		MeanPacketsPerNode:  res.MeanPacketsPerNode,
+		UniversalLowerBound: b.UniversalLowerBound,
+		GreedyUpperBound:    b.GreedyUpperBound,
+		WithinPaperBounds:   res.WithinPaperBounds,
+		Kernel:              res.Kernel,
+		Delays:              res.Delays,
+	}, nil
 }

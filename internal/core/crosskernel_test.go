@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/network"
 	"repro/internal/xrand"
+	"repro/sim"
 )
 
 // floatEq compares floats bitwise (NaN equals NaN): cross-kernel identity is
@@ -290,8 +291,8 @@ func TestKernelSelection(t *testing.T) {
 	}
 
 	// The global test/benchmark escape hatch.
-	DisableFastKernel = true
-	defer func() { DisableFastKernel = false }()
+	sim.DisableFastKernel = true
+	defer func() { sim.DisableFastKernel = false }()
 	res, err := RunButterfly(butter(func(c *ButterflyConfig) {}))
 	if err != nil {
 		t.Fatal(err)

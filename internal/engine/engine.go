@@ -19,6 +19,7 @@
 package engine
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -139,6 +140,16 @@ func Shards(cfg Config) []Shard {
 // metric. After all shards complete, the shard tallies are merged in shard
 // order, so the result is independent of scheduling.
 func Run(cfg Config, task Task) *Result {
+	res, _ := RunCtx(context.Background(), cfg, task)
+	return res
+}
+
+// RunCtx is Run with cooperative cancellation: when ctx is cancelled, no new
+// shard starts (in-flight shards finish their current replication block) and
+// RunCtx returns (nil, ctx.Err()) instead of a partial merge. Cancellation
+// never compromises determinism — a run either completes with the exact
+// result Run would produce, or reports the context error.
+func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 	shards := Shards(cfg)
 	res := &Result{
 		Replications: cfg.Replications,
@@ -147,7 +158,7 @@ func Run(cfg Config, task Task) *Result {
 	}
 	if len(shards) == 0 {
 		res.Replications = 0
-		return res
+		return res, nil
 	}
 
 	type shardResult struct {
@@ -158,7 +169,7 @@ func Run(cfg Config, task Task) *Result {
 	var progressMu sync.Mutex
 	doneShards, doneReps := 0, 0
 
-	ForEach(len(shards), cfg.Parallelism, func(i int) {
+	err := ForEachCtx(ctx, len(shards), cfg.Parallelism, func(i int) {
 		sh := shards[i]
 		tallies := map[string]*stats.Tally{}
 		for rep := sh.Start; rep < sh.End; rep++ {
@@ -180,6 +191,9 @@ func Run(cfg Config, task Task) *Result {
 			progressMu.Unlock()
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Merge in shard-index order: the only order-sensitive step, and it is
 	// fully deterministic because it happens after the barrier.
@@ -193,7 +207,7 @@ func Run(cfg Config, task Task) *Result {
 			dst.Merge(t)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // ForEach runs fn(i) for every i in [0, n) using at most parallelism
@@ -202,8 +216,15 @@ func Run(cfg Config, task Task) *Result {
 // balanced across workers; callers that need deterministic output should have
 // fn(i) write only to the i-th slot of a result slice.
 func ForEach(n, parallelism int, fn func(i int)) {
+	ForEachCtx(context.Background(), n, parallelism, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is cancelled
+// no further index is dispatched, in-flight fn calls run to completion, and
+// the context error is returned. A nil return means fn ran for every index.
+func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -213,9 +234,12 @@ func ForEach(n, parallelism int, fn func(i int)) {
 	}
 	if parallelism == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fn(i)
 		}
-		return
+		return nil
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -228,9 +252,17 @@ func ForEach(n, parallelism int, fn func(i int)) {
 			}
 		}()
 	}
+	var err error
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return err
 }

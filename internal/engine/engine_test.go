@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -244,5 +245,69 @@ func BenchmarkRunOverhead(b *testing.B) {
 		Run(cfg, func(rep int, seed uint64) map[string]float64 {
 			return map[string]float64{"v": float64(seed & 0xff)}
 		})
+	}
+}
+
+// TestRunCtxMatchesRun checks that the context-aware entry point with a live
+// context is exactly Run.
+func TestRunCtxMatchesRun(t *testing.T) {
+	cfg := Config{Replications: 12, Parallelism: 3, BaseSeed: 9}
+	task := func(_ int, seed uint64) map[string]float64 {
+		return map[string]float64{"v": float64(seed % 1009)}
+	}
+	want := Run(cfg, task)
+	got, err := RunCtx(context.Background(), cfg, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Metrics["v"].Mean() != want.Metrics["v"].Mean() ||
+		got.Metrics["v"].Count() != want.Metrics["v"].Count() {
+		t.Fatalf("RunCtx diverged from Run: %+v vs %+v", got.Metrics["v"], want.Metrics["v"])
+	}
+}
+
+// TestRunCtxCancelled checks that cancellation stops dispatch and reports
+// the context error instead of a partial merge.
+func TestRunCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int64
+	res, err := RunCtx(ctx, Config{Replications: 1000, Parallelism: 2, BaseSeed: 1},
+		func(_ int, _ uint64) map[string]float64 {
+			if atomic.AddInt64(&started, 1) == 3 {
+				cancel()
+			}
+			return map[string]float64{"v": 1}
+		})
+	if err != context.Canceled {
+		t.Fatalf("err = %v", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled run must not return a partial result")
+	}
+	if n := atomic.LoadInt64(&started); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch (%d replications ran)", n)
+	}
+}
+
+// TestForEachCtxSerialAndParallel checks both execution paths of the
+// cancellable loop.
+func TestForEachCtxSerialAndParallel(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran int64
+		err := ForEachCtx(ctx, 100, par, func(i int) {
+			if atomic.AddInt64(&ran, 1) == 5 {
+				cancel()
+			}
+		})
+		if err != context.Canceled {
+			t.Fatalf("parallelism %d: err = %v", par, err)
+		}
+		if n := atomic.LoadInt64(&ran); n >= 100 {
+			t.Fatalf("parallelism %d: cancellation ignored (%d ran)", par, n)
+		}
+		if err := ForEachCtx(context.Background(), 10, par, func(int) {}); err != nil {
+			t.Fatalf("parallelism %d: uncancelled loop errored: %v", par, err)
+		}
 	}
 }

@@ -1,14 +1,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
-	"repro/internal/network"
 	"repro/internal/queuenet"
 	"repro/internal/routing"
+	"repro/sim"
 )
 
 // pick returns quick when cfg.Quick and full otherwise.
@@ -19,22 +19,25 @@ func pick[T any](cfg RunConfig, quick, full T) T {
 	return full
 }
 
-// runHyper is a convenience wrapper that panics on configuration errors
-// (experiments use only valid configurations by construction).
-func runHyper(cfg core.HypercubeConfig) *core.HypercubeResult {
-	res, err := core.RunHypercube(cfg)
+// run executes one scenario and panics on configuration errors (experiments
+// use only valid scenarios by construction).
+func run(sc sim.Scenario) *sim.Result {
+	res, err := sim.Run(context.Background(), sc)
 	if err != nil {
-		panic(fmt.Sprintf("harness: hypercube run failed: %v", err))
+		panic(fmt.Sprintf("harness: scenario failed: %v", err))
 	}
 	return res
 }
 
-func runButter(cfg core.ButterflyConfig) *core.ButterflyResult {
-	res, err := core.RunButterfly(cfg)
-	if err != nil {
-		panic(fmt.Sprintf("harness: butterfly run failed: %v", err))
-	}
-	return res
+// scenarioGrid renders one table row per scenario: the scenarios execute
+// concurrently on the engine's worker pool (bounded by cfg.Parallelism) and
+// rows land in grid order regardless of which point finishes first. It is
+// the data-driven form most experiments take: declare the scenario list,
+// then map each result to its row.
+func scenarioGrid(table *Table, cfg RunConfig, scs []sim.Scenario, row func(i int, res *sim.Result) []string) {
+	addGridRows(table, cfg, len(scs), func(i int) []string {
+		return row(i, run(scs[i]))
+	})
 }
 
 func boolMark(ok bool) string {
@@ -144,32 +147,27 @@ func runE1(cfg RunConfig) *Table {
 	rhos := pick(cfg, []float64{0.6, 0.9}, []float64{0.3, 0.6, 0.9})
 	horizon := pick(cfg, 1500.0, 6000.0)
 	reps := pick(cfg, 2, 5)
-	type point struct {
-		d   int
-		rho float64
-	}
-	var pts []point
+	var scs []sim.Scenario
 	for _, d := range dims {
 		for _, rho := range rhos {
-			pts = append(pts, point{d, rho})
+			scs = append(scs, sim.Scenario{
+				Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
+				Horizon: horizon, Seed: cfg.Seed,
+				// The grid points already saturate the worker pool;
+				// replications within a point run serially on their
+				// deterministic subseeds.
+				Replications: reps, Parallelism: 1,
+			})
 		}
 	}
-	addGridRows(table, cfg, len(pts), func(i int) []string {
-		pt := pts[i]
-		// The grid points already saturate the worker pool; replications
-		// within a point run serially on their deterministic subseeds.
-		rep := ReplicateVector(reps, 1, cfg.Seed, func(seed uint64) map[string]float64 {
-			res := runHyper(core.HypercubeConfig{
-				D: pt.d, P: 0.5, LoadFactor: pt.rho, Horizon: horizon, Seed: seed,
-			})
-			return map[string]float64{"T": res.MeanDelay}
-		})
-		params := bounds.HypercubeParams{D: pt.d, Lambda: pt.rho / 0.5, P: 0.5}
-		lo, _ := params.GreedyLowerBound()
-		up, _ := params.GreedyUpperBound()
-		t := rep["T"]
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		sc := scs[i]
+		t := res.Replicated[sim.MetricMeanDelay]
+		lo := res.Hypercube.GreedyLowerBound
+		up := res.Hypercube.GreedyUpperBound
 		within := t.Mean >= lo-3*t.CI95-0.1 && t.Mean <= up+3*t.CI95
-		return []string{fmt.Sprintf("%d", pt.d), F(pt.rho), F(t.Mean), F(t.CI95), F(lo), F(up), boolMark(within)}
+		return []string{fmt.Sprintf("%d", sc.Topology.D), F(sc.LoadFactor), F(t.Mean), F(t.CI95),
+			F(lo), F(up), boolMark(within)}
 	})
 	table.AddNote("T is the mean packet delay; bounds are Propositions 13 and 12 of the paper.")
 	return table
@@ -181,12 +179,16 @@ func runE2(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	horizon := pick(cfg, 1500.0, 6000.0)
 	rhos := []float64{0.7, 0.9, 0.95, 1.05, 1.2}
-	addGridRows(table, cfg, len(rhos), func(i int) []string {
-		rho := rhos[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	var scs []sim.Scenario
+	for _, rho := range rhos {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
+			Horizon: horizon, Seed: cfg.Seed,
 			PopulationTraceInterval: horizon / 200,
 		})
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		rho := rhos[i]
 		// An unstable system accumulates packets at rate about
 		// (rho-1)*lambda*2^d per unit time; use a threshold well below that
 		// but well above the noise of a stable system.
@@ -213,12 +215,15 @@ func runE3(cfg RunConfig) *Table {
 	horizon := pick(cfg, 3000.0, 20000.0)
 	rhos := pick(cfg, []float64{0.8, 0.9, 0.95}, []float64{0.8, 0.9, 0.95, 0.98})
 	params := bounds.HypercubeParams{D: d, Lambda: 1, P: 0.5}
-	addGridRows(table, cfg, len(rhos), func(i int) []string {
-		rho := rhos[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			WarmupFraction: 0.4,
+	var scs []sim.Scenario
+	for _, rho := range rhos {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
+			Horizon: horizon, Seed: cfg.Seed, WarmupFraction: 0.4,
 		})
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		rho := rhos[i]
 		return []string{F(rho), F(res.MeanDelay), F((1 - rho) * res.MeanDelay),
 			F(params.HeavyTrafficLimitLowerBound()), F(params.HeavyTrafficLimitUpperBound())}
 	})
@@ -233,25 +238,22 @@ func runE4(cfg RunConfig) *Table {
 	ps := pick(cfg, []float64{0.3, 0.5}, []float64{0.3, 0.5, 0.7})
 	horizon := pick(cfg, 2000.0, 8000.0)
 	rho := 0.8
-	type point struct {
-		d int
-		p float64
-	}
-	var pts []point
+	var scs []sim.Scenario
 	for _, d := range dims {
 		for _, p := range ps {
-			pts = append(pts, point{d, p})
+			scs = append(scs, sim.Scenario{
+				Topology: sim.Butterfly(d), P: p, LoadFactor: rho,
+				Horizon: horizon, Seed: cfg.Seed,
+			})
 		}
 	}
-	addGridRows(table, cfg, len(pts), func(i int) []string {
-		pt := pts[i]
-		res := runButter(core.ButterflyConfig{
-			D: pt.d, P: pt.p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-		})
-		within := res.MeanDelay >= res.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
-			res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
-		return []string{fmt.Sprintf("%d", pt.d), F(pt.p), F(res.LoadFactor), F(res.MeanDelay),
-			F(res.UniversalLowerBound), F(res.GreedyUpperBound), boolMark(within)}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		sc := scs[i]
+		b := res.Butterfly
+		within := res.MeanDelay >= b.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
+			res.MeanDelay <= b.GreedyUpperBound+3*res.Metrics.DelayCI95
+		return []string{fmt.Sprintf("%d", sc.Topology.D), F(sc.P), F(res.LoadFactor), F(res.MeanDelay),
+			F(b.UniversalLowerBound), F(b.GreedyUpperBound), boolMark(within)}
 	})
 	table.AddNote("rho = lambda*max{p,1-p} = %.2f throughout.", rho)
 	return table
@@ -293,8 +295,8 @@ func runE6(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	rho := 0.8
 	horizon := pick(cfg, 3000.0, 10000.0)
-	res := runHyper(core.HypercubeConfig{
-		D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	res := run(sim.Scenario{
+		Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 	})
 	md1 := rho + rho*rho/(2*(1-rho))
 	for j := 0; j < d; j++ {
@@ -302,8 +304,8 @@ func runE6(cfg RunConfig) *Table {
 		if j == 0 {
 			pred = F(md1)
 		}
-		table.AddRow(fmt.Sprintf("%d", j+1), F(res.PerDimensionMeanQueue[j]),
-			F(res.PerDimensionUtilization[j]), pred, F(rho))
+		table.AddRow(fmt.Sprintf("%d", j+1), F(res.Hypercube.PerDimensionMeanQueue[j]),
+			F(res.Hypercube.PerDimensionUtilization[j]), pred, F(rho))
 	}
 	table.AddNote("Prop 5: every arc is utilised rho = %.2f; dimension 1 arcs are exact M/D/1 queues.", rho)
 	return table
@@ -317,8 +319,8 @@ func runE7(cfg RunConfig) *Table {
 	rhos := []float64{0.1, 0.3, 0.6}
 	addGridRows(table, cfg, len(rhos), func(i int) []string {
 		rho := rhos[i]
-		g := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		g := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			PopulationTraceInterval: horizon / 200,
 		})
 		p := routing.RunPipelined(routing.PipelinedConfig{
@@ -345,12 +347,15 @@ func runE8(cfg RunConfig) *Table {
 	taus := []float64{0.25, 0.5, 1.0}
 	params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
 	contBound, _ := params.GreedyUpperBound()
-	addGridRows(table, cfg, len(taus), func(i int) []string {
-		tau := taus[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			Slotted: true, Tau: tau,
+	var scs []sim.Scenario
+	for _, tau := range taus {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
+			Horizon: horizon, Seed: cfg.Seed, Slotted: true, Tau: tau,
 		})
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		tau := taus[i]
 		slottedBound, _ := params.SlottedUpperBound(tau)
 		within := res.MeanDelay <= slottedBound+3*res.Metrics.DelayCI95
 		return []string{F(tau), F(res.MeanDelay), F(contBound), F(slottedBound), boolMark(within)}
@@ -365,8 +370,8 @@ func runE9(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	rho := 0.8
 	horizon := pick(cfg, 3000.0, 10000.0)
-	res := runHyper(core.HypercubeConfig{
-		D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	res := run(sim.Scenario{
+		Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		TrackQuantiles: true,
 	})
 	params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
@@ -390,15 +395,18 @@ func runE10(cfg RunConfig) *Table {
 	rho := 0.6
 	horizon := pick(cfg, 2000.0, 8000.0)
 	ps := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
-	addGridRows(table, cfg, len(ps), func(i int) []string {
-		p := ps[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	var scs []sim.Scenario
+	for _, p := range ps {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		within := res.MeanDelay >= res.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1 &&
-			res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
-		return []string{F(p), F(res.Params.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
-			F(res.GreedyLowerBound), F(res.GreedyUpperBound), boolMark(within)}
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		h := res.Hypercube
+		within := res.MeanDelay >= h.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1 &&
+			res.MeanDelay <= h.GreedyUpperBound+3*res.Metrics.DelayCI95
+		return []string{F(ps[i]), F(res.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
+			F(h.GreedyLowerBound), F(h.GreedyUpperBound), boolMark(within)}
 	})
 	table.AddNote("d = %d, rho = lambda*p = %.2f for every row.", d, rho)
 	return table
@@ -411,8 +419,8 @@ func runE11(cfg RunConfig) *Table {
 	rho := 0.7
 	lambda := rho / 0.5
 	horizon := pick(cfg, 3000.0, 10000.0)
-	res := runHyper(core.HypercubeConfig{
-		D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	res := run(sim.Scenario{
+		Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 	})
 	spec := queuenet.HypercubeSpec(d, lambda, 0.5)
 	sp := queuenet.GenerateSamplePath(spec, horizon, cfg.Seed+1)
@@ -426,7 +434,7 @@ func runE11(cfg RunConfig) *Table {
 	relPop := math.Abs(q.MeanPopulation-res.Metrics.MeanPopulation) / res.Metrics.MeanPopulation
 	table.AddRow("mean delay T", F(res.MeanDelay), F(qDelay), F(relDelay))
 	table.AddRow("mean population", F(res.Metrics.MeanPopulation), F(q.MeanPopulation), F(relPop))
-	table.AddRow("per-dim-1 arc utilisation", F(res.PerDimensionUtilization[0]), F(rho), "")
+	table.AddRow("per-dim-1 arc utilisation", F(res.Hypercube.PerDimensionUtilization[0]), F(rho), "")
 	table.AddNote("d = %d, rho = %.2f. §3.1 asserts the two systems are the same process in law.", d, rho)
 	return table
 }
@@ -437,16 +445,19 @@ func runE12(cfg RunConfig) *Table {
 	dims := pick(cfg, []int{4, 5, 6}, []int{5, 6, 7, 8})
 	rho := 0.8
 	horizon := pick(cfg, 2000.0, 8000.0)
-	addGridRows(table, cfg, len(dims), func(i int) []string {
-		d := dims[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	var scs []sim.Scenario
+	for _, d := range dims {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		ok := res.MeanDelay >= res.UniversalLowerBound-0.1 &&
-			res.MeanDelay >= res.ObliviousLowerBound-0.1 &&
-			res.MeanDelay >= res.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1
-		return []string{fmt.Sprintf("%d", d), F(res.MeanDelay), F(res.UniversalLowerBound),
-			F(res.ObliviousLowerBound), F(res.GreedyLowerBound), boolMark(ok)}
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		h := res.Hypercube
+		ok := res.MeanDelay >= h.UniversalLowerBound-0.1 &&
+			res.MeanDelay >= h.ObliviousLowerBound-0.1 &&
+			res.MeanDelay >= h.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1
+		return []string{fmt.Sprintf("%d", dims[i]), F(res.MeanDelay), F(h.UniversalLowerBound),
+			F(h.ObliviousLowerBound), F(h.GreedyLowerBound), boolMark(ok)}
 	})
 	table.AddNote("rho = %.2f, p = 1/2.", rho)
 	return table
@@ -460,13 +471,13 @@ func runA1(cfg RunConfig) *Table {
 	rhos := []float64{0.6, 0.9}
 	addGridRows(table, cfg, len(rhos), func(i int) []string {
 		rho := rhos[i]
-		a := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			Router: core.GreedyDimensionOrder,
+		a := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+			Router: sim.GreedyDimensionOrder,
 		})
-		b := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			Router: core.GreedyRandomOrder,
+		b := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+			Router: sim.GreedyRandomOrder,
 		})
 		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay / a.MeanDelay)}
 	})
@@ -482,12 +493,12 @@ func runA2(cfg RunConfig) *Table {
 	rhos := []float64{0.6, 0.9}
 	addGridRows(table, cfg, len(rhos), func(i int) []string {
 		rho := rhos[i]
-		a := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		a := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		b := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-			Discipline: network.RandomOrder,
+		b := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+			Discipline: sim.RandomOrder,
 		})
 		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay / a.MeanDelay)}
 	})
@@ -503,11 +514,11 @@ func runA3(cfg RunConfig) *Table {
 	rhos := []float64{0.5, 0.8}
 	addGridRows(table, cfg, len(rhos), func(i int) []string {
 		rho := rhos[i]
-		a := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		a := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		b := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		b := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 			Slotted: true, Tau: 1,
 		})
 		return []string{F(rho), F(a.MeanDelay), F(b.MeanDelay), F(b.MeanDelay - a.MeanDelay), F(1)}

@@ -3,9 +3,9 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/core"
 	"repro/internal/deflection"
 	"repro/internal/static"
+	"repro/sim"
 )
 
 func init() {
@@ -44,8 +44,8 @@ func runE13(cfg RunConfig) *Table {
 	rhos := []float64{0.3, 0.6, 0.9}
 	addGridRows(table, cfg, len(rhos), func(i int) []string {
 		rho := rhos[i]
-		g := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		g := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
 		defl, err := deflection.Run(deflection.Config{
 			D: d, Lambda: rho / 0.5, P: 0.5, Slots: slots, Seed: cfg.Seed,
@@ -94,8 +94,8 @@ func runE15(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	rho := 0.8
 	horizon := pick(cfg, 3000.0, 10000.0)
-	res := runHyper(core.HypercubeConfig{
-		D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	res := run(sim.Scenario{
+		Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		TrackPerDimensionWait: true,
 	})
 	md1 := 1 + rho/(2*(1-rho))
@@ -104,8 +104,8 @@ func runE15(cfg RunConfig) *Table {
 		if j == 0 {
 			pred = F(md1)
 		}
-		table.AddRow(fmt.Sprintf("%d", j+1), F(res.PerDimensionMeanWait[j]), pred,
-			F(res.PerDimensionUtilization[j]))
+		table.AddRow(fmt.Sprintf("%d", j+1), F(res.Hypercube.PerDimensionMeanWait[j]), pred,
+			F(res.Hypercube.PerDimensionUtilization[j]))
 	}
 	table.AddNote("d = %d, rho = %.2f. Dimension 1 arcs see pure Poisson input; later dimensions see feed-through traffic.", d, rho)
 	return table
@@ -147,12 +147,12 @@ func runE16(cfg RunConfig) *Table {
 	}
 	addGridRows(table, cfg, len(patterns), func(i int) []string {
 		pat := patterns[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, Lambda: pat.lambda, Horizon: horizon, Seed: cfg.Seed,
+		res := run(sim.Scenario{
+			Topology: sim.Hypercube(d), Lambda: pat.lambda, Horizon: horizon, Seed: cfg.Seed,
 			CustomWeights: pat.weights(), PopulationTraceInterval: horizon / 200,
 		})
 		maxUtil := 0.0
-		for _, u := range res.PerDimensionUtilization {
+		for _, u := range res.Hypercube.PerDimensionUtilization {
 			if u > maxUtil {
 				maxUtil = u
 			}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bounds"
-	"repro/internal/core"
+	"repro/sim"
 )
 
 // The at-scale experiments run the paper's two synchronous workloads — the
@@ -41,12 +41,16 @@ func runE17(cfg RunConfig) *Table {
 	// is built for: every slot fires a network-wide batch, so the event
 	// calendar degenerates to the slot clock plus unit-time completions.
 	pts := []point{{0.25, 0.9}, {0.25, 0.95}, {0.125, 0.95}}
-	addGridRows(table, cfg, len(pts), func(i int) []string {
-		pt := pts[i]
-		res := runHyper(core.HypercubeConfig{
-			D: d, P: 0.5, LoadFactor: pt.rho, Horizon: horizon, Seed: cfg.Seed,
+	var scs []sim.Scenario
+	for _, pt := range pts {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: pt.rho,
+			Horizon: horizon, Seed: cfg.Seed,
 			Slotted: true, Tau: pt.tau, SkipPerDimensionStats: true,
 		})
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		pt := pts[i]
 		params := bounds.HypercubeParams{D: d, Lambda: pt.rho / 0.5, P: 0.5}
 		slottedBound, _ := params.SlottedUpperBound(pt.tau)
 		within := res.MeanDelay <= slottedBound+3*res.Metrics.DelayCI95
@@ -63,15 +67,18 @@ func runE18(cfg RunConfig) *Table {
 	dims := pick(cfg, []int{8, 9}, []int{8, 9, 10})
 	horizon := pick(cfg, 500.0, 1500.0)
 	rho := 0.95
-	addGridRows(table, cfg, len(dims), func(i int) []string {
-		d := dims[i]
-		res := runButter(core.ButterflyConfig{
-			D: d, P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+	var scs []sim.Scenario
+	for _, d := range dims {
+		scs = append(scs, sim.Scenario{
+			Topology: sim.Butterfly(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		within := res.MeanDelay >= res.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
-			res.MeanDelay <= res.GreedyUpperBound+3*res.Metrics.DelayCI95
-		return []string{fmt.Sprintf("%d", d), F(res.LoadFactor), F(res.MeanDelay),
-			F(res.UniversalLowerBound), F(res.GreedyUpperBound), boolMark(within)}
+	}
+	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+		b := res.Butterfly
+		within := res.MeanDelay >= b.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
+			res.MeanDelay <= b.GreedyUpperBound+3*res.Metrics.DelayCI95
+		return []string{fmt.Sprintf("%d", dims[i]), F(res.LoadFactor), F(res.MeanDelay),
+			F(b.UniversalLowerBound), F(b.GreedyUpperBound), boolMark(within)}
 	})
 	table.AddNote("p = 1/2, rho = lambda*max{p,1-p} = %.2f; runs on the slot-stepped kernel.", rho)
 	return table

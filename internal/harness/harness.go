@@ -1,15 +1,17 @@
 // Package harness provides the experiment infrastructure shared by the
-// cmd/experiments binary and the benchmark suite: sharded parallel execution
-// of independent replications and grid points through internal/engine,
-// aggregation with confidence intervals, plain-text, CSV and JSON table
-// rendering, and the registry of the paper's experiments (E1..E12 plus the
-// ablations listed in DESIGN.md).
+// cmd/experiments binary and the benchmark suite: the registry of the
+// paper's experiments (E1–E18 plus the ablations A1–A3; `experiments -list`
+// or Registry() shows the live set), grid execution on the sharded parallel
+// engine (internal/engine), and plain-text, CSV and JSON table rendering.
+// Experiments are expressed over the unified scenario API in repro/sim,
+// which also carries the replication machinery (sim.Scenario.Replications).
 //
 // All parallel execution is deterministic: replication seeds are derived by
 // splitting the base seed (never from scheduling), grid rows are assembled in
 // index order after a barrier, and per-shard statistics merge in shard order.
 // Running any experiment with the same seed at parallelism 1 and parallelism
-// N therefore produces byte-identical tables.
+// N therefore produces byte-identical tables. See README.md for the
+// experiment index and the engine architecture.
 package harness
 
 import (
@@ -19,82 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/engine"
-	"repro/internal/stats"
 )
-
-// Replication summarises independent replications of a scalar measurement.
-type Replication struct {
-	N      int
-	Mean   float64
-	StdDev float64
-	CI95   float64
-	Min    float64
-	Max    float64
-}
-
-// String renders the replication as "mean ± ci".
-func (r Replication) String() string {
-	return fmt.Sprintf("%.4f ± %.4f", r.Mean, r.CI95)
-}
-
-// replicationFromTally converts a merged engine tally into the harness's
-// report form.
-func replicationFromTally(t *stats.Tally) Replication {
-	if t == nil {
-		return Replication{}
-	}
-	return Replication{
-		N:      int(t.Count()),
-		Mean:   t.Mean(),
-		StdDev: t.StdDev(),
-		CI95:   t.ConfidenceInterval(0.95),
-		Min:    t.Min(),
-		Max:    t.Max(),
-	}
-}
-
-// Replicate runs f for n independent replications through the sharded engine,
-// using at most parallelism concurrent workers (defaulting to GOMAXPROCS when
-// non-positive), and aggregates the returned scalars. Each replication's seed
-// is derived deterministically from baseSeed by seed splitting, so the
-// confidence interval is a genuine i.i.d. interval and the result does not
-// depend on the parallelism.
-func Replicate(n int, parallelism int, baseSeed uint64, f func(seed uint64) float64) Replication {
-	if n <= 0 {
-		return Replication{}
-	}
-	res := engine.Run(engine.Config{
-		Replications: n,
-		Parallelism:  parallelism,
-		BaseSeed:     baseSeed,
-	}, func(_ int, seed uint64) map[string]float64 {
-		return map[string]float64{"value": f(seed)}
-	})
-	return replicationFromTally(res.Metrics["value"])
-}
-
-// ReplicateVector runs f for n independent replications through the sharded
-// engine, where f returns a vector of named scalars; each component is
-// aggregated independently. It is used when one simulation run yields several
-// measurements (delay, population, ...).
-func ReplicateVector(n int, parallelism int, baseSeed uint64,
-	f func(seed uint64) map[string]float64) map[string]Replication {
-	if n <= 0 {
-		return nil
-	}
-	res := engine.Run(engine.Config{
-		Replications: n,
-		Parallelism:  parallelism,
-		BaseSeed:     baseSeed,
-	}, func(_ int, seed uint64) map[string]float64 {
-		return f(seed)
-	})
-	out := make(map[string]Replication, len(res.Metrics))
-	for k, t := range res.Metrics {
-		out[k] = replicationFromTally(t)
-	}
-	return out
-}
 
 // Table is a simple column-aligned report table. The json tags keep the
 // machine-readable artifact schema (see artifact.go) uniformly snake_case.
@@ -246,9 +173,9 @@ func addGridRows(table *Table, cfg RunConfig, n int, body func(i int) []string) 
 	}
 }
 
-// Experiment is one reproducible experiment from DESIGN.md.
+// Experiment is one reproducible experiment from the registry.
 type Experiment struct {
-	// ID is the experiment identifier (E1..E12, A1..).
+	// ID is the experiment identifier (E1..E18, A1..A3).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -298,12 +225,22 @@ func splitID(id string) (string, int) {
 	return id[:i], n
 }
 
-// ByID looks up an experiment.
+// ByID looks up an experiment. Matching is case-insensitive, so "e5" finds
+// E5.
 func ByID(id string) (Experiment, bool) {
 	for _, e := range registry {
-		if e.ID == id {
+		if strings.EqualFold(e.ID, id) {
 			return e, true
 		}
 	}
 	return Experiment{}, false
+}
+
+// IDs returns every registered experiment ID in registry order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	return ids
 }

@@ -5,121 +5,8 @@ import (
 	"runtime"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"testing"
 )
-
-func TestReplicateAggregates(t *testing.T) {
-	// Values are a pure function of the engine-derived seeds; aggregate them
-	// independently and compare against the harness's report.
-	var mu sync.Mutex
-	var vals []float64
-	rep := Replicate(8, 4, 100, func(seed uint64) float64 {
-		v := float64(seed % 1000)
-		mu.Lock()
-		vals = append(vals, v)
-		mu.Unlock()
-		return v
-	})
-	if rep.N != 8 || len(vals) != 8 {
-		t.Fatalf("N = %d, calls = %d", rep.N, len(vals))
-	}
-	sum, min, max := 0.0, vals[0], vals[0]
-	for _, v := range vals {
-		sum += v
-		if v < min {
-			min = v
-		}
-		if v > max {
-			max = v
-		}
-	}
-	if math.Abs(rep.Mean-sum/8) > 1e-12 {
-		t.Fatalf("mean = %v, want %v", rep.Mean, sum/8)
-	}
-	if rep.Min != min || rep.Max != max {
-		t.Fatalf("min/max = %v/%v, want %v/%v", rep.Min, rep.Max, min, max)
-	}
-	if rep.CI95 <= 0 {
-		t.Fatal("CI should be positive")
-	}
-	if rep.String() == "" {
-		t.Fatal("empty String()")
-	}
-}
-
-// TestReplicateDeterministicAcrossParallelism is the harness-level view of
-// the engine's core guarantee: identical seeds give identical aggregates no
-// matter how many workers run the replications.
-func TestReplicateDeterministicAcrossParallelism(t *testing.T) {
-	run := func(par int) Replication {
-		return Replicate(23, par, 7, func(seed uint64) float64 {
-			return float64(seed%10007) / 10007
-		})
-	}
-	want := run(1)
-	for _, par := range []int{4, runtime.GOMAXPROCS(0)} {
-		if got := run(par); got != want {
-			t.Fatalf("parallelism %d changed the aggregate: %+v vs %+v", par, got, want)
-		}
-	}
-}
-
-func TestReplicateZeroRuns(t *testing.T) {
-	rep := Replicate(0, 4, 1, func(uint64) float64 { return 1 })
-	if rep.N != 0 {
-		t.Fatal("expected empty replication")
-	}
-}
-
-func TestReplicateUsesDistinctSeedsConcurrently(t *testing.T) {
-	var calls int64
-	var mu sync.Mutex
-	seen := map[uint64]int{}
-	Replicate(16, 8, 0, func(seed uint64) float64 {
-		atomic.AddInt64(&calls, 1)
-		mu.Lock()
-		seen[seed]++
-		mu.Unlock()
-		return 0
-	})
-	if calls != 16 {
-		t.Fatalf("calls = %d", calls)
-	}
-	if len(seen) != 16 {
-		t.Fatalf("only %d distinct seeds across 16 replications", len(seen))
-	}
-	for seed, c := range seen {
-		if c != 1 {
-			t.Fatalf("seed %d used %d times", seed, c)
-		}
-	}
-}
-
-func TestReplicateVector(t *testing.T) {
-	out := ReplicateVector(4, 2, 10, func(seed uint64) map[string]float64 {
-		v := float64(seed % 1000)
-		return map[string]float64{"a": v, "b": 2 * v}
-	})
-	if len(out) != 2 {
-		t.Fatalf("keys = %d", len(out))
-	}
-	if out["a"].N != 4 || out["b"].N != 4 {
-		t.Fatalf("component counts = %d/%d, want 4", out["a"].N, out["b"].N)
-	}
-	// Components of one replication aggregate in lockstep: b = 2a holds for
-	// the mean, min and max regardless of which seeds the engine derives.
-	if math.Abs(out["b"].Mean-2*out["a"].Mean) > 1e-9 {
-		t.Fatalf("b mean %v != 2 * a mean %v", out["b"].Mean, out["a"].Mean)
-	}
-	if out["b"].Min != 2*out["a"].Min || out["b"].Max != 2*out["a"].Max {
-		t.Fatalf("b min/max %v/%v not twice a min/max %v/%v",
-			out["b"].Min, out["b"].Max, out["a"].Min, out["a"].Max)
-	}
-	if ReplicateVector(0, 1, 0, nil) != nil {
-		t.Fatal("expected nil for zero runs")
-	}
-}
 
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("demo", "col1", "longer column")

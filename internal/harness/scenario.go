@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/sim"
+)
+
+// LoadScenarios reads a declarative scenario spec file: either a single JSON
+// scenario object or a JSON array of them (see sim.Scenario for the schema).
+// Unknown fields are rejected so typos in spec files fail loudly, and every
+// scenario is validated before the slice is returned.
+func LoadScenarios(path string) ([]sim.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var scs []sim.Scenario
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := decodeStrict(data, &scs); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+	} else {
+		var sc sim.Scenario
+		if err := decodeStrict(data, &sc); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		scs = []sim.Scenario{sc}
+	}
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("%s: no scenarios in spec", path)
+	}
+	for i := range scs {
+		// Names become artifact filenames; a path separator would escape the
+		// artifacts directory (or fail to write) after the simulations ran.
+		if strings.ContainsAny(scs[i].Name, `/\`) {
+			return nil, fmt.Errorf("%s: scenario %d name %q must not contain path separators",
+				path, i+1, scs[i].Name)
+		}
+		if err := scs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("%s: scenario %d (%s): %w", path, i+1, scs[i].Title(), err)
+		}
+	}
+	return scs, nil
+}
+
+// decodeStrict unmarshals JSON rejecting unknown fields and trailing
+// content (a second top-level value would otherwise be silently dropped —
+// the classic forgotten-array-brackets mistake).
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing content after the first JSON value (wrap multiple scenarios in an array)")
+	}
+	return nil
+}
+
+// ScenarioTable renders one executed scenario as a report table: the common
+// metrics core first, then the topology-specific bounds block, in the same
+// table/CSV/JSON formats the registry experiments use.
+func ScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
+	if res.Replicated != nil {
+		return replicatedScenarioTable(sc, res)
+	}
+	table := NewTable(sc.Title(), "quantity", "value")
+	table.AddRow("topology", res.Topology.String())
+	table.AddRow("kernel", res.Kernel)
+	table.AddRow("lambda", F(res.Lambda))
+	table.AddRow("load factor rho", F(res.LoadFactor))
+	table.AddRow("mean delay T", F(res.MeanDelay))
+	table.AddRow("delay 95% CI (half-width)", F(res.Metrics.DelayCI95))
+	addBoundRows(table, res, func(name string, v float64) []string { return []string{name, F(v)} })
+	table.AddRow("within paper bounds", fmt.Sprintf("%v", res.WithinPaperBounds))
+	table.AddRow("mean hops", F(res.Metrics.MeanHops))
+	table.AddRow("mean packets per node", F(res.MeanPacketsPerNode))
+	table.AddRow("mean total population", F(res.Metrics.MeanPopulation))
+	table.AddRow("throughput (packets/time)", F(res.Metrics.Throughput))
+	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
+	if sc.TrackQuantiles {
+		table.AddRow("delay P95", F(res.DelayP95))
+		table.AddRow("delay P99", F(res.DelayP99))
+	}
+	if h := res.Hypercube; h != nil {
+		for j, u := range h.PerDimensionUtilization {
+			table.AddRow(fmt.Sprintf("dimension %d arc utilisation", j+1), F(u))
+		}
+	}
+	if b := res.Butterfly; b != nil {
+		table.AddRow("straight-arc utilisation", F(b.StraightUtilization))
+		table.AddRow("vertical-arc utilisation", F(b.VerticalUtilization))
+	}
+	return table
+}
+
+// replicatedScenarioTable renders the merged tallies of a replicated
+// scenario as mean ± CI rows.
+func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
+	table := NewTable(fmt.Sprintf("%s reps=%d", sc.Title(), sc.Replications),
+		"quantity", "mean", "ci95", "min", "max")
+	table.AddRow("topology", res.Topology.String(), "", "", "")
+	table.AddRow("kernel", res.Kernel, "", "", "")
+	type metric struct {
+		name string
+		key  string
+	}
+	metrics := []metric{
+		{"mean delay T", sim.MetricMeanDelay},
+		{"mean hops", sim.MetricMeanHops},
+		{"mean packets per node", sim.MetricMeanPacketsPerNode},
+		{"mean total population", sim.MetricMeanPopulation},
+		{"throughput (packets/time)", sim.MetricThroughput},
+	}
+	if sc.TrackQuantiles {
+		metrics = append(metrics,
+			metric{"delay P95", sim.MetricDelayP95},
+			metric{"delay P99", sim.MetricDelayP99})
+	}
+	if res.Butterfly != nil {
+		metrics = append(metrics,
+			metric{"straight-arc utilisation", sim.MetricStraightUtilization},
+			metric{"vertical-arc utilisation", sim.MetricVerticalUtilization})
+	}
+	for _, mt := range metrics {
+		r := res.Replicated[mt.key]
+		table.AddRow(mt.name, F(r.Mean), F(r.CI95), F(r.Min), F(r.Max))
+	}
+	addBoundRows(table, res, func(name string, v float64) []string { return []string{name, F(v), "", "", ""} })
+	table.AddNote("%d independent replications with deterministically split seeds (base %d).",
+		sc.Replications, sc.Seed)
+	return table
+}
+
+// addBoundRows appends the topology-specific analytic bounds; row shapes the
+// cells for the table's column count.
+func addBoundRows(table *Table, res *sim.Result, row func(name string, v float64) []string) {
+	if h := res.Hypercube; h != nil {
+		table.AddRow(row("greedy lower bound (Prop 13)", h.GreedyLowerBound)...)
+		table.AddRow(row("greedy upper bound (Prop 12)", h.GreedyUpperBound)...)
+		table.AddRow(row("universal lower bound (Prop 2)", h.UniversalLowerBound)...)
+		table.AddRow(row("oblivious lower bound (Prop 3)", h.ObliviousLowerBound)...)
+		if h.SlottedUpperBound != 0 {
+			table.AddRow(row("slotted upper bound (§3.4)", h.SlottedUpperBound)...)
+		}
+	}
+	if b := res.Butterfly; b != nil {
+		table.AddRow(row("universal lower bound (Prop 14)", b.UniversalLowerBound)...)
+		table.AddRow(row("greedy upper bound (Prop 17)", b.GreedyUpperBound)...)
+	}
+}

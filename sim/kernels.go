@@ -1,4 +1,4 @@
-package core
+package sim
 
 import (
 	"sync"
@@ -13,7 +13,7 @@ import (
 	"repro/internal/xrand"
 )
 
-// Kernel identifiers reported in the result structs.
+// Kernel identifiers reported in Result.Kernel.
 const (
 	// KernelEventDriven is the general discrete-event calendar
 	// (internal/des + internal/network).
@@ -32,7 +32,7 @@ var DisableFastKernel bool
 // slotKernelEligible reports whether the run can use the slot-stepped kernel:
 // the §3.4 slotted arrival model with unit service and FIFO arcs is exactly
 // the synchronous workload slotsim models.
-func (c *HypercubeConfig) slotKernelEligible() bool {
+func (c *hypercubeConfig) slotKernelEligible() bool {
 	return c.Slotted && c.Discipline == network.FIFO &&
 		!c.ForceEventDriven && !DisableFastKernel
 }
@@ -40,7 +40,7 @@ func (c *HypercubeConfig) slotKernelEligible() bool {
 // slotKernelEligible reports whether the butterfly run can use the fast
 // kernel: every butterfly experiment is a unit-service FIFO workload, so only
 // the discipline and the escape hatches matter.
-func (c *ButterflyConfig) slotKernelEligible() bool {
+func (c *butterflyConfig) slotKernelEligible() bool {
 	return c.Discipline == network.FIFO && !c.ForceEventDriven && !DisableFastKernel
 }
 
@@ -180,7 +180,7 @@ type hyperRunner struct {
 var hyperRunners = sync.Pool{New: func() any { return new(hyperRunner) }}
 
 // prepare sets up topology, destination distribution and routing for cfg.
-func (r *hyperRunner) prepare(cfg *HypercubeConfig) {
+func (r *hyperRunner) prepare(cfg *hypercubeConfig) {
 	if r.cube == nil || r.cube.Dimension() != cfg.D {
 		r.cube = hypercube.New(cfg.D)
 	}
@@ -230,7 +230,7 @@ func (r *hyperRunner) SampleDest(origin int32, rng *xrand.Rand) uint32 {
 }
 
 // runEventDriven executes cfg on the des-based calendar.
-func (r *hyperRunner) runEventDriven(cfg *HypercubeConfig) runOutcome {
+func (r *hyperRunner) runEventDriven(cfg *hypercubeConfig) runOutcome {
 	r.prepare(cfg)
 	r.netCfg.NumArcs = r.cube.NumArcs()
 	r.netCfg.NumGroups = cfg.D
@@ -273,7 +273,7 @@ func (r *hyperRunner) runEventDriven(cfg *HypercubeConfig) runOutcome {
 }
 
 // runSlotStepped executes cfg on the slot-stepped kernel.
-func (r *hyperRunner) runSlotStepped(cfg *HypercubeConfig) runOutcome {
+func (r *hyperRunner) runSlotStepped(cfg *hypercubeConfig) runOutcome {
 	r.prepare(cfg)
 	if r.kernel == nil {
 		r.kernel = new(slotsim.Kernel)
@@ -327,7 +327,7 @@ type butterflyRunner struct {
 
 var butterflyRunners = sync.Pool{New: func() any { return new(butterflyRunner) }}
 
-func (r *butterflyRunner) prepare(cfg *ButterflyConfig) {
+func (r *butterflyRunner) prepare(cfg *butterflyConfig) {
 	if r.bf == nil || r.bf.Dimension() != cfg.D {
 		r.bf = butterfly.New(cfg.D)
 	}
@@ -367,7 +367,7 @@ func (r *butterflyRunner) SampleDest(origin int32, rng *xrand.Rand) uint32 {
 	return uint32(r.dist.SampleRow(butterfly.Row(origin), rng))
 }
 
-func (r *butterflyRunner) runEventDriven(cfg *ButterflyConfig) runOutcome {
+func (r *butterflyRunner) runEventDriven(cfg *butterflyConfig) runOutcome {
 	r.prepare(cfg)
 	r.netCfg.NumArcs = r.bf.NumArcs()
 	r.netCfg.NumGroups = 2 * cfg.D
@@ -404,7 +404,7 @@ func (r *butterflyRunner) runEventDriven(cfg *ButterflyConfig) runOutcome {
 	return out
 }
 
-func (r *butterflyRunner) runSlotStepped(cfg *ButterflyConfig) runOutcome {
+func (r *butterflyRunner) runSlotStepped(cfg *butterflyConfig) runOutcome {
 	r.prepare(cfg)
 	if r.kernel == nil {
 		r.kernel = new(slotsim.Kernel)

@@ -1,0 +1,543 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+
+	"repro/internal/bounds"
+	"repro/internal/engine"
+	"repro/internal/hypercube"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Metrics is the raw measurement snapshot of one simulation run; see
+// network.Metrics for field documentation.
+type Metrics = network.Metrics
+
+// HypercubeParams exposes the paper's closed-form hypercube bounds
+// (Propositions 2, 3, 12, 13, the §3.4 slotted bound and the heavy-traffic
+// limits) evaluated at the run's parameters.
+type HypercubeParams = bounds.HypercubeParams
+
+// ButterflyParams exposes the paper's closed-form butterfly bounds
+// (Propositions 14-17).
+type ButterflyParams = bounds.ButterflyParams
+
+// HypercubeStats is the hypercube-specific block of a Result: the per-
+// dimension measurements and the paper's hypercube bounds.
+type HypercubeStats struct {
+	// Params echoes the model parameters in the form used by the bounds.
+	Params HypercubeParams `json:"params"`
+	// PerDimensionMeanQueue is the time-averaged number of packets queued at
+	// a single arc of each dimension (index 0 = dimension 1).
+	PerDimensionMeanQueue []float64 `json:"per_dimension_mean_queue,omitempty"`
+	// PerDimensionUtilization is the mean busy fraction of an arc of each
+	// dimension; Proposition 5 predicts rho for every dimension.
+	PerDimensionUtilization []float64 `json:"per_dimension_utilization,omitempty"`
+	// PerDimensionMeanWait is the mean time a packet spends at an arc of
+	// each dimension (queueing plus the unit transmission); populated only
+	// when TrackPerDimensionWait was set.
+	PerDimensionMeanWait []float64 `json:"per_dimension_mean_wait,omitempty"`
+	// PerDimensionLoadFactor is lambda*p_j, the offered load of each
+	// dimension (all equal to rho for the bit-flip distribution, §2.2 in
+	// general).
+	PerDimensionLoadFactor []float64 `json:"per_dimension_load_factor,omitempty"`
+	// GreedyLowerBound, GreedyUpperBound, UniversalLowerBound and
+	// ObliviousLowerBound are the paper's analytic bounds evaluated at the
+	// run's parameters (Props 13, 12, 2 and 3). They are NaN when the
+	// system is unstable or (for the greedy pair) under custom traffic.
+	GreedyLowerBound    float64 `json:"greedy_lower_bound"`
+	GreedyUpperBound    float64 `json:"greedy_upper_bound"`
+	UniversalLowerBound float64 `json:"universal_lower_bound"`
+	ObliviousLowerBound float64 `json:"oblivious_lower_bound"`
+	// SlottedUpperBound is the §3.4 bound (only set in slotted mode).
+	SlottedUpperBound float64 `json:"slotted_upper_bound,omitempty"`
+}
+
+// ButterflyStats is the butterfly-specific block of a Result: the per-arc-
+// type utilisations and the paper's butterfly bounds.
+type ButterflyStats struct {
+	// Params echoes the model parameters.
+	Params ButterflyParams `json:"params"`
+	// StraightUtilization and VerticalUtilization are the mean busy
+	// fractions of the two arc types; Proposition 15 predicts
+	// lambda*(1-p) and lambda*p respectively.
+	StraightUtilization float64 `json:"straight_utilization"`
+	VerticalUtilization float64 `json:"vertical_utilization"`
+	// UniversalLowerBound and GreedyUpperBound are the Prop. 14 and Prop. 17
+	// bounds (NaN when unstable).
+	UniversalLowerBound float64 `json:"universal_lower_bound"`
+	GreedyUpperBound    float64 `json:"greedy_upper_bound"`
+}
+
+// Metric keys of the replicated tallies in Result.Replicated. P95/P99 appear
+// only when TrackQuantiles is set; the utilisation pair only on the
+// butterfly.
+const (
+	MetricMeanDelay           = "mean_delay"
+	MetricMeanHops            = "mean_hops"
+	MetricMeanPacketsPerNode  = "mean_packets_per_node"
+	MetricMeanPopulation      = "mean_population"
+	MetricThroughput          = "throughput"
+	MetricDelayP95            = "delay_p95"
+	MetricDelayP99            = "delay_p99"
+	MetricStraightUtilization = "straight_utilization"
+	MetricVerticalUtilization = "vertical_utilization"
+)
+
+// Replication summarises one metric over independent replications.
+type Replication struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	StdDev float64 `json:"std_dev"`
+	CI95   float64 `json:"ci95"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// replicationFromTally converts a merged engine tally into the report form.
+func replicationFromTally(t *stats.Tally) Replication {
+	if t == nil {
+		return Replication{}
+	}
+	return Replication{
+		N:      int(t.Count()),
+		Mean:   t.Mean(),
+		StdDev: t.StdDev(),
+		CI95:   t.ConfidenceInterval(0.95),
+		Min:    t.Min(),
+		Max:    t.Max(),
+	}
+}
+
+// Result reports one executed scenario. The common core (delay, population,
+// throughput, kernel) is topology-agnostic; exactly one of the Hypercube and
+// Butterfly blocks is non-nil and carries the per-topology measurements and
+// analytic bounds.
+//
+// For a replicated scenario (Scenario.Replications > 1) the per-run
+// measurement fields (Metrics, MeanDelay, quantiles, Delays,
+// WithinPaperBounds and the per-dimension/utilisation measurements) are
+// zero; Replicated carries the merged tallies instead, and the bound fields
+// — pure functions of the scenario — remain populated.
+type Result struct {
+	// Topology echoes the executed topology.
+	Topology Topology `json:"topology"`
+	// Lambda is the per-node generation rate after normalization.
+	Lambda float64 `json:"lambda"`
+	// LoadFactor is the run's rho: lambda*p on the hypercube (the maximum
+	// per-dimension load under custom traffic), lambda*max{p,1-p} on the
+	// butterfly.
+	LoadFactor float64 `json:"load_factor"`
+	// Kernel names the simulation kernel the run executed on
+	// (KernelEventDriven or KernelSlotStepped).
+	Kernel string `json:"kernel"`
+
+	// Metrics is the raw measurement snapshot from the simulator.
+	Metrics Metrics `json:"metrics"`
+	// MeanDelay is the measured average delay per packet (the paper's T).
+	MeanDelay float64 `json:"mean_delay"`
+	// DelayP95 and DelayP99 are exact delay quantiles when TrackQuantiles
+	// was set (NaN otherwise).
+	DelayP95 float64 `json:"delay_p95,omitempty"`
+	DelayP99 float64 `json:"delay_p99,omitempty"`
+	// MeanPacketsPerNode is the time-averaged population divided by the
+	// number of (switching) nodes.
+	MeanPacketsPerNode float64 `json:"mean_packets_per_node"`
+	// WithinPaperBounds reports whether the measured delay lies inside the
+	// paper's envelope for the run's parameters (with a small statistical
+	// tolerance); it is meaningful only for greedy routing on a stable
+	// system.
+	WithinPaperBounds bool `json:"within_paper_bounds"`
+	// Delays holds the measured per-packet delays when ReturnDelays was set
+	// (nil otherwise). The order is deterministic for a given seed but
+	// unspecified; the cross-kernel golden tests compare it bitwise.
+	Delays []float64 `json:"-"`
+
+	// Hypercube carries the hypercube-specific measurements and bounds.
+	Hypercube *HypercubeStats `json:"hypercube,omitempty"`
+	// Butterfly carries the butterfly-specific measurements and bounds.
+	Butterfly *ButterflyStats `json:"butterfly,omitempty"`
+
+	// Replicated maps metric keys (MetricMeanDelay, ...) to merged Welford
+	// tallies over Scenario.Replications independent runs. Nil for single
+	// runs.
+	Replicated map[string]Replication `json:"replicated,omitempty"`
+}
+
+// nanNull is a float64 that marshals NaN as null (and reads null back as
+// NaN). The quantile and bound fields use NaN for "not available" — exact
+// quantiles not tracked, bounds undefined on an unstable system — and
+// encoding/json rejects raw NaN, so without this a Result with any
+// unavailable metric could not be marshalled at all.
+type nanNull float64
+
+// MarshalJSON renders NaN as null.
+func (f nanNull) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON reads null back as NaN.
+func (f *nanNull) UnmarshalJSON(data []byte) error {
+	if string(data) == "null" {
+		*f = nanNull(math.NaN())
+		return nil
+	}
+	return json.Unmarshal(data, (*float64)(f))
+}
+
+// MarshalJSON shadows the NaN-able quantile fields with their null-safe
+// form; every other field marshals as usual.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type alias Result // drops the method, avoiding recursion
+	return json.Marshal(struct {
+		*alias
+		DelayP95 nanNull `json:"delay_p95,omitempty"`
+		DelayP99 nanNull `json:"delay_p99,omitempty"`
+	}{(*alias)(r), nanNull(r.DelayP95), nanNull(r.DelayP99)})
+}
+
+// MarshalJSON shadows the NaN-able bound fields with their null-safe form.
+func (h *HypercubeStats) MarshalJSON() ([]byte, error) {
+	type alias HypercubeStats
+	return json.Marshal(struct {
+		*alias
+		GreedyLowerBound    nanNull `json:"greedy_lower_bound"`
+		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+		ObliviousLowerBound nanNull `json:"oblivious_lower_bound"`
+		SlottedUpperBound   nanNull `json:"slotted_upper_bound,omitempty"`
+	}{(*alias)(h), nanNull(h.GreedyLowerBound), nanNull(h.GreedyUpperBound),
+		nanNull(h.UniversalLowerBound), nanNull(h.ObliviousLowerBound),
+		nanNull(h.SlottedUpperBound)})
+}
+
+// MarshalJSON shadows the NaN-able bound fields with their null-safe form.
+func (b *ButterflyStats) MarshalJSON() ([]byte, error) {
+	type alias ButterflyStats
+	return json.Marshal(struct {
+		*alias
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
+	}{(*alias)(b), nanNull(b.UniversalLowerBound), nanNull(b.GreedyUpperBound)})
+}
+
+// Run executes one scenario: validation and normalization first, then either
+// a single simulation or — when Scenario.Replications > 1 — that many
+// independent replications on the sharded parallel engine with
+// deterministically split seeds.
+//
+// Eligible workloads (the §3.4 slotted arrival model and every FIFO
+// butterfly) execute on the slot-stepped fast kernel; everything else runs
+// on the event-driven calendar. The two kernels produce byte-identical
+// results on the same seed, and simulation state is pooled per worker, so
+// repeated runs perform no setup allocations in steady state.
+//
+// Cancellation is cooperative at replication granularity: a cancelled ctx
+// stops unstarted replications and returns ctx.Err(); an individual
+// simulation, once started, runs to completion. Results are independent of
+// Parallelism and of when (or whether) cancellation happens short of an
+// error return.
+func Run(ctx context.Context, sc Scenario) (*Result, error) {
+	hc, bc, err := sc.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if sc.Replications > 1 {
+		return runReplicated(ctx, &sc, hc, bc)
+	}
+	if hc != nil {
+		return runHypercubeOnce(hc), nil
+	}
+	return runButterflyOnce(bc), nil
+}
+
+// boundOrNaN converts a (value, error) bound evaluation into a plain float
+// with NaN marking "not defined" (unstable parameters).
+func boundOrNaN(f func() (float64, error)) float64 {
+	v, err := f()
+	if err != nil {
+		return math.NaN()
+	}
+	return v
+}
+
+// runHypercubeOnce executes one normalized hypercube run and assembles the
+// full result.
+func runHypercubeOnce(cfg *hypercubeConfig) *Result {
+	r := hyperRunners.Get().(*hyperRunner)
+	defer hyperRunners.Put(r)
+	var out runOutcome
+	kernel := KernelEventDriven
+	if cfg.slotKernelEligible() {
+		kernel = KernelSlotStepped
+		out = r.runSlotStepped(cfg)
+	} else {
+		out = r.runEventDriven(cfg)
+	}
+	m := out.m
+
+	h := &HypercubeStats{
+		Params: HypercubeParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
+	}
+	res := &Result{
+		Topology:   Hypercube(cfg.D),
+		Lambda:     cfg.Lambda,
+		LoadFactor: cfg.Lambda * cfg.P,
+		Kernel:     kernel,
+		Metrics:    m,
+		MeanDelay:  m.MeanDelay,
+		DelayP95:   out.q95,
+		DelayP99:   out.q99,
+		Delays:     out.delays,
+		Hypercube:  h,
+	}
+	nodes := float64(r.cube.Nodes())
+	res.MeanPacketsPerNode = m.MeanPopulation / nodes
+	h.PerDimensionMeanQueue = make([]float64, cfg.D)
+	h.PerDimensionUtilization = make([]float64, cfg.D)
+	h.PerDimensionLoadFactor = make([]float64, cfg.D)
+	for j := 0; j < cfg.D; j++ {
+		h.PerDimensionMeanQueue[j] = m.GroupMeanPopulation[j] / nodes
+		h.PerDimensionUtilization[j] = m.GroupArcUtilization[j]
+		h.PerDimensionLoadFactor[j] = cfg.Lambda * r.dist.FlipProbability(hypercube.Dimension(j+1))
+	}
+	if cfg.TrackPerDimensionWait {
+		h.PerDimensionMeanWait = append([]float64(nil), m.GroupMeanWait...)
+	}
+	if cfg.CustomWeights != nil {
+		// The paper's closed-form greedy bounds are proved for the bit-flip
+		// distribution; for general translation-invariant traffic only the
+		// per-dimension load factors (and hence the stability condition of
+		// §2.2) are reported.
+		maxLoad := 0.0
+		for _, l := range h.PerDimensionLoadFactor {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		res.LoadFactor = maxLoad
+		h.Params.P = 0
+		h.GreedyLowerBound = math.NaN()
+		h.GreedyUpperBound = math.NaN()
+		h.UniversalLowerBound = math.NaN()
+		h.ObliviousLowerBound = math.NaN()
+		return res
+	}
+	h.GreedyLowerBound = boundOrNaN(h.Params.GreedyLowerBound)
+	h.GreedyUpperBound = boundOrNaN(h.Params.GreedyUpperBound)
+	h.UniversalLowerBound = boundOrNaN(h.Params.UniversalLowerBound)
+	h.ObliviousLowerBound = boundOrNaN(h.Params.ObliviousLowerBound)
+	if cfg.Slotted {
+		if b, err := h.Params.SlottedUpperBound(cfg.Tau); err == nil {
+			h.SlottedUpperBound = b
+		} else {
+			h.SlottedUpperBound = math.NaN()
+		}
+	}
+	upper := h.GreedyUpperBound
+	if cfg.Slotted && !math.IsNaN(h.SlottedUpperBound) {
+		upper = h.SlottedUpperBound
+	}
+	if !math.IsNaN(h.GreedyLowerBound) && !math.IsNaN(upper) {
+		tol := 3 * m.DelayCI95
+		res.WithinPaperBounds = m.MeanDelay >= h.GreedyLowerBound-tol-1e-9 &&
+			m.MeanDelay <= upper+tol+1e-9
+	}
+	return res
+}
+
+// runButterflyOnce executes one normalized butterfly run and assembles the
+// full result. The butterfly admits only greedy routing.
+func runButterflyOnce(cfg *butterflyConfig) *Result {
+	r := butterflyRunners.Get().(*butterflyRunner)
+	defer butterflyRunners.Put(r)
+	var out runOutcome
+	kernel := KernelEventDriven
+	if cfg.slotKernelEligible() {
+		kernel = KernelSlotStepped
+		out = r.runSlotStepped(cfg)
+	} else {
+		out = r.runEventDriven(cfg)
+	}
+	m := out.m
+
+	b := &ButterflyStats{
+		Params: ButterflyParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
+	}
+	res := &Result{
+		Topology:   Butterfly(cfg.D),
+		Lambda:     cfg.Lambda,
+		LoadFactor: cfg.Lambda * math.Max(cfg.P, 1-cfg.P),
+		Kernel:     kernel,
+		Metrics:    m,
+		MeanDelay:  m.MeanDelay,
+		DelayP95:   out.q95,
+		DelayP99:   out.q99,
+		Delays:     out.delays,
+		Butterfly:  b,
+	}
+	// Aggregate per-kind utilisation across levels.
+	var straight, vertical float64
+	for level := 0; level < cfg.D; level++ {
+		straight += m.GroupArcUtilization[level*2]
+		vertical += m.GroupArcUtilization[level*2+1]
+	}
+	b.StraightUtilization = straight / float64(cfg.D)
+	b.VerticalUtilization = vertical / float64(cfg.D)
+	res.MeanPacketsPerNode = m.MeanPopulation / float64(cfg.D*r.bf.Rows())
+	b.UniversalLowerBound = boundOrNaN(b.Params.UniversalLowerBound)
+	b.GreedyUpperBound = boundOrNaN(b.Params.GreedyUpperBound)
+	if !math.IsNaN(b.UniversalLowerBound) && !math.IsNaN(b.GreedyUpperBound) {
+		tol := 3 * m.DelayCI95
+		res.WithinPaperBounds = m.MeanDelay >= b.UniversalLowerBound-tol-1e-9 &&
+			m.MeanDelay <= b.GreedyUpperBound+tol+1e-9
+	}
+	return res
+}
+
+// runReplicated executes Scenario.Replications independent replications of
+// the normalized scenario on the sharded engine and merges the per-metric
+// tallies. The per-replication seeds derive from Scenario.Seed by seed
+// splitting (never from scheduling), so the merged tallies are identical at
+// any parallelism.
+func runReplicated(ctx context.Context, sc *Scenario, hc *hypercubeConfig, bc *butterflyConfig) (*Result, error) {
+	res := analyticResult(sc, hc, bc)
+	ecfg := engine.Config{
+		Replications: sc.Replications,
+		Parallelism:  sc.Parallelism,
+		BaseSeed:     sc.Seed,
+	}
+	if sc.Progress != nil {
+		progress := sc.Progress
+		ecfg.Progress = func(_, _ int, doneReps, totalReps int) {
+			progress(doneReps, totalReps)
+		}
+	}
+	task := func(_ int, seed uint64) map[string]float64 {
+		var rep *Result
+		if hc != nil {
+			c := *hc
+			c.Seed = seed
+			// Replicated results never report per-packet delays, so don't
+			// pay the O(delivered-packets) copy in every replication.
+			c.ReturnDelays = false
+			rep = runHypercubeOnce(&c)
+		} else {
+			c := *bc
+			c.Seed = seed
+			c.ReturnDelays = false
+			rep = runButterflyOnce(&c)
+		}
+		m := map[string]float64{
+			MetricMeanDelay:          rep.MeanDelay,
+			MetricMeanHops:           rep.Metrics.MeanHops,
+			MetricMeanPacketsPerNode: rep.MeanPacketsPerNode,
+			MetricMeanPopulation:     rep.Metrics.MeanPopulation,
+			MetricThroughput:         rep.Metrics.Throughput,
+		}
+		if sc.TrackQuantiles {
+			m[MetricDelayP95] = rep.DelayP95
+			m[MetricDelayP99] = rep.DelayP99
+		}
+		if rep.Butterfly != nil {
+			m[MetricStraightUtilization] = rep.Butterfly.StraightUtilization
+			m[MetricVerticalUtilization] = rep.Butterfly.VerticalUtilization
+		}
+		return m
+	}
+	merged, err := engine.RunCtx(ctx, ecfg, task)
+	if err != nil {
+		return nil, err
+	}
+	res.Replicated = make(map[string]Replication, len(merged.Metrics))
+	for k, t := range merged.Metrics {
+		res.Replicated[k] = replicationFromTally(t)
+	}
+	return res, nil
+}
+
+// analyticResult assembles the pure-function part of a Result — parameters,
+// load factor, kernel selection and the paper's bounds — without running a
+// simulation. It is what the replicated path reports next to the merged
+// tallies.
+func analyticResult(sc *Scenario, hc *hypercubeConfig, bc *butterflyConfig) *Result {
+	if bc != nil {
+		b := &ButterflyStats{
+			Params: ButterflyParams{D: bc.D, Lambda: bc.Lambda, P: bc.P},
+		}
+		b.UniversalLowerBound = boundOrNaN(b.Params.UniversalLowerBound)
+		b.GreedyUpperBound = boundOrNaN(b.Params.GreedyUpperBound)
+		kernel := KernelEventDriven
+		if bc.slotKernelEligible() {
+			kernel = KernelSlotStepped
+		}
+		return &Result{
+			Topology:   Butterfly(bc.D),
+			Lambda:     bc.Lambda,
+			LoadFactor: bc.Lambda * math.Max(bc.P, 1-bc.P),
+			Kernel:     kernel,
+			Butterfly:  b,
+		}
+	}
+	h := &HypercubeStats{
+		Params: HypercubeParams{D: hc.D, Lambda: hc.Lambda, P: hc.P},
+	}
+	kernel := KernelEventDriven
+	if hc.slotKernelEligible() {
+		kernel = KernelSlotStepped
+	}
+	res := &Result{
+		Topology:   Hypercube(hc.D),
+		Lambda:     hc.Lambda,
+		LoadFactor: hc.Lambda * hc.P,
+		Kernel:     kernel,
+		Hypercube:  h,
+	}
+	h.PerDimensionLoadFactor = make([]float64, hc.D)
+	var dist workload.DestinationDist
+	if hc.CustomWeights != nil {
+		dist = workload.NewTranslationInvariant(hc.D, hc.CustomWeights)
+	} else {
+		dist = workload.NewBitFlip(hc.D, hc.P)
+	}
+	for j := 0; j < hc.D; j++ {
+		h.PerDimensionLoadFactor[j] = hc.Lambda * dist.FlipProbability(hypercube.Dimension(j+1))
+	}
+	if hc.CustomWeights != nil {
+		maxLoad := 0.0
+		for _, l := range h.PerDimensionLoadFactor {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		res.LoadFactor = maxLoad
+		h.Params.P = 0
+		h.GreedyLowerBound = math.NaN()
+		h.GreedyUpperBound = math.NaN()
+		h.UniversalLowerBound = math.NaN()
+		h.ObliviousLowerBound = math.NaN()
+		return res
+	}
+	h.GreedyLowerBound = boundOrNaN(h.Params.GreedyLowerBound)
+	h.GreedyUpperBound = boundOrNaN(h.Params.GreedyUpperBound)
+	h.UniversalLowerBound = boundOrNaN(h.Params.UniversalLowerBound)
+	h.ObliviousLowerBound = boundOrNaN(h.Params.ObliviousLowerBound)
+	if hc.Slotted {
+		if b, err := h.Params.SlottedUpperBound(hc.Tau); err == nil {
+			h.SlottedUpperBound = b
+		} else {
+			h.SlottedUpperBound = math.NaN()
+		}
+	}
+	return res
+}

@@ -1,0 +1,241 @@
+package sim
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// valid returns a minimal runnable hypercube scenario that each error case
+// below perturbs.
+func valid() Scenario {
+	return Scenario{
+		Topology: Hypercube(4), P: 0.5, LoadFactor: 0.6, Horizon: 100, Seed: 1,
+	}
+}
+
+func TestScenarioValidationErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Scenario)
+		wantSub string
+	}{
+		{"missing topology kind", func(s *Scenario) { s.Topology.Kind = "" }, "topology kind missing"},
+		{"unknown topology kind", func(s *Scenario) { s.Topology.Kind = "torus" }, "unknown topology kind"},
+		{"dimension zero", func(s *Scenario) { s.Topology.D = 0 }, "out of range"},
+		{"dimension too large", func(s *Scenario) { s.Topology.D = 25 }, "out of range"},
+		{"butterfly dimension too large", func(s *Scenario) { s.Topology = Butterfly(21) }, "out of range"},
+		{"negative p", func(s *Scenario) { s.P = -0.1 }, "outside [0,1]"},
+		{"p above one", func(s *Scenario) { s.P = 1.5 }, "outside [0,1]"},
+		{"missing horizon", func(s *Scenario) { s.Horizon = 0 }, "horizon"},
+		{"negative horizon", func(s *Scenario) { s.Horizon = -5 }, "horizon"},
+		{"negative lambda", func(s *Scenario) { s.LoadFactor = 0; s.Lambda = -1 }, "negative rate"},
+		{"no rate at all", func(s *Scenario) { s.LoadFactor = 0 }, "one of Lambda or LoadFactor"},
+		{"both rates", func(s *Scenario) { s.Lambda = 1 }, "only one of Lambda and LoadFactor"},
+		{"load factor with p zero", func(s *Scenario) { s.P = 0 }, "cannot derive Lambda"},
+		{"warmup fraction too large", func(s *Scenario) { s.WarmupFraction = 1.5 }, "warmup fraction"},
+		{"negative warmup fraction", func(s *Scenario) { s.WarmupFraction = -0.1 }, "warmup fraction"},
+		{"slotted without tau", func(s *Scenario) { s.Slotted = true }, "0 < tau <= 1"},
+		{"slotted tau above one", func(s *Scenario) { s.Slotted = true; s.Tau = 2 }, "0 < tau <= 1"},
+		{"tau without slotted", func(s *Scenario) { s.Tau = 0.5 }, "without Slotted"},
+		{"return delays without quantiles", func(s *Scenario) { s.ReturnDelays = true }, "requires TrackQuantiles"},
+		{"negative replications", func(s *Scenario) { s.Replications = -1 }, "replication count"},
+		{"negative trace interval", func(s *Scenario) { s.PopulationTraceInterval = -1 }, "trace interval"},
+		{"unknown router", func(s *Scenario) { s.Router = RouterKind(9) }, "unknown router"},
+		{"unknown discipline", func(s *Scenario) { s.Discipline = Discipline(9) }, "unknown discipline"},
+		{"custom weights wrong length", func(s *Scenario) {
+			s.LoadFactor = 0
+			s.Lambda = 1
+			s.CustomWeights = []float64{1, 2}
+		}, "CustomWeights needs 16 entries"},
+		{"custom weights with load factor", func(s *Scenario) {
+			s.CustomWeights = make([]float64, 16)
+		}, "set Lambda (not LoadFactor)"},
+		{"custom weights negative entry", func(s *Scenario) {
+			s.LoadFactor = 0
+			s.Lambda = 1
+			w := make([]float64, 16)
+			w[3] = -1
+			s.CustomWeights = w
+		}, "is invalid"},
+		{"custom weights NaN entry", func(s *Scenario) {
+			s.LoadFactor = 0
+			s.Lambda = 1
+			w := make([]float64, 16)
+			w[3] = math.NaN()
+			s.CustomWeights = w
+		}, "is invalid"},
+		{"custom weights all zero", func(s *Scenario) {
+			s.LoadFactor = 0
+			s.Lambda = 1
+			s.CustomWeights = make([]float64, 16)
+		}, "sum to zero"},
+		{"butterfly with non-greedy router", func(s *Scenario) {
+			s.Topology = Butterfly(4)
+			s.Router = ValiantTwoPhase
+		}, "only greedy routing"},
+		{"butterfly with slotted arrivals", func(s *Scenario) {
+			s.Topology = Butterfly(4)
+			s.Slotted = true
+			s.Tau = 0.5
+		}, "hypercube feature"},
+		{"butterfly with custom weights", func(s *Scenario) {
+			s.Topology = Butterfly(4)
+			s.LoadFactor = 0
+			s.Lambda = 1
+			s.CustomWeights = make([]float64, 16)
+		}, "hypercube feature"},
+		{"butterfly with per-dimension wait", func(s *Scenario) {
+			s.Topology = Butterfly(4)
+			s.TrackPerDimensionWait = true
+		}, "hypercube feature"},
+	}
+	for _, tc := range cases {
+		sc := valid()
+		tc.mutate(&sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantSub)
+		}
+		if !strings.HasPrefix(err.Error(), "sim: ") {
+			t.Errorf("%s: error %q not prefixed with the package name", tc.name, err)
+		}
+	}
+}
+
+func TestScenarioValidationAccepts(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Scenario)
+	}{
+		{"minimal hypercube", func(s *Scenario) {}},
+		{"lambda instead of load factor", func(s *Scenario) { s.LoadFactor = 0; s.Lambda = 1.2 }},
+		{"slotted with tau", func(s *Scenario) { s.Slotted = true; s.Tau = 0.5 }},
+		{"valiant router", func(s *Scenario) { s.Router = ValiantTwoPhase }},
+		{"random-order discipline", func(s *Scenario) { s.Discipline = RandomOrder }},
+		{"quantiles with returned delays", func(s *Scenario) { s.TrackQuantiles = true; s.ReturnDelays = true }},
+		{"replications", func(s *Scenario) { s.Replications = 8; s.Parallelism = 2 }},
+		{"custom weights", func(s *Scenario) {
+			s.LoadFactor = 0
+			s.Lambda = 1
+			w := make([]float64, 16)
+			w[1] = 1
+			s.CustomWeights = w
+		}},
+		{"butterfly", func(s *Scenario) { *s = Scenario{Topology: Butterfly(5), P: 0.3, LoadFactor: 0.8, Horizon: 50} }},
+		{"butterfly skip per-dimension stats is a no-op", func(s *Scenario) {
+			*s = Scenario{Topology: Butterfly(5), P: 0.3, LoadFactor: 0.8, Horizon: 50, SkipPerDimensionStats: true}
+		}},
+	}
+	for _, tc := range cases {
+		sc := valid()
+		tc.mutate(&sc)
+		if err := sc.Validate(); err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+	}
+}
+
+// TestScenarioJSONRoundTrip pins the declarative spec contract: marshalling
+// a scenario and unmarshalling it back yields the identical value, for every
+// topology and feature combination.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	w := make([]float64, 16)
+	w[3] = 0.25
+	w[5] = 0.75
+	scenarios := []Scenario{
+		valid(),
+		{
+			Name:     "kitchen-sink-hypercube",
+			Topology: Hypercube(4), Lambda: 1.5,
+			CustomWeights: w,
+			Router:        ValiantTwoPhase, Discipline: RandomOrder,
+			Horizon: 250, WarmupFraction: 0.3, Seed: 42,
+			Replications: 6, TrackQuantiles: true, ReturnDelays: true,
+			TrackPerDimensionWait: true, PopulationTraceInterval: 5,
+			SkipPerDimensionStats: false, ForceEventDriven: true,
+		},
+		{
+			Name:     "slotted",
+			Topology: Hypercube(6), P: 0.5, LoadFactor: 0.9,
+			Slotted: true, Tau: 0.25, Horizon: 100, Seed: 7,
+			SkipPerDimensionStats: true,
+		},
+		{
+			Name:     "butterfly",
+			Topology: Butterfly(8), P: 0.3, LoadFactor: 0.85,
+			Horizon: 100, Seed: 3, TrackQuantiles: true,
+		},
+	}
+	for _, sc := range scenarios {
+		data, err := json.Marshal(sc)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sc.Title(), err)
+		}
+		var back Scenario
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal: %v", sc.Title(), err)
+		}
+		if !reflect.DeepEqual(sc, back) {
+			t.Errorf("%s: round trip changed the scenario:\n%+v\nvs\n%+v\nJSON: %s",
+				sc.Title(), sc, back, data)
+		}
+	}
+}
+
+// TestScenarioJSONEnumNames pins the spec spellings of the enums, including
+// the long router aliases.
+func TestScenarioJSONEnumNames(t *testing.T) {
+	data, err := json.Marshal(Scenario{
+		Topology: Hypercube(3), Router: GreedyRandomOrder, Discipline: RandomOrder,
+		LoadFactor: 0.5, P: 0.5, Horizon: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, want := range []string{`"kind":"hypercube"`, `"router":"random-order"`, `"discipline":"random-order"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("JSON %s missing %s", s, want)
+		}
+	}
+
+	var sc Scenario
+	long := `{"topology":{"kind":"hypercube","d":3},"router":"valiant-two-phase","p":0.5,"load_factor":0.5,"horizon":10}`
+	if err := json.Unmarshal([]byte(long), &sc); err != nil {
+		t.Fatal(err)
+	}
+	if sc.Router != ValiantTwoPhase {
+		t.Errorf("long router alias parsed as %v", sc.Router)
+	}
+
+	for _, bad := range []string{
+		`{"topology":{"kind":"hypercube","d":3},"router":"teleport"}`,
+		`{"topology":{"kind":"hypercube","d":3},"discipline":"lifo"}`,
+	} {
+		if err := json.Unmarshal([]byte(bad), &sc); err == nil {
+			t.Errorf("bad enum accepted: %s", bad)
+		}
+	}
+}
+
+func TestScenarioTitle(t *testing.T) {
+	if got := (Scenario{Name: "x"}).Title(); got != "x" {
+		t.Fatalf("named title = %q", got)
+	}
+	sc := valid()
+	if got := sc.Title(); got != "hypercube(d=4) rho=0.6" {
+		t.Fatalf("generated title = %q", got)
+	}
+	sc.LoadFactor = 0
+	sc.Lambda = 1.2
+	if got := sc.Title(); got != "hypercube(d=4) lambda=1.2" {
+		t.Fatalf("lambda title = %q", got)
+	}
+}

@@ -1,0 +1,292 @@
+// Package sim is the unified scenario API of the library: one
+// topology-polymorphic Scenario describes a simulation (topology + traffic +
+// routing + discipline + horizon), one Run executes it on the appropriate
+// kernel, and one Result carries the measured statistics next to the paper's
+// analytic bounds.
+//
+// Every experiment in the reproduction — and every scenario a user can
+// express — shares this shape. A Scenario selects its topology through a
+// small sum type (hypercube or butterfly today, with room for more), shares
+// one validation/normalization pass across topologies, and round-trips
+// through JSON so scenarios can be stored as declarative spec files and
+// executed by cmd/run or cmd/experiments -spec.
+//
+// Replication is first-class: setting Scenario.Replications runs the
+// scenario N times on the sharded parallel engine (internal/engine) with
+// deterministically split seeds, honouring context cancellation and progress
+// callbacks, and returns merged Welford tallies per metric. As everywhere in
+// this repository, identical seeds produce identical results at any
+// parallelism.
+//
+// Quick start:
+//
+//	res, err := sim.Run(context.Background(), sim.Scenario{
+//	    Topology:   sim.Topology{Kind: sim.TopologyHypercube, D: 8},
+//	    P:          0.5,
+//	    LoadFactor: 0.8,
+//	    Horizon:    5000,
+//	    Seed:       1,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.MeanDelay, res.Hypercube.GreedyLowerBound, res.Hypercube.GreedyUpperBound)
+//
+// The repro/greedy package remains as a thin compatibility facade over this
+// API (via internal/core), preserving the original per-topology
+// RunHypercube/RunButterfly entry points.
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/network"
+	"repro/internal/routing"
+)
+
+// TopologyKind names a supported network topology.
+type TopologyKind string
+
+const (
+	// TopologyHypercube is the directed d-dimensional hypercube of §2.
+	TopologyHypercube TopologyKind = "hypercube"
+	// TopologyButterfly is the d-dimensional butterfly of §4.
+	TopologyButterfly TopologyKind = "butterfly"
+)
+
+// topologyKinds lists the valid kinds, for error messages.
+var topologyKinds = []TopologyKind{TopologyHypercube, TopologyButterfly}
+
+// Topology is the topology sum of a scenario: a kind tag plus the dimension.
+type Topology struct {
+	// Kind selects the topology family.
+	Kind TopologyKind `json:"kind"`
+	// D is the dimension: the cube dimension for a hypercube (2^D nodes),
+	// or the butterfly dimension (D+1 levels of 2^D rows).
+	D int `json:"d"`
+}
+
+// Hypercube returns the topology descriptor of a d-dimensional hypercube.
+func Hypercube(d int) Topology { return Topology{Kind: TopologyHypercube, D: d} }
+
+// Butterfly returns the topology descriptor of a d-dimensional butterfly.
+func Butterfly(d int) Topology { return Topology{Kind: TopologyButterfly, D: d} }
+
+// String renders the topology as "hypercube(d=8)".
+func (t Topology) String() string { return fmt.Sprintf("%s(d=%d)", t.Kind, t.D) }
+
+// RouterKind selects the hypercube routing scheme.
+type RouterKind int
+
+const (
+	// GreedyDimensionOrder is the paper's scheme (§3): cross the required
+	// dimensions in increasing order.
+	GreedyDimensionOrder RouterKind = iota
+	// GreedyRandomOrder crosses the required dimensions in random order.
+	GreedyRandomOrder
+	// ValiantTwoPhase routes through a uniformly random intermediate node.
+	ValiantTwoPhase
+)
+
+// routerNames maps each kind to its canonical JSON spelling. The JSON names
+// match the -router flag values of cmd/hyperroute.
+var routerNames = map[RouterKind]string{
+	GreedyDimensionOrder: "greedy",
+	GreedyRandomOrder:    "random-order",
+	ValiantTwoPhase:      "valiant",
+}
+
+// String names the routing scheme.
+func (k RouterKind) String() string {
+	switch k {
+	case GreedyDimensionOrder:
+		return "greedy-dimension-order"
+	case GreedyRandomOrder:
+		return "greedy-random-order"
+	case ValiantTwoPhase:
+		return "valiant-two-phase"
+	default:
+		return fmt.Sprintf("router(%d)", int(k))
+	}
+}
+
+// router returns the routing implementation for the kind.
+func (k RouterKind) router() routing.HypercubeRouter {
+	switch k {
+	case GreedyDimensionOrder:
+		return routing.DimensionOrder{}
+	case GreedyRandomOrder:
+		return routing.RandomDimensionOrder{}
+	case ValiantTwoPhase:
+		return routing.ValiantTwoPhase{}
+	default:
+		panic(fmt.Sprintf("sim: unknown router kind %d", int(k)))
+	}
+}
+
+// MarshalJSON renders the router as its canonical short name.
+func (k RouterKind) MarshalJSON() ([]byte, error) {
+	name, ok := routerNames[k]
+	if !ok {
+		return nil, fmt.Errorf("sim: cannot marshal unknown router kind %d", int(k))
+	}
+	return json.Marshal(name)
+}
+
+// UnmarshalJSON accepts both the short spec names ("greedy", "random-order",
+// "valiant") and the long String() names.
+func (k *RouterKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("sim: router must be a string: %w", err)
+	}
+	for kind, short := range routerNames {
+		if name == short || name == kind.String() {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("sim: unknown router %q (valid: greedy, random-order, valiant)", name)
+}
+
+// Discipline selects the per-arc queueing discipline.
+type Discipline int
+
+const (
+	// FIFO serves queued packets in arrival order (the paper's assumption).
+	FIFO = Discipline(network.FIFO)
+	// RandomOrder serves a uniformly random queued packet.
+	RandomOrder = Discipline(network.RandomOrder)
+)
+
+// String names the discipline ("fifo", "random-order").
+func (d Discipline) String() string { return network.Discipline(d).String() }
+
+// MarshalJSON renders the discipline as its name.
+func (d Discipline) MarshalJSON() ([]byte, error) {
+	switch d {
+	case FIFO, RandomOrder:
+		return json.Marshal(d.String())
+	default:
+		return nil, fmt.Errorf("sim: cannot marshal unknown discipline %d", int(d))
+	}
+}
+
+// UnmarshalJSON accepts the discipline names emitted by MarshalJSON.
+func (d *Discipline) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("sim: discipline must be a string: %w", err)
+	}
+	switch name {
+	case FIFO.String():
+		*d = FIFO
+	case RandomOrder.String():
+		*d = RandomOrder
+	default:
+		return fmt.Errorf("sim: unknown discipline %q (valid: fifo, random-order)", name)
+	}
+	return nil
+}
+
+// Scenario is the unified description of one simulation: topology, traffic,
+// routing, discipline and horizon, plus optional replication and
+// observability settings. The zero value is not runnable; at minimum the
+// Topology, a rate (Lambda or LoadFactor) and the Horizon must be set.
+//
+// A Scenario round-trips through JSON (the struct tags below define the spec
+// schema), so ad-hoc scenarios can be stored as declarative files and
+// executed with cmd/run or cmd/experiments -spec. The execution-policy
+// fields (Parallelism, Progress) are deliberately excluded from the spec:
+// they affect how fast a scenario runs, never what it computes.
+type Scenario struct {
+	// Name is an optional label used in report titles and artifact IDs.
+	Name string `json:"name,omitempty"`
+
+	// Topology selects the network (hypercube | butterfly) and dimension.
+	Topology Topology `json:"topology"`
+
+	// P is the bit-flip probability of the destination distribution: per
+	// dimension for the hypercube (1/2 = uniform traffic), per row bit for
+	// the butterfly.
+	P float64 `json:"p,omitempty"`
+	// Lambda is the per-node Poisson generation rate. Exactly one of Lambda
+	// and LoadFactor must be positive.
+	Lambda float64 `json:"lambda,omitempty"`
+	// LoadFactor is the target rho: lambda*p on the hypercube,
+	// lambda*max{p,1-p} on the butterfly. When set, Lambda is derived.
+	LoadFactor float64 `json:"load_factor,omitempty"`
+	// CustomWeights replaces the bit-flip destination distribution with the
+	// general translation-invariant distribution of §2.2 (2^D entries
+	// proportional to the difference-vector probabilities). Hypercube only;
+	// Lambda must then be given directly.
+	CustomWeights []float64 `json:"custom_weights,omitempty"`
+
+	// Router selects the hypercube routing scheme (default greedy dimension
+	// order). The butterfly admits only greedy routing.
+	Router RouterKind `json:"router,omitempty"`
+	// Discipline selects the per-arc queueing discipline (default FIFO).
+	Discipline Discipline `json:"discipline,omitempty"`
+
+	// Slotted switches the hypercube to the §3.4 slotted-time arrival model
+	// with slot length Tau.
+	Slotted bool `json:"slotted,omitempty"`
+	// Tau is the slot length when Slotted is true; it must not be set
+	// otherwise.
+	Tau float64 `json:"tau,omitempty"`
+
+	// Horizon is the simulated time span (required).
+	Horizon float64 `json:"horizon"`
+	// WarmupFraction of the horizon is discarded before measuring
+	// (default 0.2).
+	WarmupFraction float64 `json:"warmup_fraction,omitempty"`
+	// Seed drives all randomness; replications split it deterministically.
+	Seed uint64 `json:"seed,omitempty"`
+
+	// Replications, when greater than one, runs that many independent
+	// replications of the scenario on the sharded engine with split seeds
+	// and reports merged tallies (Result.Replicated) instead of a single
+	// run's measurements.
+	Replications int `json:"replications,omitempty"`
+
+	// TrackQuantiles stores every delay so exact quantiles can be reported.
+	TrackQuantiles bool `json:"track_quantiles,omitempty"`
+	// ReturnDelays additionally copies the measured per-packet delays into
+	// the result; it requires TrackQuantiles.
+	ReturnDelays bool `json:"return_delays,omitempty"`
+	// TrackPerDimensionWait records per-dimension arc sojourn times
+	// (hypercube only).
+	TrackPerDimensionWait bool `json:"track_per_dimension_wait,omitempty"`
+	// PopulationTraceInterval enables the population trace used by the
+	// stability experiments (0 disables it).
+	PopulationTraceInterval float64 `json:"population_trace_interval,omitempty"`
+	// SkipPerDimensionStats disables the per-dimension population tracking
+	// on the hot path; the hypercube result then reports zero
+	// PerDimensionMeanQueue. Ignored on the butterfly, which never tracks
+	// per-group populations.
+	SkipPerDimensionStats bool `json:"skip_per_dimension_stats,omitempty"`
+	// ForceEventDriven disables the slot-stepped fast kernel for eligible
+	// workloads; results are byte-identical either way.
+	ForceEventDriven bool `json:"force_event_driven,omitempty"`
+
+	// Parallelism bounds the number of concurrently executing replication
+	// shards (0 = GOMAXPROCS). Execution policy: never affects results and
+	// is not part of the JSON spec.
+	Parallelism int `json:"-"`
+	// Progress, when non-nil, receives (doneReplications, total) updates as
+	// replication shards complete. Calls are serialized. Not part of the
+	// JSON spec.
+	Progress func(done, total int) `json:"-"`
+}
+
+// Title returns the scenario's display name: Name when set, otherwise a
+// generated "hypercube(d=8) rho=0.8" style summary.
+func (s Scenario) Title() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	rate := fmt.Sprintf("rho=%g", s.LoadFactor)
+	if s.LoadFactor == 0 {
+		rate = fmt.Sprintf("lambda=%g", s.Lambda)
+	}
+	return fmt.Sprintf("%s %s", s.Topology, rate)
+}

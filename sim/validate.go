@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/butterfly"
+	"repro/internal/hypercube"
+	"repro/internal/network"
+	"repro/internal/workload"
+)
+
+// hypercubeConfig is the normalized internal form of a hypercube scenario:
+// every default filled, Lambda derived. It is what the runners consume.
+type hypercubeConfig struct {
+	D                       int
+	P                       float64
+	Lambda                  float64
+	Router                  RouterKind
+	Discipline              network.Discipline
+	Horizon                 float64
+	WarmupFraction          float64
+	Seed                    uint64
+	Slotted                 bool
+	Tau                     float64
+	TrackQuantiles          bool
+	ReturnDelays            bool
+	TrackPerDimensionWait   bool
+	PopulationTraceInterval float64
+	CustomWeights           []float64
+	SkipPerDimensionStats   bool
+	ForceEventDriven        bool
+}
+
+// butterflyConfig is the normalized internal form of a butterfly scenario.
+type butterflyConfig struct {
+	D                       int
+	P                       float64
+	Lambda                  float64
+	Discipline              network.Discipline
+	Horizon                 float64
+	WarmupFraction          float64
+	Seed                    uint64
+	TrackQuantiles          bool
+	ReturnDelays            bool
+	PopulationTraceInterval float64
+	ForceEventDriven        bool
+}
+
+// Validate checks the scenario for consistency without running it. It is the
+// single validation pass shared by every topology; topology-specific rules
+// (dimension ranges, hypercube-only features) dispatch on Topology.Kind.
+func (s *Scenario) Validate() error {
+	_, _, err := s.normalize()
+	return err
+}
+
+// normalize validates the scenario and returns its normalized per-topology
+// form (exactly one of the two results is non-nil on success).
+func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
+	switch s.Topology.Kind {
+	case TopologyHypercube, TopologyButterfly:
+	case "":
+		return nil, nil, fmt.Errorf("sim: topology kind missing (valid: %v)", topologyKinds)
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown topology kind %q (valid: %v)", s.Topology.Kind, topologyKinds)
+	}
+	isHypercube := s.Topology.Kind == TopologyHypercube
+
+	maxD := hypercube.MaxDimension
+	if !isHypercube {
+		maxD = butterfly.MaxDimension
+	}
+	if s.Topology.D < 1 || s.Topology.D > maxD {
+		return nil, nil, fmt.Errorf("sim: %s dimension %d out of range [1,%d]", s.Topology.Kind, s.Topology.D, maxD)
+	}
+	if s.P < 0 || s.P > 1 {
+		return nil, nil, fmt.Errorf("sim: p = %v outside [0,1]", s.P)
+	}
+	if s.Horizon <= 0 {
+		return nil, nil, fmt.Errorf("sim: horizon must be positive, got %v", s.Horizon)
+	}
+	if s.Lambda < 0 || s.LoadFactor < 0 {
+		return nil, nil, fmt.Errorf("sim: negative rate parameters")
+	}
+	if s.Lambda == 0 && s.LoadFactor == 0 {
+		return nil, nil, fmt.Errorf("sim: one of Lambda or LoadFactor must be set")
+	}
+	if s.Lambda > 0 && s.LoadFactor > 0 {
+		return nil, nil, fmt.Errorf("sim: set only one of Lambda and LoadFactor")
+	}
+	if s.WarmupFraction < 0 || s.WarmupFraction >= 1 {
+		return nil, nil, fmt.Errorf("sim: warmup fraction %v outside [0,1)", s.WarmupFraction)
+	}
+	warmup := s.WarmupFraction
+	if warmup == 0 {
+		warmup = 0.2
+	}
+	switch s.Discipline {
+	case FIFO, RandomOrder:
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown discipline %d", int(s.Discipline))
+	}
+	if s.Slotted {
+		if s.Tau <= 0 || s.Tau > 1 {
+			return nil, nil, fmt.Errorf("sim: slotted mode requires 0 < tau <= 1, got %v", s.Tau)
+		}
+	} else if s.Tau != 0 {
+		return nil, nil, fmt.Errorf("sim: tau = %v set without Slotted", s.Tau)
+	}
+	if s.ReturnDelays && !s.TrackQuantiles {
+		return nil, nil, fmt.Errorf("sim: ReturnDelays requires TrackQuantiles")
+	}
+	if s.Replications < 0 {
+		return nil, nil, fmt.Errorf("sim: negative replication count %d", s.Replications)
+	}
+	if s.PopulationTraceInterval < 0 {
+		return nil, nil, fmt.Errorf("sim: negative population trace interval %v", s.PopulationTraceInterval)
+	}
+
+	if !isHypercube {
+		// Reject the hypercube-only features explicitly so a spec file that
+		// mixes them with a butterfly fails loudly instead of silently
+		// dropping settings.
+		switch {
+		case s.Router != GreedyDimensionOrder:
+			return nil, nil, fmt.Errorf("sim: the butterfly admits only greedy routing, got router %s", s.Router)
+		case s.Slotted:
+			return nil, nil, fmt.Errorf("sim: slotted arrivals are a hypercube feature (§3.4)")
+		case s.CustomWeights != nil:
+			return nil, nil, fmt.Errorf("sim: custom destination weights are a hypercube feature (§2.2)")
+		case s.TrackPerDimensionWait:
+			return nil, nil, fmt.Errorf("sim: per-dimension wait tracking is a hypercube feature")
+		}
+		lambda := s.Lambda
+		if s.LoadFactor > 0 {
+			if math.Max(s.P, 1-s.P) <= 0 {
+				return nil, nil, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when max{p,1-p} = 0")
+			}
+			lambda = workload.RequiredLambdaButterfly(s.LoadFactor, s.P)
+		}
+		return nil, &butterflyConfig{
+			D:                       s.Topology.D,
+			P:                       s.P,
+			Lambda:                  lambda,
+			Discipline:              network.Discipline(s.Discipline),
+			Horizon:                 s.Horizon,
+			WarmupFraction:          warmup,
+			Seed:                    s.Seed,
+			TrackQuantiles:          s.TrackQuantiles,
+			ReturnDelays:            s.ReturnDelays,
+			PopulationTraceInterval: s.PopulationTraceInterval,
+			ForceEventDriven:        s.ForceEventDriven,
+		}, nil
+	}
+
+	switch s.Router {
+	case GreedyDimensionOrder, GreedyRandomOrder, ValiantTwoPhase:
+	default:
+		return nil, nil, fmt.Errorf("sim: unknown router kind %d", int(s.Router))
+	}
+	lambda := s.Lambda
+	if s.LoadFactor > 0 {
+		if s.P == 0 {
+			return nil, nil, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when p = 0")
+		}
+		lambda = s.LoadFactor / s.P
+	}
+	if s.CustomWeights != nil {
+		if len(s.CustomWeights) != 1<<uint(s.Topology.D) {
+			return nil, nil, fmt.Errorf("sim: CustomWeights needs %d entries, got %d",
+				1<<uint(s.Topology.D), len(s.CustomWeights))
+		}
+		if s.LoadFactor > 0 {
+			return nil, nil, fmt.Errorf("sim: set Lambda (not LoadFactor) with CustomWeights")
+		}
+		sum := 0.0
+		for i, w := range s.CustomWeights {
+			if w < 0 || math.IsNaN(w) {
+				return nil, nil, fmt.Errorf("sim: CustomWeights[%d] = %v is invalid", i, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return nil, nil, fmt.Errorf("sim: CustomWeights sum to zero")
+		}
+	}
+	return &hypercubeConfig{
+		D:                       s.Topology.D,
+		P:                       s.P,
+		Lambda:                  lambda,
+		Router:                  s.Router,
+		Discipline:              network.Discipline(s.Discipline),
+		Horizon:                 s.Horizon,
+		WarmupFraction:          warmup,
+		Seed:                    s.Seed,
+		Slotted:                 s.Slotted,
+		Tau:                     s.Tau,
+		TrackQuantiles:          s.TrackQuantiles,
+		ReturnDelays:            s.ReturnDelays,
+		TrackPerDimensionWait:   s.TrackPerDimensionWait,
+		PopulationTraceInterval: s.PopulationTraceInterval,
+		CustomWeights:           s.CustomWeights,
+		SkipPerDimensionStats:   s.SkipPerDimensionStats,
+		ForceEventDriven:        s.ForceEventDriven,
+	}, nil, nil
+}
