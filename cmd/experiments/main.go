@@ -11,7 +11,7 @@
 //	experiments -quick            # shortened horizons, for a fast check
 //	experiments -only E5,E7       # run a subset
 //	experiments -list             # show the registry
-//	experiments -spec file.json   # run ad-hoc scenarios from a JSON spec file
+//	experiments -spec file.json   # run ad-hoc scenario (or sweep) spec files
 //	experiments -csv              # emit CSV instead of aligned text
 //	experiments -json             # emit machine-readable JSON artifacts
 //	experiments -artifacts out/   # also write one JSON artifact per experiment
@@ -39,7 +39,7 @@ func main() {
 	var (
 		quick       = flag.Bool("quick", false, "use shortened horizons and fewer replications")
 		only        = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
-		spec        = flag.String("spec", "", "run ad-hoc scenarios from this JSON spec file instead of the registry")
+		spec        = flag.String("spec", "", "run ad-hoc scenarios (or an expanded sweep) from this JSON spec file instead of the registry")
 		list        = flag.Bool("list", false, "list the experiment registry and exit")
 		csv         = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
@@ -71,10 +71,30 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: -spec and -only are mutually exclusive\n")
 			os.Exit(2)
 		}
-		scs, err := harness.LoadScenarios(*spec)
+		scs, sw, err := harness.LoadSpec(*spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(2)
+		}
+		if sw != nil {
+			// A sweep spec expands to its point scenarios, each named
+			// uniquely so artifact IDs never collide (same policy as
+			// cmd/run).
+			scs, err = sw.Expand()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(2)
+			}
+			name := sw.Name
+			if name == "" {
+				name = sw.Base.Name
+			}
+			if name == "" {
+				name = "sweep"
+			}
+			for i := range scs {
+				scs[i].Name = fmt.Sprintf("%s-point-%03d", name, i)
+			}
 		}
 		selected = specExperiments(*spec, scs)
 	case *only == "":

@@ -1,9 +1,15 @@
-// Command run executes declarative scenario spec files through the unified
-// scenario API (repro/sim). A spec file holds one JSON scenario object or an
-// array of them (see sim.Scenario for the schema and specs/sample.json for a
-// worked example); every scenario runs end to end — validation, kernel
+// Command run executes declarative spec files through the unified scenario
+// API (repro/sim). A spec file holds one JSON scenario object, an array of
+// them, or a sweep object with a base scenario and axes (see docs/SPEC.md
+// for the full schema, specs/sample.json and specs/sweep-load.json for
+// worked examples); every scenario runs end to end — validation, kernel
 // selection, optional engine-native replication — and renders in the same
-// table/CSV/JSON formats as the registry experiments.
+// table/CSV/JSON formats as the registry experiments. Sweep specs expand to
+// their point scenarios first; for machine-readable sweep rows (CSV/JSONL)
+// use cmd/sweep -spec instead.
+//
+// Invalid specs — unknown JSON fields (the offending key is named), bad
+// values, malformed JSON — exit non-zero with the validation error.
 //
 // Examples:
 //
@@ -12,12 +18,14 @@
 //	run -json specs/sample.json > results.json
 //	run -artifacts out/ specs/a.json specs/b.json
 //	run -parallelism 4 -progress specs/sample.json
+//	run specs/sweep-smoke.json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -27,36 +35,81 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes every spec, and
+// returns the process exit code (0 success, 1 runtime/spec error, 2 usage
+// error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		csvOut      = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
-		jsonOut     = flag.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
-		artifactDir = flag.String("artifacts", "", "directory to write per-scenario JSON artifacts (empty = none)")
-		parallelism = flag.Int("parallelism", 0, "max concurrent replication shards (0 = GOMAXPROCS)")
-		progress    = flag.Bool("progress", false, "report per-replication progress on stderr")
+		csvOut      = fs.Bool("csv", false, "emit CSV tables instead of aligned text")
+		jsonOut     = fs.Bool("json", false, "emit machine-readable JSON artifacts instead of text tables")
+		artifactDir = fs.String("artifacts", "", "directory to write per-scenario JSON artifacts (empty = none)")
+		parallelism = fs.Int("parallelism", 0, "max concurrent replication shards (0 = GOMAXPROCS)")
+		progress    = fs.Bool("progress", false, "report per-replication progress on stderr")
+		validate    = fs.Bool("validate", false, "load, validate and expand the specs without running them")
 	)
-	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintf(os.Stderr, "usage: run [flags] spec.json [spec2.json ...]\n")
-		flag.PrintDefaults()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintf(stderr, "usage: run [flags] spec.json [spec2.json ...]\n")
+		fs.PrintDefaults()
+		return 2
 	}
 
+	code := 0
 	fail := func(err error) {
-		fmt.Fprintf(os.Stderr, "run: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "run: %v\n", err)
+		code = 1
 	}
 
 	if *artifactDir != "" {
 		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
 			fail(err)
+			return code
 		}
 	}
 
 	n := 0
-	for _, path := range flag.Args() {
-		scs, err := harness.LoadScenarios(path)
+	for _, path := range fs.Args() {
+		scs, sw, err := harness.LoadSpec(path)
 		if err != nil {
 			fail(err)
+			return code
+		}
+		if sw != nil {
+			// A sweep spec expands to its point scenarios; every point gets
+			// a unique name (point index appended) so artifact IDs and
+			// titles never collide, whatever the sweep or base was called.
+			scs, err = sw.Expand()
+			if err != nil {
+				fail(err)
+				return code
+			}
+			name := sw.Name
+			if name == "" {
+				name = sw.Base.Name
+			}
+			if name == "" {
+				name = "sweep"
+			}
+			for i := range scs {
+				scs[i].Name = fmt.Sprintf("%s-point-%03d", name, i)
+			}
+		}
+		if *validate {
+			// Loading already validated everything (sweeps including every
+			// expanded point); report the spec's shape and move on.
+			if sw != nil {
+				fmt.Fprintf(stdout, "%s: valid sweep %q (%d points)\n", path, sw.Title(), len(scs))
+			} else {
+				fmt.Fprintf(stdout, "%s: %d valid scenario(s)\n", path, len(scs))
+			}
+			continue
 		}
 		for _, sc := range scs {
 			n++
@@ -64,13 +117,14 @@ func main() {
 			if *progress {
 				title := sc.Title()
 				sc.Progress = func(done, total int) {
-					fmt.Fprintf(os.Stderr, "%s: replication %d/%d done\n", title, done, total)
+					fmt.Fprintf(stderr, "%s: replication %d/%d done\n", title, done, total)
 				}
 			}
 			start := time.Now()
 			res, err := sim.Run(context.Background(), sc)
 			if err != nil {
 				fail(fmt.Errorf("%s: %w", path, err))
+				return code
 			}
 			elapsed := time.Since(start)
 			table := harness.ScenarioTable(sc, res)
@@ -88,10 +142,12 @@ func main() {
 				data, err := artifact.JSON()
 				if err != nil {
 					fail(err)
+					return code
 				}
 				file := filepath.Join(*artifactDir, id+".json")
 				if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
 					fail(err)
+					return code
 				}
 			}
 
@@ -100,17 +156,19 @@ func main() {
 				data, err := artifact.JSON()
 				if err != nil {
 					fail(err)
+					return code
 				}
-				fmt.Printf("%s\n", data)
+				fmt.Fprintf(stdout, "%s\n", data)
 			case *csvOut:
-				fmt.Printf("== %s\n", sc.Title())
-				fmt.Print(table.CSV())
-				fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+				fmt.Fprintf(stdout, "== %s\n", sc.Title())
+				fmt.Fprint(stdout, table.CSV())
+				fmt.Fprintf(stdout, "   (%s)\n\n", elapsed.Round(time.Millisecond))
 			default:
-				fmt.Printf("== %s\n", sc.Title())
-				fmt.Print(table.String())
-				fmt.Printf("   (%s)\n\n", elapsed.Round(time.Millisecond))
+				fmt.Fprintf(stdout, "== %s\n", sc.Title())
+				fmt.Fprint(stdout, table.String())
+				fmt.Fprintf(stdout, "   (%s)\n\n", elapsed.Round(time.Millisecond))
 			}
 		}
 	}
+	return code
 }

@@ -1,0 +1,186 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write places a spec file in a temp dir and returns its path.
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunRejectsBadSpecs pins the error UX: invalid spec files exit non-zero
+// with the offending detail — unknown JSON keys are named, validation errors
+// are repeated verbatim — and nothing lands on stdout.
+func TestRunRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantSub string
+	}{
+		{
+			"unknown field names the key",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "horizont": 100}`,
+			`unknown field "horizont"`,
+		},
+		{
+			"unknown nested field names the key",
+			`{"topology": {"kind": "hypercube", "d": 4, "dim": 4}, "p": 0.5, "load_factor": 0.5, "horizon": 100}`,
+			`unknown field "dim"`,
+		},
+		{
+			"validation error is reported",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "horizon": 100}`,
+			"one of Lambda or LoadFactor",
+		},
+		{
+			"unknown router name",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "router": "hotwire", "horizon": 100}`,
+			`unknown router "hotwire"`,
+		},
+		{
+			"malformed JSON",
+			`{"topology": `,
+			"unexpected EOF",
+		},
+		{
+			"trailing content",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "horizon": 100}
+			 {"topology": {"kind": "hypercube", "d": 5}, "p": 0.5, "load_factor": 0.5, "horizon": 100}`,
+			"trailing content",
+		},
+		{
+			"sweep with unknown axis field",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "horizon": 100},
+			  "axes": [{"field": "dimension", "values": [3, 4]}]}`,
+			`unknown sweep axis field "dimension"`,
+		},
+		{
+			"sweep with invalid point",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "horizon": 100},
+			  "axes": [{"field": "load_factor", "values": [0.5, -1]}]}`,
+			"sweep point 1 (load_factor=-1)",
+		},
+		{
+			"sweep with unknown top-level field",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "horizon": 100},
+			  "axes": [{"field": "d", "values": [3]}], "mod": "zip"}`,
+			`unknown field "mod"`,
+		},
+		{
+			"deflection with quantiles",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "router": "deflection", "horizon": 100, "track_quantiles": true}`,
+			"quantiles",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := write(t, "spec.json", tc.spec)
+			var stdout, stderr strings.Builder
+			code := run([]string{path}, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("exit code 0 for invalid spec; stderr: %s", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantSub) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantSub)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("invalid spec produced stdout output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("no-args exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad-flag exit code = %d, want 2", code)
+	}
+	if code := run([]string{"does-not-exist.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing-file exit code = %d, want 1", code)
+	}
+}
+
+func TestRunExecutesScenarioAndSweepSpecs(t *testing.T) {
+	scenario := write(t, "scenario.json",
+		`{"name": "ok", "topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100, "seed": 1}`)
+	sweep := write(t, "sweep.json",
+		`{"name": "tiny", "base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100, "seed": 1},
+		  "axes": [{"field": "load_factor", "values": [0.3, 0.6]}]}`)
+	var stdout, stderr strings.Builder
+	if code := run([]string{scenario, sweep}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== ok", "== tiny-point-000", "== tiny-point-001"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSweepPointsWithNamedBaseStayUnique pins that a named base scenario
+// cannot make sweep points share one artifact id: every point is renamed
+// with its index.
+func TestRunSweepPointsWithNamedBaseStayUnique(t *testing.T) {
+	sweep := write(t, "sweep.json",
+		`{"base": {"name": "base", "topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100, "seed": 1},
+		  "axes": [{"field": "load_factor", "values": [0.3, 0.6]}]}`)
+	dir := t.TempDir()
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-artifacts", dir, sweep}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"base-point-000.json", "base-point-001.json"} {
+		if _, err := os.Stat(filepath.Join(dir, want)); err != nil {
+			t.Fatalf("missing artifact %s: %v", want, err)
+		}
+	}
+}
+
+func TestRunDeflectionSpecEndToEnd(t *testing.T) {
+	spec := write(t, "deflection.json",
+		`{"name": "hot-potato", "topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "router": "deflection", "horizon": 200, "seed": 1}`)
+	var stdout, stderr strings.Builder
+	if code := run([]string{spec}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"deflection-slotted", "mean deflections per packet", "universal lower bound (Prop 2)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("deflection output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunValidateFlag(t *testing.T) {
+	good := write(t, "good.json",
+		`{"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+		  "axes": [{"field": "load_factor", "values": [0.3, 0.6]}]}`)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-validate", good}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code %d for valid spec, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "(2 points)") {
+		t.Fatalf("validate output missing point count: %q", stdout.String())
+	}
+	bad := write(t, "bad.json",
+		`{"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+		  "axes": [{"field": "load_factor", "values": [-1]}]}`)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-validate", bad}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit code %d for invalid spec, want 1", code)
+	}
+}

@@ -1,136 +1,217 @@
-// Command sweep produces the two headline curves of the reproduction as CSV
-// plus an ASCII preview:
+// Command sweep executes declarative parameter sweeps over the unified
+// scenario API (sim.Sweep / sim.RunSweep). It has two built-in sweeps — the
+// two headline curves of the reproduction — plus a -spec mode that runs any
+// sweep spec file:
 //
 //   - "load": mean delay versus load factor rho at fixed dimension, for the
 //     measured system and the Prop. 12 / Prop. 13 bounds (the 1/(1-rho) knee);
-//   - "dimension": mean delay versus d at fixed rho, showing the O(d) scaling.
+//   - "dimension": mean delay versus d at fixed rho, showing the O(d) scaling;
+//   - -spec file.json: any sweep spec (see docs/SPEC.md and specs/sweep-*.json),
+//     streamed as CSV (default) or JSON Lines (-json) rows in point order.
 //
 // Sweep points are independent simulations, so they execute concurrently on
 // the engine's worker pool; rows are emitted in sweep order regardless of
-// which point finishes first.
+// which point finishes first, and output is byte-identical at any
+// -parallelism.
 //
 // Examples:
 //
 //	sweep -mode load -d 7
 //	sweep -mode dimension -rho 0.8 -csv
 //	sweep -mode load -json -parallelism 4
+//	sweep -spec specs/sweep-load.json
+//	sweep -spec specs/sweep-smoke.json -json > rows.jsonl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/asciiplot"
-	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/sim"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, executes, and returns the
+// process exit code (0 success, 1 runtime/spec error, 2 usage error).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		mode        = flag.String("mode", "load", "sweep mode: load (T vs rho) or dimension (T vs d)")
-		d           = flag.Int("d", 7, "hypercube dimension (load mode) ")
-		rho         = flag.Float64("rho", 0.8, "load factor (dimension mode)")
-		p           = flag.Float64("p", 0.5, "destination bit-flip probability")
-		horizon     = flag.Float64("horizon", 4000, "simulated time per point")
-		seed        = flag.Uint64("seed", 1, "random seed")
-		csvOnly     = flag.Bool("csv", false, "emit only CSV (no ASCII plot)")
-		jsonOut     = flag.Bool("json", false, "emit the sweep table as JSON (no ASCII plot)")
-		parallelism = flag.Int("parallelism", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
+		mode        = fs.String("mode", "load", "built-in sweep: load (T vs rho) or dimension (T vs d)")
+		spec        = fs.String("spec", "", "run a sweep spec file instead of a built-in mode")
+		d           = fs.Int("d", 7, "hypercube dimension (load mode) ")
+		rho         = fs.Float64("rho", 0.8, "load factor (dimension mode)")
+		p           = fs.Float64("p", 0.5, "destination bit-flip probability")
+		horizon     = fs.Float64("horizon", 4000, "simulated time per point")
+		seed        = fs.Uint64("seed", 1, "random seed")
+		csvOnly     = fs.Bool("csv", false, "emit only CSV (no ASCII plot)")
+		jsonOut     = fs.Bool("json", false, "emit JSON (built-in modes: the table; -spec: JSON Lines rows)")
+		parallelism = fs.Int("parallelism", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
+		progress    = fs.Bool("progress", false, "report per-point progress on stderr")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *spec != "" {
+		// A -spec run takes every model parameter from the spec file; catch
+		// built-in-mode flags on the same command line instead of silently
+		// ignoring them.
+		builtinOnly := map[string]bool{
+			"mode": true, "d": true, "rho": true, "p": true,
+			"horizon": true, "seed": true, "csv": true,
+		}
+		var clash []string
+		fs.Visit(func(f *flag.Flag) {
+			if builtinOnly[f.Name] {
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			fmt.Fprintf(stderr, "sweep: %s only apply to the built-in modes; a -spec run takes all parameters from the spec file\n",
+				strings.Join(clash, ", "))
+			return 2
+		}
+		sw, err := harness.LoadSweep(*spec)
+		if err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+		sw.Parallelism = *parallelism
+		// -spec mode only streams to a sink; don't hold every Result until
+		// the sweep ends.
+		sw.DiscardResults = true
+		if *progress {
+			title := sw.Title()
+			sw.Progress = func(done, total int) {
+				fmt.Fprintf(stderr, "%s: point %d/%d done\n", title, done, total)
+			}
+		}
+		var sink sim.RowSink
+		if *jsonOut {
+			sink = sim.NewJSONLSink(stdout)
+		} else {
+			sink = sim.NewCSVSink(stdout)
+		}
+		if _, err := sim.RunSweep(context.Background(), *sw, sink); err != nil {
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	switch *mode {
 	case "load":
-		sweepLoad(*d, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut)
+		return sweepLoad(*d, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut, stdout, stderr)
 	case "dimension":
-		sweepDimension(*rho, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut)
+		return sweepDimension(*rho, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut, stdout, stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "sweep: unknown mode %q\n", *mode)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "sweep: unknown mode %q\n", *mode)
+		return 2
 	}
 }
 
-// runPoints executes one scenario per sweep point on the engine's worker
-// pool and returns the results in point order. Any simulation error aborts
-// the sweep.
-func runPoints(parallelism int, scs []sim.Scenario) []*sim.Result {
-	results := make([]*sim.Result, len(scs))
-	errs := make([]error, len(scs))
-	engine.ForEach(len(scs), parallelism, func(i int) {
-		results[i], errs[i] = sim.Run(context.Background(), scs[i])
-	})
-	for _, err := range errs {
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
-		}
+// runSweep executes the sweep and returns its rows in point order; a nil
+// slice means the error was already reported.
+func runSweep(sw sim.Sweep, parallelism int, stderr io.Writer) []sim.Row {
+	sw.Parallelism = parallelism
+	rows, err := sim.RunSweep(context.Background(), sw)
+	if err != nil {
+		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		return nil
 	}
-	return results
+	return rows
 }
 
-func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xLabel string) {
+func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xLabel string, stdout, stderr io.Writer) int {
 	if jsonOut {
 		data, err := table.JSON()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "sweep: %v\n", err)
+			return 1
 		}
-		fmt.Printf("%s\n", data)
-		return
+		fmt.Fprintf(stdout, "%s\n", data)
+		return 0
 	}
-	fmt.Print(table.CSV())
+	fmt.Fprint(stdout, table.CSV())
 	if !csvOnly {
-		fmt.Println()
-		fmt.Print(asciiplot.Render(series, asciiplot.Options{
+		fmt.Fprintln(stdout)
+		fmt.Fprint(stdout, asciiplot.Render(series, asciiplot.Options{
 			Title: table.Title, Width: 70, Height: 18, XLabel: xLabel, YLabel: "mean delay",
 		}))
 	}
+	return 0
 }
 
-func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool) {
-	rhos := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95}
+// loadSweep is the built-in "load" curve as a declarative sweep (the same
+// sweep is checked in as specs/sweep-load.json).
+func loadSweep(d int, p, horizon float64, seed uint64) sim.Sweep {
+	return sim.Sweep{
+		Base: sim.Scenario{Topology: sim.Hypercube(d), P: p, Horizon: horizon, Seed: seed},
+		Axes: []sim.Axis{
+			{Field: "load_factor", Values: sim.Nums(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95)},
+		},
+	}
+}
+
+// dimensionSweep is the built-in "dimension" curve as a declarative sweep
+// (checked in as specs/sweep-dimension.json).
+func dimensionSweep(rho, p, horizon float64, seed uint64) sim.Sweep {
+	return sim.Sweep{
+		Base: sim.Scenario{Topology: sim.Hypercube(0), P: p, LoadFactor: rho, Horizon: horizon, Seed: seed},
+		Axes: []sim.Axis{
+			{Field: "d", Values: sim.Ints(3, 4, 5, 6, 7, 8, 9)},
+		},
+	}
+}
+
+func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
 	table := harness.NewTable(fmt.Sprintf("mean delay vs rho (d=%d, p=%g)", d, p),
 		"rho", "measured T", "lower (P13)", "upper (P12)")
 	var measured, lower, upper stats.Series
 	measured.Name = "measured T"
 	lower.Name = "lower bound (Prop 13)"
 	upper.Name = "upper bound (Prop 12)"
-	scs := make([]sim.Scenario, len(rhos))
-	for i, rho := range rhos {
-		scs[i] = sim.Scenario{
-			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
-		}
+	rows := runSweep(loadSweep(d, p, horizon, seed), parallelism, stderr)
+	if rows == nil {
+		return 1
 	}
-	for i, res := range runPoints(parallelism, scs) {
+	for _, row := range rows {
+		res := row.Result
+		rho := res.LoadFactor
 		h := res.Hypercube
-		table.AddRow(harness.F(rhos[i]), harness.F(res.MeanDelay),
+		table.AddRow(harness.F(rho), harness.F(res.MeanDelay),
 			harness.F(h.GreedyLowerBound), harness.F(h.GreedyUpperBound))
-		measured.AddPoint(rhos[i], res.MeanDelay)
-		lower.AddPoint(rhos[i], h.GreedyLowerBound)
-		upper.AddPoint(rhos[i], h.GreedyUpperBound)
+		measured.AddPoint(rho, res.MeanDelay)
+		lower.AddPoint(rho, h.GreedyLowerBound)
+		upper.AddPoint(rho, h.GreedyUpperBound)
 	}
-	emit(table, []stats.Series{measured, lower, upper}, jsonOut, csvOnly, "rho")
+	return emit(table, []stats.Series{measured, lower, upper}, jsonOut, csvOnly, "rho", stdout, stderr)
 }
 
-func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool) {
-	dims := []int{3, 4, 5, 6, 7, 8, 9}
+func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
 	table := harness.NewTable(fmt.Sprintf("mean delay vs dimension (rho=%g, p=%g)", rho, p),
 		"d", "measured T", "lower (P13)", "upper (P12)", "T/d")
 	var measured, upper stats.Series
 	measured.Name = "measured T"
 	upper.Name = "upper bound (Prop 12)"
-	scs := make([]sim.Scenario, len(dims))
-	for i, d := range dims {
-		scs[i] = sim.Scenario{
-			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: seed,
-		}
+	rows := runSweep(dimensionSweep(rho, p, horizon, seed), parallelism, stderr)
+	if rows == nil {
+		return 1
 	}
-	for i, res := range runPoints(parallelism, scs) {
-		d := dims[i]
+	for _, row := range rows {
+		res := row.Result
+		d := res.Topology.D
 		h := res.Hypercube
 		table.AddRow(fmt.Sprintf("%d", d), harness.F(res.MeanDelay),
 			harness.F(h.GreedyLowerBound), harness.F(h.GreedyUpperBound),
@@ -138,5 +219,5 @@ func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOn
 		measured.AddPoint(float64(d), res.MeanDelay)
 		upper.AddPoint(float64(d), h.GreedyUpperBound)
 	}
-	emit(table, []stats.Series{measured, upper}, jsonOut, csvOnly, "d")
+	return emit(table, []stats.Series{measured, upper}, jsonOut, csvOnly, "d", stdout, stderr)
 }

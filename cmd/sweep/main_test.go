@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSweepRejectsBadSpecs pins the error UX of -spec: invalid sweep files
+// exit non-zero with the offending detail (unknown keys named, validation
+// errors verbatim) and leave stdout untouched.
+func TestSweepRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantSub string
+	}{
+		{
+			"unknown field names the key",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "horizon": 100},
+			  "axes": [{"field": "load_factor", "values": [0.5]}], "split_seed": true}`,
+			`unknown field "split_seed"`,
+		},
+		{
+			"scenario spec is redirected",
+			`{"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "horizon": 100}`,
+			"not a sweep spec",
+		},
+		{
+			"zip mismatch",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "horizon": 100}, "mode": "zip",
+			  "axes": [{"field": "load_factor", "values": [0.5, 0.6]}, {"field": "d", "values": [3]}]}`,
+			"equal-length axes",
+		},
+		{
+			"invalid expanded point",
+			`{"base": {"topology": {"kind": "hypercube", "d": 4}, "p": 0.5, "load_factor": 0.5, "horizon": 100},
+			  "axes": [{"field": "tau", "values": [0.5]}]}`,
+			"without Slotted",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := write(t, "sweep.json", tc.spec)
+			var stdout, stderr strings.Builder
+			code := run([]string{"-spec", path}, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("exit code 0 for invalid spec; stderr: %s", stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantSub) {
+				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantSub)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("invalid spec produced stdout output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+func TestSweepUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-mode", "sideways"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown mode exit code = %d, want 2", code)
+	}
+	// Built-in-mode flags next to -spec are rejected, not silently ignored.
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	stderr.Reset()
+	if code := run([]string{"-spec", spec, "-seed", "42"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("-spec with -seed exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-seed") {
+		t.Fatalf("clash error does not name the flag: %q", stderr.String())
+	}
+	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad flag exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-spec", "does-not-exist.json"}, &stdout, &stderr); code != 1 {
+		t.Fatalf("missing spec exit code = %d, want 1", code)
+	}
+}
+
+// golden reads a checked-in golden file from the repository's specs dir.
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestSweepSmokeSpecMatchesGolden executes the checked-in smoke sweep and
+// diffs both sink formats against their goldens — the same check the CI
+// sweep-smoke job performs, and proof that sweep output is a pure function
+// of the spec.
+func TestSweepSmokeSpecMatchesGolden(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"csv", []string{"-spec", spec}, "golden/sweep-smoke.csv"},
+		{"jsonl", []string{"-spec", spec, "-json"}, "golden/sweep-smoke.jsonl"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+			}
+			if got, want := stdout.String(), golden(t, tc.golden); got != want {
+				t.Fatalf("sweep output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestSweepSmokeSpecDeterministicAcrossParallelism reruns the smoke spec at
+// several parallelism levels; the streamed bytes must be identical.
+func TestSweepSmokeSpecDeterministicAcrossParallelism(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	var want strings.Builder
+	if code := run([]string{"-spec", spec, "-parallelism", "1"}, &want, &strings.Builder{}); code != 0 {
+		t.Fatalf("serial run failed with code %d", code)
+	}
+	for _, par := range []string{"2", "8"} {
+		var got strings.Builder
+		if code := run([]string{"-spec", spec, "-parallelism", par}, &got, &strings.Builder{}); code != 0 {
+			t.Fatalf("parallelism %s run failed with code %d", par, code)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("output at parallelism %s differs from serial:\n%s\nvs\n%s",
+				par, got.String(), want.String())
+		}
+	}
+}

@@ -1,10 +1,11 @@
 // Deflection vs store-and-forward: compare the paper's greedy queueing
-// scheme (run through the unified scenario API, repro/sim) against hot-potato
-// (deflection) routing, the bufferless alternative analysed approximately by
-// Greenberg and Hajek and cited in the paper's related-work section.
-// Deflection never queues inside the network, but under load it pays for
-// that with extra (unprofitable) hops, while greedy routing keeps every
-// packet on a shortest path and queues instead.
+// scheme against hot-potato (deflection) routing, the bufferless alternative
+// analysed approximately by Greenberg and Hajek and cited in the paper's
+// related-work section. Both run through the unified scenario API
+// (repro/sim) — deflection is just another Scenario router kind, executing
+// on its own slotted kernel. Deflection never queues inside the network, but
+// under load it pays for that with extra (unprofitable) hops, while greedy
+// routing keeps every packet on a shortest path and queues instead.
 package main
 
 import (
@@ -13,7 +14,6 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/deflection"
 	"repro/sim"
 )
 
@@ -37,15 +37,16 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		defl, err := deflection.Run(deflection.Config{
-			D: d, Lambda: rho / p, P: p, Slots: int(horizon), Seed: 17,
+		defl, err := sim.Run(context.Background(), sim.Scenario{
+			Topology: sim.Hypercube(d), P: p, LoadFactor: rho,
+			Horizon: float64(int(horizon)), Seed: 17, Router: sim.Deflection,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-6.2f  %-12.3f  %-14.3f  %-16.3f  %-14.3f\n",
 			rho, g.MeanDelay, defl.MeanDelay,
-			defl.MeanHops-defl.MeanShortest, defl.MeanDeflections)
+			defl.Metrics.MeanHops-defl.Deflection.MeanShortest, defl.Deflection.MeanDeflections)
 	}
 	fmt.Println("\nGreedy packets always travel their Hamming distance; deflected packets wander.")
 }

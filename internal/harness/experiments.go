@@ -40,6 +40,25 @@ func scenarioGrid(table *Table, cfg RunConfig, scs []sim.Scenario, row func(i in
 	})
 }
 
+// sweepGrid renders one table row per sweep point: the sweep's declarative
+// axes expand into the scenario grid, every point executes on sim.RunSweep's
+// shared engine pool (bounded by cfg.Parallelism), per-point completion
+// reports through cfg.Progress, and rows land in point order regardless of
+// which point finishes first. It is the declarative counterpart of
+// scenarioGrid: experiments that are parameter grids state their axes once
+// instead of hand-rolling nested loops.
+func sweepGrid(table *Table, cfg RunConfig, sw sim.Sweep, row func(r sim.Row) []string) {
+	sw.Parallelism = cfg.Parallelism
+	sw.Progress = cfg.Progress
+	rows, err := sim.RunSweep(context.Background(), sw)
+	if err != nil {
+		panic(fmt.Sprintf("harness: sweep failed: %v", err))
+	}
+	for _, r := range rows {
+		table.AddRow(row(r)...)
+	}
+}
+
 func boolMark(ok bool) string {
 	if ok {
 		return "yes"
@@ -147,21 +166,20 @@ func runE1(cfg RunConfig) *Table {
 	rhos := pick(cfg, []float64{0.6, 0.9}, []float64{0.3, 0.6, 0.9})
 	horizon := pick(cfg, 1500.0, 6000.0)
 	reps := pick(cfg, 2, 5)
-	var scs []sim.Scenario
-	for _, d := range dims {
-		for _, rho := range rhos {
-			scs = append(scs, sim.Scenario{
-				Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
-				Horizon: horizon, Seed: cfg.Seed,
-				// The grid points already saturate the worker pool;
-				// replications within a point run serially on their
-				// deterministic subseeds.
-				Replications: reps, Parallelism: 1,
-			})
-		}
+	sw := sim.Sweep{
+		// The sweep pool provides the concurrency; replications within a
+		// point run serially on their deterministic subseeds.
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(0), P: 0.5, Horizon: horizon, Seed: cfg.Seed,
+			Replications: reps,
+		},
+		Axes: []sim.Axis{
+			{Field: "d", Values: sim.Ints(dims...)},
+			{Field: "load_factor", Values: sim.Nums(rhos...)},
+		},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		sc := scs[i]
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		sc, res := r.Scenario, r.Result
 		t := res.Replicated[sim.MetricMeanDelay]
 		lo := res.Hypercube.GreedyLowerBound
 		up := res.Hypercube.GreedyUpperBound
@@ -178,17 +196,18 @@ func runE2(cfg RunConfig) *Table {
 		"rho", "population slope", "mean population", "mean delay", "verdict")
 	d := pick(cfg, 5, 7)
 	horizon := pick(cfg, 1500.0, 6000.0)
-	rhos := []float64{0.7, 0.9, 0.95, 1.05, 1.2}
-	var scs []sim.Scenario
-	for _, rho := range rhos {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
-			Horizon: horizon, Seed: cfg.Seed,
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, Horizon: horizon, Seed: cfg.Seed,
 			PopulationTraceInterval: horizon / 200,
-		})
+		},
+		Axes: []sim.Axis{
+			{Field: "load_factor", Values: sim.Nums(0.7, 0.9, 0.95, 1.05, 1.2)},
+		},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		rho := rhos[i]
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
+		rho := r.Scenario.LoadFactor
 		// An unstable system accumulates packets at rate about
 		// (rho-1)*lambda*2^d per unit time; use a threshold well below that
 		// but well above the noise of a stable system.
@@ -215,15 +234,16 @@ func runE3(cfg RunConfig) *Table {
 	horizon := pick(cfg, 3000.0, 20000.0)
 	rhos := pick(cfg, []float64{0.8, 0.9, 0.95}, []float64{0.8, 0.9, 0.95, 0.98})
 	params := bounds.HypercubeParams{D: d, Lambda: 1, P: 0.5}
-	var scs []sim.Scenario
-	for _, rho := range rhos {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
-			Horizon: horizon, Seed: cfg.Seed, WarmupFraction: 0.4,
-		})
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, Horizon: horizon, Seed: cfg.Seed,
+			WarmupFraction: 0.4,
+		},
+		Axes: []sim.Axis{{Field: "load_factor", Values: sim.Nums(rhos...)}},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		rho := rhos[i]
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
+		rho := r.Scenario.LoadFactor
 		return []string{F(rho), F(res.MeanDelay), F((1 - rho) * res.MeanDelay),
 			F(params.HeavyTrafficLimitLowerBound()), F(params.HeavyTrafficLimitUpperBound())}
 	})
@@ -238,17 +258,17 @@ func runE4(cfg RunConfig) *Table {
 	ps := pick(cfg, []float64{0.3, 0.5}, []float64{0.3, 0.5, 0.7})
 	horizon := pick(cfg, 2000.0, 8000.0)
 	rho := 0.8
-	var scs []sim.Scenario
-	for _, d := range dims {
-		for _, p := range ps {
-			scs = append(scs, sim.Scenario{
-				Topology: sim.Butterfly(d), P: p, LoadFactor: rho,
-				Horizon: horizon, Seed: cfg.Seed,
-			})
-		}
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Butterfly(0), LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		},
+		Axes: []sim.Axis{
+			{Field: "d", Values: sim.Ints(dims...)},
+			{Field: "p", Values: sim.Nums(ps...)},
+		},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		sc := scs[i]
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		sc, res := r.Scenario, r.Result
 		b := res.Butterfly
 		within := res.MeanDelay >= b.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
 			res.MeanDelay <= b.GreedyUpperBound+3*res.Metrics.DelayCI95
@@ -344,18 +364,18 @@ func runE8(cfg RunConfig) *Table {
 	d := pick(cfg, 4, 6)
 	rho := 0.7
 	horizon := pick(cfg, 2000.0, 8000.0)
-	taus := []float64{0.25, 0.5, 1.0}
 	params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
 	contBound, _ := params.GreedyUpperBound()
-	var scs []sim.Scenario
-	for _, tau := range taus {
-		scs = append(scs, sim.Scenario{
+	sw := sim.Sweep{
+		Base: sim.Scenario{
 			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho,
-			Horizon: horizon, Seed: cfg.Seed, Slotted: true, Tau: tau,
-		})
+			Horizon: horizon, Seed: cfg.Seed, Slotted: true,
+		},
+		Axes: []sim.Axis{{Field: "tau", Values: sim.Nums(0.25, 0.5, 1.0)}},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		tau := taus[i]
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
+		tau := r.Scenario.Tau
 		slottedBound, _ := params.SlottedUpperBound(tau)
 		within := res.MeanDelay <= slottedBound+3*res.Metrics.DelayCI95
 		return []string{F(tau), F(res.MeanDelay), F(contBound), F(slottedBound), boolMark(within)}
@@ -394,18 +414,18 @@ func runE10(cfg RunConfig) *Table {
 	d := pick(cfg, 5, 7)
 	rho := 0.6
 	horizon := pick(cfg, 2000.0, 8000.0)
-	ps := []float64{0.1, 0.25, 0.5, 0.75, 1.0}
-	var scs []sim.Scenario
-	for _, p := range ps {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Hypercube(d), P: p, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-		})
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(d), LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		},
+		Axes: []sim.Axis{{Field: "p", Values: sim.Nums(0.1, 0.25, 0.5, 0.75, 1.0)}},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
 		h := res.Hypercube
 		within := res.MeanDelay >= h.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1 &&
 			res.MeanDelay <= h.GreedyUpperBound+3*res.Metrics.DelayCI95
-		return []string{F(ps[i]), F(res.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
+		return []string{F(r.Scenario.P), F(res.Lambda), F(res.Metrics.MeanHops), F(res.MeanDelay),
 			F(h.GreedyLowerBound), F(h.GreedyUpperBound), boolMark(within)}
 	})
 	table.AddNote("d = %d, rho = lambda*p = %.2f for every row.", d, rho)
@@ -445,18 +465,19 @@ func runE12(cfg RunConfig) *Table {
 	dims := pick(cfg, []int{4, 5, 6}, []int{5, 6, 7, 8})
 	rho := 0.8
 	horizon := pick(cfg, 2000.0, 8000.0)
-	var scs []sim.Scenario
-	for _, d := range dims {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-		})
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(0), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		},
+		Axes: []sim.Axis{{Field: "d", Values: sim.Ints(dims...)}},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
 		h := res.Hypercube
 		ok := res.MeanDelay >= h.UniversalLowerBound-0.1 &&
 			res.MeanDelay >= h.ObliviousLowerBound-0.1 &&
 			res.MeanDelay >= h.GreedyLowerBound-3*res.Metrics.DelayCI95-0.1
-		return []string{fmt.Sprintf("%d", dims[i]), F(res.MeanDelay), F(h.UniversalLowerBound),
+		return []string{fmt.Sprintf("%d", r.Scenario.Topology.D), F(res.MeanDelay), F(h.UniversalLowerBound),
 			F(h.ObliviousLowerBound), F(h.GreedyLowerBound), boolMark(ok)}
 	})
 	table.AddNote("rho = %.2f, p = 1/2.", rho)

@@ -3,7 +3,6 @@ package harness
 import (
 	"fmt"
 
-	"repro/internal/deflection"
 	"repro/internal/static"
 	"repro/sim"
 )
@@ -47,14 +46,13 @@ func runE13(cfg RunConfig) *Table {
 		g := run(sim.Scenario{
 			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
 		})
-		defl, err := deflection.Run(deflection.Config{
-			D: d, Lambda: rho / 0.5, P: 0.5, Slots: slots, Seed: cfg.Seed,
+		defl := run(sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: rho, Horizon: float64(slots), Seed: cfg.Seed,
+			Router: sim.Deflection,
 		})
-		if err != nil {
-			panic(fmt.Sprintf("harness: deflection run failed: %v", err))
-		}
 		return []string{F(rho), F(g.MeanDelay), F(defl.MeanDelay),
-			F(defl.MeanHops - defl.MeanShortest), F(defl.InjectionBacklogSlope)}
+			F(defl.Metrics.MeanHops - defl.Deflection.MeanShortest),
+			F(defl.Deflection.InjectionBacklogSlope)}
 	})
 	table.AddNote("d = %d, p = 1/2, slotted deflection with per-node injection queues.", d)
 	return table

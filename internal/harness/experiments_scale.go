@@ -34,27 +34,29 @@ func runE17(cfg RunConfig) *Table {
 		"d", "tau", "rho", "measured T", "slotted bound", "within")
 	d := pick(cfg, 8, 9)
 	horizon := pick(cfg, 800.0, 2500.0)
-	type point struct {
-		tau, rho float64
-	}
 	// The fine slot clocks (tau << 1) are the regime the slot-stepped kernel
 	// is built for: every slot fires a network-wide batch, so the event
-	// calendar degenerates to the slot clock plus unit-time completions.
-	pts := []point{{0.25, 0.9}, {0.25, 0.95}, {0.125, 0.95}}
-	var scs []sim.Scenario
-	for _, pt := range pts {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Hypercube(d), P: 0.5, LoadFactor: pt.rho,
-			Horizon: horizon, Seed: cfg.Seed,
-			Slotted: true, Tau: pt.tau, SkipPerDimensionStats: true,
-		})
+	// calendar degenerates to the slot clock plus unit-time completions. The
+	// (tau, rho) pairs advance in lockstep — a zipped sweep, not a cross
+	// product.
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Hypercube(d), P: 0.5, Horizon: horizon, Seed: cfg.Seed,
+			Slotted: true, SkipPerDimensionStats: true,
+		},
+		Axes: []sim.Axis{
+			{Field: "tau", Values: sim.Nums(0.25, 0.25, 0.125)},
+			{Field: "load_factor", Values: sim.Nums(0.9, 0.95, 0.95)},
+		},
+		Mode: sim.ExpandZip,
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
-		pt := pts[i]
-		params := bounds.HypercubeParams{D: d, Lambda: pt.rho / 0.5, P: 0.5}
-		slottedBound, _ := params.SlottedUpperBound(pt.tau)
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
+		tau, rho := r.Scenario.Tau, r.Scenario.LoadFactor
+		params := bounds.HypercubeParams{D: d, Lambda: rho / 0.5, P: 0.5}
+		slottedBound, _ := params.SlottedUpperBound(tau)
 		within := res.MeanDelay <= slottedBound+3*res.Metrics.DelayCI95
-		return []string{fmt.Sprintf("%d", d), F(pt.tau), F(pt.rho), F(res.MeanDelay),
+		return []string{fmt.Sprintf("%d", d), F(tau), F(rho), F(res.MeanDelay),
 			F(slottedBound), boolMark(within)}
 	})
 	table.AddNote("d = %d, p = 1/2, batch-Poisson arrivals at slot starts (§3.4); runs on the slot-stepped kernel.", d)
@@ -67,17 +69,18 @@ func runE18(cfg RunConfig) *Table {
 	dims := pick(cfg, []int{8, 9}, []int{8, 9, 10})
 	horizon := pick(cfg, 500.0, 1500.0)
 	rho := 0.95
-	var scs []sim.Scenario
-	for _, d := range dims {
-		scs = append(scs, sim.Scenario{
-			Topology: sim.Butterfly(d), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
-		})
+	sw := sim.Sweep{
+		Base: sim.Scenario{
+			Topology: sim.Butterfly(0), P: 0.5, LoadFactor: rho, Horizon: horizon, Seed: cfg.Seed,
+		},
+		Axes: []sim.Axis{{Field: "d", Values: sim.Ints(dims...)}},
 	}
-	scenarioGrid(table, cfg, scs, func(i int, res *sim.Result) []string {
+	sweepGrid(table, cfg, sw, func(r sim.Row) []string {
+		res := r.Result
 		b := res.Butterfly
 		within := res.MeanDelay >= b.UniversalLowerBound-3*res.Metrics.DelayCI95-0.1 &&
 			res.MeanDelay <= b.GreedyUpperBound+3*res.Metrics.DelayCI95
-		return []string{fmt.Sprintf("%d", dims[i]), F(res.LoadFactor), F(res.MeanDelay),
+		return []string{fmt.Sprintf("%d", r.Scenario.Topology.D), F(res.LoadFactor), F(res.MeanDelay),
 			F(b.UniversalLowerBound), F(b.GreedyUpperBound), boolMark(within)}
 	})
 	table.AddNote("p = 1/2, rho = lambda*max{p,1-p} = %.2f; runs on the slot-stepped kernel.", rho)

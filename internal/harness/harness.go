@@ -194,7 +194,7 @@ func Registry() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
 	sort.Slice(out, func(i, j int) bool {
-		// Sort E1..E12 numerically, then ablations.
+		// Sort E1..E18 numerically, then ablations.
 		return lessID(out[i].ID, out[j].ID)
 	})
 	return out

@@ -49,6 +49,84 @@ func LoadScenarios(path string) ([]sim.Scenario, error) {
 	return scs, nil
 }
 
+// LoadSweep reads a declarative sweep spec file: one JSON sweep object with
+// a "base" scenario and "axes" (see sim.Sweep for the schema and
+// specs/sweep-load.json for a worked example). Unknown fields are rejected
+// so typos fail loudly, and the sweep is validated — including every
+// expanded scenario — before it is returned.
+func LoadSweep(path string) (*sim.Sweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadSweepData(path, data)
+}
+
+// loadSweepData is LoadSweep over already-read spec bytes (path is used only
+// for error messages).
+func loadSweepData(path string, data []byte) (*sim.Sweep, error) {
+	// Classify before the strict decode so a scenario spec gets the
+	// redirection hint instead of a misleading unknown-field error.
+	if !isSweepSpec(data) {
+		return nil, fmt.Errorf("%s: not a sweep spec (no \"axes\" key); scenario specs run through cmd/run", path)
+	}
+	var sw sim.Sweep
+	if err := decodeStrict(data, &sw); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	// Both names can end up in artifact filenames (the sweep's directly,
+	// the base's through every expanded point), so neither may escape the
+	// artifacts directory.
+	if strings.ContainsAny(sw.Name, `/\`) {
+		return nil, fmt.Errorf("%s: sweep name %q must not contain path separators", path, sw.Name)
+	}
+	if strings.ContainsAny(sw.Base.Name, `/\`) {
+		return nil, fmt.Errorf("%s: base scenario name %q must not contain path separators", path, sw.Base.Name)
+	}
+	if err := sw.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &sw, nil
+}
+
+// LoadSpec reads any spec file: a scenario object, an array of scenarios, or
+// a sweep object (recognised by its "axes" key). Exactly one of the results
+// is non-empty.
+func LoadSpec(path string) ([]sim.Scenario, *sim.Sweep, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if isSweepSpec(data) {
+		sw, err := loadSweepData(path, data)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nil, sw, nil
+	}
+	scs, err := LoadScenarios(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return scs, nil, nil
+}
+
+// isSweepSpec reports whether the spec data is a sweep object: a top-level
+// JSON object with an "axes" key. Scenario objects have no such field, so
+// the test cannot misclassify a valid spec of either kind.
+func isSweepSpec(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return false
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return false
+	}
+	_, ok := probe["axes"]
+	return ok
+}
+
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing
 // content (a second top-level value would otherwise be silently dropped —
 // the classic forgotten-array-brackets mistake).
@@ -98,6 +176,13 @@ func ScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 		table.AddRow("straight-arc utilisation", F(b.StraightUtilization))
 		table.AddRow("vertical-arc utilisation", F(b.VerticalUtilization))
 	}
+	if dfl := res.Deflection; dfl != nil {
+		table.AddRow("mean shortest path (Hamming)", F(dfl.MeanShortest))
+		table.AddRow("mean deflections per packet", F(dfl.MeanDeflections))
+		table.AddRow("mean injection backlog", F(dfl.MeanInjectionBacklog))
+		table.AddRow("injection backlog slope", F(dfl.InjectionBacklogSlope))
+		table.AddRow("max node occupancy", fmt.Sprintf("%d (cap d=%d)", dfl.MaxNodeOccupancy, res.Topology.D))
+	}
 	return table
 }
 
@@ -129,6 +214,11 @@ func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 			metric{"straight-arc utilisation", sim.MetricStraightUtilization},
 			metric{"vertical-arc utilisation", sim.MetricVerticalUtilization})
 	}
+	if res.Deflection != nil {
+		metrics = append(metrics,
+			metric{"mean deflections per packet", sim.MetricMeanDeflections},
+			metric{"mean injection backlog", sim.MetricInjectionBacklog})
+	}
 	for _, mt := range metrics {
 		r := res.Replicated[mt.key]
 		table.AddRow(mt.name, F(r.Mean), F(r.CI95), F(r.Min), F(r.Max))
@@ -154,5 +244,8 @@ func addBoundRows(table *Table, res *sim.Result, row func(name string, v float64
 	if b := res.Butterfly; b != nil {
 		table.AddRow(row("universal lower bound (Prop 14)", b.UniversalLowerBound)...)
 		table.AddRow(row("greedy upper bound (Prop 17)", b.GreedyUpperBound)...)
+	}
+	if dfl := res.Deflection; dfl != nil {
+		table.AddRow(row("universal lower bound (Prop 2)", dfl.UniversalLowerBound)...)
 	}
 }

@@ -144,3 +144,79 @@ func TestLoadScenariosRejectsTrailingContentAndBadNames(t *testing.T) {
 		}
 	}
 }
+
+func TestLoadSweepAndLoadSpec(t *testing.T) {
+	sweepSpec := `{
+		"name": "tiny",
+		"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100, "seed": 1},
+		"axes": [{"field": "load_factor", "values": [0.3, 0.6]}]
+	}`
+	path := writeSpec(t, sweepSpec)
+	sw, err := LoadSweep(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Name != "tiny" || len(sw.Axes) != 1 {
+		t.Fatalf("loaded sweep malformed: %+v", sw)
+	}
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("expanded %d points, want 2", len(scs))
+	}
+
+	// LoadSpec classifies by the "axes" key: sweep specs come back as
+	// sweeps, scenario specs as scenario lists.
+	scs2, sw2, err := LoadSpec(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs2 != nil || sw2 == nil {
+		t.Fatalf("LoadSpec misclassified a sweep: scenarios=%v sweep=%v", scs2, sw2)
+	}
+	scenarioPath := writeSpec(t,
+		`{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100}`)
+	scs3, sw3, err := LoadSpec(scenarioPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs3) != 1 || sw3 != nil {
+		t.Fatalf("LoadSpec misclassified a scenario: scenarios=%v sweep=%v", scs3, sw3)
+	}
+}
+
+func TestLoadSweepRejectsBadSpecs(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantSub string
+	}{
+		{"scenario spec", `{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100}`,
+			"not a sweep spec"},
+		{"unknown field named", `{"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+			"axes": [{"field": "load_factor", "values": [0.3]}], "modus": "zip"}`,
+			`unknown field "modus"`},
+		{"name with separator", `{"name": "a/b", "base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+			"axes": [{"field": "load_factor", "values": [0.3]}]}`,
+			"path separators"},
+		{"base name with separator", `{"base": {"name": "../escape", "topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+			"axes": [{"field": "load_factor", "values": [0.3]}]}`,
+			"path separators"},
+		{"invalid point", `{"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},
+			"axes": [{"field": "load_factor", "values": [0]}]}`,
+			"sweep point 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := LoadSweep(writeSpec(t, tc.spec))
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}

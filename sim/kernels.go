@@ -21,6 +21,9 @@ const (
 	// KernelSlotStepped is the synchronous unit-service fast path
 	// (internal/slotsim).
 	KernelSlotStepped = "slot-stepped"
+	// KernelDeflection is the slotted bufferless hot-potato kernel
+	// (internal/deflection), selected by Scenario.Router == Deflection.
+	KernelDeflection = "deflection-slotted"
 )
 
 // DisableFastKernel forces every run onto the event-driven calendar

@@ -3,9 +3,11 @@ package sim
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"math"
 
 	"repro/internal/bounds"
+	"repro/internal/deflection"
 	"repro/internal/engine"
 	"repro/internal/hypercube"
 	"repro/internal/network"
@@ -73,9 +75,44 @@ type ButterflyStats struct {
 	GreedyUpperBound    float64 `json:"greedy_upper_bound"`
 }
 
+// DeflectionStats is the deflection-specific block of a Result: the
+// hot-potato measurements (wandering, deflections, injection backlog) next to
+// the one paper bound that still applies. There is no closed-form deflection
+// delay envelope in the paper — [GrH89] gives only approximations — so unlike
+// the greedy blocks this one carries measurements first and a single lower
+// bound.
+type DeflectionStats struct {
+	// Params echoes the model parameters in the form used by the bounds.
+	Params HypercubeParams `json:"params"`
+	// MeanShortest is the mean Hamming distance of delivered packets (the
+	// minimum possible hop count); MeanHops - MeanShortest is the wandering
+	// overhead deflections cause.
+	MeanShortest float64 `json:"mean_shortest"`
+	// MeanDeflections is the mean number of unprofitable (distance
+	// non-decreasing) hops per delivered packet.
+	MeanDeflections float64 `json:"mean_deflections"`
+	// MeanNetworkPopulation is the time-averaged number of packets inside
+	// the network (excluding injection queues).
+	MeanNetworkPopulation float64 `json:"mean_network_population"`
+	// MeanInjectionBacklog is the time-averaged number of packets waiting in
+	// the per-node injection queues.
+	MeanInjectionBacklog float64 `json:"mean_injection_backlog"`
+	// InjectionBacklogSlope is the least-squares slope of the injection
+	// backlog over the measurement window (positive = not keeping up); it is
+	// the deflection counterpart of Metrics.PopulationSlope.
+	InjectionBacklogSlope float64 `json:"injection_backlog_slope"`
+	// MaxNodeOccupancy is the largest number of packets observed at one node
+	// when ports were assigned; the lossless invariant caps it at d.
+	MaxNodeOccupancy int `json:"max_node_occupancy"`
+	// UniversalLowerBound is the Prop. 2 bound, which holds for every
+	// routing scheme on the hypercube — deflection included (NaN when the
+	// parameters exceed the bound's validity range).
+	UniversalLowerBound float64 `json:"universal_lower_bound"`
+}
+
 // Metric keys of the replicated tallies in Result.Replicated. P95/P99 appear
 // only when TrackQuantiles is set; the utilisation pair only on the
-// butterfly.
+// butterfly; the deflection pair only under hot-potato routing.
 const (
 	MetricMeanDelay           = "mean_delay"
 	MetricMeanHops            = "mean_hops"
@@ -86,6 +123,8 @@ const (
 	MetricDelayP99            = "delay_p99"
 	MetricStraightUtilization = "straight_utilization"
 	MetricVerticalUtilization = "vertical_utilization"
+	MetricMeanDeflections     = "mean_deflections"
+	MetricInjectionBacklog    = "mean_injection_backlog"
 )
 
 // Replication summarises one metric over independent replications.
@@ -161,6 +200,10 @@ type Result struct {
 	Hypercube *HypercubeStats `json:"hypercube,omitempty"`
 	// Butterfly carries the butterfly-specific measurements and bounds.
 	Butterfly *ButterflyStats `json:"butterfly,omitempty"`
+	// Deflection carries the hot-potato measurements when the scenario's
+	// Router is Deflection (the Hypercube block is then nil even though the
+	// topology is a hypercube: the greedy bounds do not apply).
+	Deflection *DeflectionStats `json:"deflection,omitempty"`
 
 	// Replicated maps metric keys (MetricMeanDelay, ...) to merged Welford
 	// tallies over Scenario.Replications independent runs. Nil for single
@@ -218,6 +261,15 @@ func (h *HypercubeStats) MarshalJSON() ([]byte, error) {
 		nanNull(h.SlottedUpperBound)})
 }
 
+// MarshalJSON shadows the NaN-able bound field with its null-safe form.
+func (d *DeflectionStats) MarshalJSON() ([]byte, error) {
+	type alias DeflectionStats
+	return json.Marshal(struct {
+		*alias
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+	}{(*alias)(d), nanNull(d.UniversalLowerBound)})
+}
+
 // MarshalJSON shadows the NaN-able bound fields with their null-safe form.
 func (b *ButterflyStats) MarshalJSON() ([]byte, error) {
 	type alias ButterflyStats
@@ -245,7 +297,7 @@ func (b *ButterflyStats) MarshalJSON() ([]byte, error) {
 // Parallelism and of when (or whether) cancellation happens short of an
 // error return.
 func Run(ctx context.Context, sc Scenario) (*Result, error) {
-	hc, bc, err := sc.normalize()
+	n, err := sc.normalize()
 	if err != nil {
 		return nil, err
 	}
@@ -253,12 +305,21 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 		return nil, err
 	}
 	if sc.Replications > 1 {
-		return runReplicated(ctx, &sc, hc, bc)
+		return runReplicated(ctx, &sc, n)
 	}
-	if hc != nil {
-		return runHypercubeOnce(hc), nil
+	return n.runOnce(), nil
+}
+
+// runOnce dispatches one normalized single run to its kernel.
+func (n normalized) runOnce() *Result {
+	switch {
+	case n.hc != nil:
+		return runHypercubeOnce(n.hc)
+	case n.bc != nil:
+		return runButterflyOnce(n.bc)
+	default:
+		return runDeflectionOnce(n.dc)
 	}
-	return runButterflyOnce(bc), nil
 }
 
 // boundOrNaN converts a (value, error) bound evaluation into a plain float
@@ -405,13 +466,72 @@ func runButterflyOnce(cfg *butterflyConfig) *Result {
 	return res
 }
 
+// runDeflectionOnce executes one normalized hot-potato run on the slotted
+// deflection kernel and assembles the result. Only the Metrics fields the
+// kernel actually measures are populated; everything deflection-specific
+// lives in the Deflection block.
+func runDeflectionOnce(cfg *deflectionConfig) *Result {
+	out, err := deflection.Run(deflection.Config{
+		D: cfg.D, Lambda: cfg.Lambda, P: cfg.P, Slots: cfg.Slots,
+		WarmupFraction: cfg.WarmupFraction, Seed: cfg.Seed,
+	})
+	if err != nil {
+		// The scenario was validated; a failure here is a broken kernel
+		// invariant (e.g. a node holding more than d packets), never user
+		// input.
+		panic(fmt.Sprintf("sim: deflection kernel failed on a validated scenario: %v", err))
+	}
+	res := deflectionAnalyticResult(cfg)
+	d := res.Deflection
+	// The kernel truncates the warm-up to whole slots; mirror that here so
+	// Elapsed and Throughput use exactly the window the packets were
+	// counted in.
+	measured := float64(cfg.Slots - int(cfg.WarmupFraction*float64(cfg.Slots)))
+	res.Metrics = Metrics{
+		Elapsed:         measured,
+		MeanDelay:       out.MeanDelay,
+		MeanHops:        out.MeanHops,
+		Delivered:       out.Delivered,
+		Throughput:      float64(out.Delivered) / measured,
+		MeanPopulation:  out.MeanNetworkPopulation + out.MeanInjectionBacklog,
+		PopulationSlope: out.InjectionBacklogSlope,
+	}
+	res.MeanDelay = out.MeanDelay
+	res.MeanPacketsPerNode = res.Metrics.MeanPopulation / float64(int(1)<<uint(cfg.D))
+	d.MeanShortest = out.MeanShortest
+	d.MeanDeflections = out.MeanDeflections
+	d.MeanNetworkPopulation = out.MeanNetworkPopulation
+	d.MeanInjectionBacklog = out.MeanInjectionBacklog
+	d.InjectionBacklogSlope = out.InjectionBacklogSlope
+	d.MaxNodeOccupancy = out.MaxNodeOccupancy
+	return res
+}
+
+// deflectionAnalyticResult assembles the pure-function part of a deflection
+// result (parameters, kernel, the universal lower bound).
+func deflectionAnalyticResult(cfg *deflectionConfig) *Result {
+	d := &DeflectionStats{
+		Params: HypercubeParams{D: cfg.D, Lambda: cfg.Lambda, P: cfg.P},
+	}
+	d.UniversalLowerBound = boundOrNaN(d.Params.UniversalLowerBound)
+	return &Result{
+		Topology:   Hypercube(cfg.D),
+		Lambda:     cfg.Lambda,
+		LoadFactor: cfg.Lambda * cfg.P,
+		Kernel:     KernelDeflection,
+		DelayP95:   math.NaN(),
+		DelayP99:   math.NaN(),
+		Deflection: d,
+	}
+}
+
 // runReplicated executes Scenario.Replications independent replications of
 // the normalized scenario on the sharded engine and merges the per-metric
 // tallies. The per-replication seeds derive from Scenario.Seed by seed
 // splitting (never from scheduling), so the merged tallies are identical at
 // any parallelism.
-func runReplicated(ctx context.Context, sc *Scenario, hc *hypercubeConfig, bc *butterflyConfig) (*Result, error) {
-	res := analyticResult(sc, hc, bc)
+func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, error) {
+	res := analyticResult(sc, n)
 	ecfg := engine.Config{
 		Replications: sc.Replications,
 		Parallelism:  sc.Parallelism,
@@ -425,18 +545,23 @@ func runReplicated(ctx context.Context, sc *Scenario, hc *hypercubeConfig, bc *b
 	}
 	task := func(_ int, seed uint64) map[string]float64 {
 		var rep *Result
-		if hc != nil {
-			c := *hc
+		switch {
+		case n.hc != nil:
+			c := *n.hc
 			c.Seed = seed
 			// Replicated results never report per-packet delays, so don't
 			// pay the O(delivered-packets) copy in every replication.
 			c.ReturnDelays = false
 			rep = runHypercubeOnce(&c)
-		} else {
-			c := *bc
+		case n.bc != nil:
+			c := *n.bc
 			c.Seed = seed
 			c.ReturnDelays = false
 			rep = runButterflyOnce(&c)
+		default:
+			c := *n.dc
+			c.Seed = seed
+			rep = runDeflectionOnce(&c)
 		}
 		m := map[string]float64{
 			MetricMeanDelay:          rep.MeanDelay,
@@ -452,6 +577,10 @@ func runReplicated(ctx context.Context, sc *Scenario, hc *hypercubeConfig, bc *b
 		if rep.Butterfly != nil {
 			m[MetricStraightUtilization] = rep.Butterfly.StraightUtilization
 			m[MetricVerticalUtilization] = rep.Butterfly.VerticalUtilization
+		}
+		if rep.Deflection != nil {
+			m[MetricMeanDeflections] = rep.Deflection.MeanDeflections
+			m[MetricInjectionBacklog] = rep.Deflection.MeanInjectionBacklog
 		}
 		return m
 	}
@@ -470,7 +599,11 @@ func runReplicated(ctx context.Context, sc *Scenario, hc *hypercubeConfig, bc *b
 // load factor, kernel selection and the paper's bounds — without running a
 // simulation. It is what the replicated path reports next to the merged
 // tallies.
-func analyticResult(sc *Scenario, hc *hypercubeConfig, bc *butterflyConfig) *Result {
+func analyticResult(sc *Scenario, n normalized) *Result {
+	hc, bc := n.hc, n.bc
+	if n.dc != nil {
+		return deflectionAnalyticResult(n.dc)
+	}
 	if bc != nil {
 		b := &ButterflyStats{
 			Params: ButterflyParams{D: bc.D, Lambda: bc.Lambda, P: bc.P},

@@ -9,7 +9,17 @@
 // small sum type (hypercube or butterfly today, with room for more), shares
 // one validation/normalization pass across topologies, and round-trips
 // through JSON so scenarios can be stored as declarative spec files and
-// executed by cmd/run or cmd/experiments -spec.
+// executed by cmd/run or cmd/experiments -spec (the full schema is
+// documented in docs/SPEC.md).
+//
+// Normalization also selects the simulation kernel from the scenario's
+// shape: slotted hypercube scenarios and FIFO butterflies run on the
+// synchronous slot-stepped fast path (internal/slotsim, byte-identical to
+// the event calendar on the same seed), deflection scenarios (Router ==
+// Deflection, the hot-potato related-work baseline) run on their own
+// slotted bufferless kernel (internal/deflection), and everything else runs
+// on the general event-driven calendar (internal/des + internal/network).
+// Result.Kernel reports the choice.
 //
 // Replication is first-class: setting Scenario.Replications runs the
 // scenario N times on the sharded parallel engine (internal/engine) with
@@ -30,9 +40,22 @@
 //	if err != nil { ... }
 //	fmt.Println(res.MeanDelay, res.Hypercube.GreedyLowerBound, res.Hypercube.GreedyUpperBound)
 //
-// The repro/greedy package remains as a thin compatibility facade over this
-// API (via internal/core), preserving the original per-topology
-// RunHypercube/RunButterfly entry points.
+// Families of scenarios are first-class too: a Sweep names axes over scalar
+// scenario fields (cross-product or zipped expansion), and RunSweep executes
+// every point on the shared engine pool, streaming one row per point — the
+// measured delays next to the paper's bound columns — to CSV or JSON-Lines
+// sinks in point order at any parallelism:
+//
+//	rows, err := sim.RunSweep(ctx, sim.Sweep{
+//	    Base: sim.Scenario{Topology: sim.Hypercube(7), P: 0.5, Horizon: 4000, Seed: 1},
+//	    Axes: []sim.Axis{{Field: "load_factor", Values: sim.Nums(0.1, 0.5, 0.9)}},
+//	}, sim.NewCSVSink(os.Stdout))
+//
+// The runnable godoc examples (Example functions of this package) cover the
+// single-run, replicated, spec round-trip and sweep paths and are asserted
+// by go test. The repro/greedy package remains as a thin compatibility
+// facade over this API (via internal/core), preserving the original
+// per-topology RunHypercube/RunButterfly entry points.
 package sim
 
 import (
@@ -85,6 +108,13 @@ const (
 	GreedyRandomOrder
 	// ValiantTwoPhase routes through a uniformly random intermediate node.
 	ValiantTwoPhase
+	// Deflection is hot-potato routing (§1.2 related work, [GrH89]): a
+	// bufferless slotted discipline where every packet present at a node is
+	// forced onto some output port each slot — preferably one reducing its
+	// Hamming distance, otherwise a deflection onto any free port. It runs
+	// on its own slotted kernel (internal/deflection) and reports a
+	// deflection-specific result block instead of the greedy bound pair.
+	Deflection
 )
 
 // routerNames maps each kind to its canonical JSON spelling. The JSON names
@@ -93,6 +123,7 @@ var routerNames = map[RouterKind]string{
 	GreedyDimensionOrder: "greedy",
 	GreedyRandomOrder:    "random-order",
 	ValiantTwoPhase:      "valiant",
+	Deflection:           "deflection",
 }
 
 // String names the routing scheme.
@@ -104,6 +135,8 @@ func (k RouterKind) String() string {
 		return "greedy-random-order"
 	case ValiantTwoPhase:
 		return "valiant-two-phase"
+	case Deflection:
+		return "deflection-hot-potato"
 	default:
 		return fmt.Sprintf("router(%d)", int(k))
 	}
@@ -119,7 +152,9 @@ func (k RouterKind) router() routing.HypercubeRouter {
 	case ValiantTwoPhase:
 		return routing.ValiantTwoPhase{}
 	default:
-		panic(fmt.Sprintf("sim: unknown router kind %d", int(k)))
+		// Deflection never reaches here: it bypasses path routing entirely
+		// and executes on its own kernel.
+		panic(fmt.Sprintf("sim: router kind %s selects no path router", k))
 	}
 }
 
@@ -132,20 +167,30 @@ func (k RouterKind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(name)
 }
 
+// routerFromName resolves a router's short spec name ("greedy",
+// "random-order", "valiant", "deflection") or long String() name.
+func routerFromName(name string) (RouterKind, bool) {
+	for kind, short := range routerNames {
+		if name == short || name == kind.String() {
+			return kind, true
+		}
+	}
+	return 0, false
+}
+
 // UnmarshalJSON accepts both the short spec names ("greedy", "random-order",
-// "valiant") and the long String() names.
+// "valiant", "deflection") and the long String() names.
 func (k *RouterKind) UnmarshalJSON(data []byte) error {
 	var name string
 	if err := json.Unmarshal(data, &name); err != nil {
 		return fmt.Errorf("sim: router must be a string: %w", err)
 	}
-	for kind, short := range routerNames {
-		if name == short || name == kind.String() {
-			*k = kind
-			return nil
-		}
+	kind, ok := routerFromName(name)
+	if !ok {
+		return fmt.Errorf("sim: unknown router %q (valid: greedy, random-order, valiant, deflection)", name)
 	}
-	return fmt.Errorf("sim: unknown router %q (valid: greedy, random-order, valiant)", name)
+	*k = kind
+	return nil
 }
 
 // Discipline selects the per-arc queueing discipline.
@@ -222,7 +267,9 @@ type Scenario struct {
 	CustomWeights []float64 `json:"custom_weights,omitempty"`
 
 	// Router selects the hypercube routing scheme (default greedy dimension
-	// order). The butterfly admits only greedy routing.
+	// order). The butterfly admits only greedy routing. The Deflection kind
+	// selects the bufferless hot-potato baseline, which executes on its own
+	// slotted kernel and restricts the rest of the scenario (see Validate).
 	Router RouterKind `json:"router,omitempty"`
 	// Discipline selects the per-arc queueing discipline (default FIFO).
 	Discipline Discipline `json:"discipline,omitempty"`

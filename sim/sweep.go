@@ -1,0 +1,773 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/xrand"
+)
+
+// This file is the declarative sweep layer over the Scenario API: a Sweep
+// names axes over scalar Scenario fields, expands them (cross product or
+// zipped) into a list of scenarios, and RunSweep executes every point on the
+// shared engine worker pool, streaming one Row per point — measured delays
+// next to the paper's bound columns — to CSV / JSON Lines sinks in point
+// order at any parallelism.
+
+// Expansion modes of a Sweep.
+const (
+	// ExpandProduct crosses every axis with every other: the first axis
+	// varies slowest, exactly like nested loops in declaration order.
+	ExpandProduct = "product"
+	// ExpandZip advances all axes in lockstep; every axis must list the same
+	// number of values.
+	ExpandZip = "zip"
+)
+
+// maxSweepPoints caps the expansion size so a typo in a spec file (say, a
+// crossed pair of thousand-value axes) fails fast instead of scheduling a
+// million simulations.
+const maxSweepPoints = 100000
+
+// valueKind discriminates the scalar payload of a Value.
+type valueKind uint8
+
+const (
+	valueNumber valueKind = iota
+	valueString
+	valueBool
+)
+
+// Value is one scalar axis value: a JSON number, string or bool. Numbers
+// serve the numeric scenario fields (d, lambda, load_factor, ...), strings
+// the enumerations (router, discipline, topology) and bools the flags
+// (slotted).
+type Value struct {
+	kind valueKind
+	num  float64
+	str  string
+	b    bool
+}
+
+// Num wraps a number as an axis value.
+func Num(v float64) Value { return Value{kind: valueNumber, num: v} }
+
+// Str wraps a string as an axis value.
+func Str(s string) Value { return Value{kind: valueString, str: s} }
+
+// Bool wraps a bool as an axis value.
+func Bool(b bool) Value { return Value{kind: valueBool, b: b} }
+
+// Nums wraps a list of numbers as axis values.
+func Nums(vs ...float64) []Value {
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = Num(v)
+	}
+	return out
+}
+
+// Ints wraps a list of integers as axis values.
+func Ints(vs ...int) []Value {
+	out := make([]Value, len(vs))
+	for i, v := range vs {
+		out[i] = Num(float64(v))
+	}
+	return out
+}
+
+// Strs wraps a list of strings as axis values.
+func Strs(ss ...string) []Value {
+	out := make([]Value, len(ss))
+	for i, s := range ss {
+		out[i] = Str(s)
+	}
+	return out
+}
+
+// String renders the value the way it appears in CSV cells and error
+// messages.
+func (v Value) String() string {
+	switch v.kind {
+	case valueString:
+		return v.str
+	case valueBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return strconv.FormatFloat(v.num, 'g', -1, 64)
+	}
+}
+
+// MarshalJSON renders the value as the JSON scalar it wraps.
+func (v Value) MarshalJSON() ([]byte, error) {
+	switch v.kind {
+	case valueString:
+		return json.Marshal(v.str)
+	case valueBool:
+		return json.Marshal(v.b)
+	default:
+		return json.Marshal(v.num)
+	}
+}
+
+// UnmarshalJSON accepts a JSON number, string or bool. null is rejected —
+// json.Unmarshal would silently read it as 0, hiding a templating mistake.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	trimmed := strings.TrimSpace(string(data))
+	switch {
+	case strings.HasPrefix(trimmed, `"`):
+		v.kind = valueString
+		return json.Unmarshal(data, &v.str)
+	case trimmed == "true" || trimmed == "false":
+		v.kind = valueBool
+		return json.Unmarshal(data, &v.b)
+	case trimmed == "null":
+		return fmt.Errorf("sim: axis value null is not a number, string or bool")
+	default:
+		if err := json.Unmarshal(data, &v.num); err != nil {
+			return fmt.Errorf("sim: axis value %s must be a number, string or bool", trimmed)
+		}
+		v.kind = valueNumber
+		return nil
+	}
+}
+
+// number returns the numeric payload or an error naming the field.
+func (v Value) number(field string) (float64, error) {
+	if v.kind != valueNumber {
+		return 0, fmt.Errorf("sim: axis %q needs numeric values, got %s", field, v)
+	}
+	return v.num, nil
+}
+
+// integer returns the payload as an exact integer or an error.
+func (v Value) integer(field string) (int, error) {
+	f, err := v.number(field)
+	if err != nil {
+		return 0, err
+	}
+	if f != math.Trunc(f) || math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0, fmt.Errorf("sim: axis %q needs integer values, got %s", field, v)
+	}
+	return int(f), nil
+}
+
+// text returns the string payload or an error naming the field.
+func (v Value) text(field string) (string, error) {
+	if v.kind != valueString {
+		return "", fmt.Errorf("sim: axis %q needs string values, got %s", field, v)
+	}
+	return v.str, nil
+}
+
+// Axis is one sweep axis: the scenario field it drives and the values the
+// field takes. Valid fields are d, p, lambda, load_factor (aliases load,
+// rho), tau, horizon, warmup_fraction, seed, replications, router,
+// discipline, slotted and topology.
+type Axis struct {
+	Field  string  `json:"field"`
+	Values []Value `json:"values"`
+}
+
+// canonicalField maps accepted field spellings to the canonical name.
+func canonicalField(field string) string {
+	switch field {
+	case "load", "rho":
+		return "load_factor"
+	default:
+		return field
+	}
+}
+
+// applyAxis sets one scenario field from an axis value. Setting lambda clears
+// load_factor and vice versa, so an axis can re-rate a base scenario that
+// fixed the other one.
+func applyAxis(sc *Scenario, field string, v Value) error {
+	switch canonicalField(field) {
+	case "d":
+		n, err := v.integer(field)
+		if err != nil {
+			return err
+		}
+		sc.Topology.D = n
+	case "p":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.P = f
+	case "lambda":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.Lambda, sc.LoadFactor = f, 0
+	case "load_factor":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.LoadFactor, sc.Lambda = f, 0
+	case "tau":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.Tau = f
+	case "horizon":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.Horizon = f
+	case "warmup_fraction":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.WarmupFraction = f
+	case "seed":
+		n, err := v.integer(field)
+		if err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("sim: axis %q needs non-negative values, got %s", field, v)
+		}
+		sc.Seed = uint64(n)
+	case "replications":
+		n, err := v.integer(field)
+		if err != nil {
+			return err
+		}
+		sc.Replications = n
+	case "router":
+		s, err := v.text(field)
+		if err != nil {
+			return err
+		}
+		k, ok := routerFromName(s)
+		if !ok {
+			return fmt.Errorf("sim: axis %q: unknown router %q (valid: greedy, random-order, valiant, deflection)", field, s)
+		}
+		sc.Router = k
+	case "discipline":
+		s, err := v.text(field)
+		if err != nil {
+			return err
+		}
+		switch s {
+		case FIFO.String():
+			sc.Discipline = FIFO
+		case RandomOrder.String():
+			sc.Discipline = RandomOrder
+		default:
+			return fmt.Errorf("sim: axis %q: unknown discipline %q (valid: fifo, random-order)", field, s)
+		}
+	case "slotted":
+		if v.kind != valueBool {
+			return fmt.Errorf("sim: axis %q needs bool values, got %s", field, v)
+		}
+		sc.Slotted = v.b
+	case "topology":
+		s, err := v.text(field)
+		if err != nil {
+			return err
+		}
+		sc.Topology.Kind = TopologyKind(s)
+	default:
+		return fmt.Errorf("sim: unknown sweep axis field %q", field)
+	}
+	return nil
+}
+
+// Sweep is a declarative family of scenarios: a base Scenario plus named
+// axes over its scalar fields. Like Scenario it round-trips through JSON, so
+// sweeps can live in spec files and run through cmd/sweep -spec (or expand
+// inside cmd/run).
+type Sweep struct {
+	// Name is an optional label for reports and artifact IDs.
+	Name string `json:"name,omitempty"`
+	// Base is the scenario every point starts from; the axes overwrite its
+	// swept fields, so the base only needs the fields no axis drives.
+	Base Scenario `json:"base"`
+	// Axes lists the swept fields in declaration order. At least one axis is
+	// required — a sweep without axes is just a scenario.
+	Axes []Axis `json:"axes"`
+	// Mode selects the expansion: ExpandProduct (default) crosses the axes
+	// (first axis slowest), ExpandZip advances them in lockstep.
+	Mode string `json:"mode,omitempty"`
+	// SplitSeeds derives each point's seed from Base.Seed by deterministic
+	// seed splitting (xrand.SplitSeed(Base.Seed, point)), giving every point
+	// an independent RNG stream. The default reuses Base.Seed for every
+	// point — common-random-numbers across points, and what the classic
+	// delay-versus-load curves use. Incompatible with a "seed" axis.
+	SplitSeeds bool `json:"split_seeds,omitempty"`
+
+	// Parallelism bounds the number of concurrently executing points; the
+	// pool is shared with each point's replications (points force their
+	// scenarios to serial replications), so it is the sweep's total worker
+	// budget. 0 = GOMAXPROCS. Execution policy: not part of the JSON spec.
+	Parallelism int `json:"-"`
+	// DiscardResults switches RunSweep to streaming-only mode: each row's
+	// Result is released as soon as the sinks have consumed it and RunSweep
+	// returns a nil slice. Use it for large sweeps that only stream to
+	// sinks, where retaining every Result until the end would hold the
+	// whole sweep in memory. Execution policy: not part of the JSON spec.
+	DiscardResults bool `json:"-"`
+	// Progress, when non-nil, receives (completedPoints, totalPoints)
+	// updates as points finish. Calls are serialized. Not part of the spec.
+	Progress func(done, total int) `json:"-"`
+}
+
+// Title returns the sweep's display name: Name when set, otherwise a
+// generated summary like "sweep over d, load_factor (12 points)".
+func (sw Sweep) Title() string {
+	if sw.Name != "" {
+		return sw.Name
+	}
+	fields := make([]string, len(sw.Axes))
+	for i, ax := range sw.Axes {
+		fields[i] = ax.Field
+	}
+	n, err := sw.points()
+	if err != nil {
+		return fmt.Sprintf("sweep over %s", strings.Join(fields, ", "))
+	}
+	return fmt.Sprintf("sweep over %s (%d points)", strings.Join(fields, ", "), n)
+}
+
+// points computes the expansion size without expanding.
+func (sw Sweep) points() (int, error) {
+	if len(sw.Axes) == 0 {
+		return 0, fmt.Errorf("sim: sweep needs at least one axis")
+	}
+	switch sw.Mode {
+	case "", ExpandProduct:
+		total := 1
+		for i, ax := range sw.Axes {
+			if len(ax.Values) == 0 {
+				return 0, fmt.Errorf("sim: sweep axis %d (%q) has no values", i+1, ax.Field)
+			}
+			if total > maxSweepPoints/len(ax.Values) {
+				return 0, fmt.Errorf("sim: sweep expands to more than %d points", maxSweepPoints)
+			}
+			total *= len(ax.Values)
+		}
+		return total, nil
+	case ExpandZip:
+		n := len(sw.Axes[0].Values)
+		if n == 0 {
+			return 0, fmt.Errorf("sim: sweep axis 1 (%q) has no values", sw.Axes[0].Field)
+		}
+		if n > maxSweepPoints {
+			return 0, fmt.Errorf("sim: sweep expands to more than %d points", maxSweepPoints)
+		}
+		for i, ax := range sw.Axes[1:] {
+			if len(ax.Values) != n {
+				return 0, fmt.Errorf("sim: zip mode needs equal-length axes: axis 1 (%q) has %d values, axis %d (%q) has %d",
+					sw.Axes[0].Field, n, i+2, ax.Field, len(ax.Values))
+			}
+		}
+		return n, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown sweep mode %q (valid: product, zip)", sw.Mode)
+	}
+}
+
+// AxisSetting is one (field, value) assignment of a sweep point.
+type AxisSetting struct {
+	Field string
+	Value Value
+}
+
+// settingsString renders axis assignments as "d=4, load_factor=0.9".
+func settingsString(settings []AxisSetting) string {
+	parts := make([]string, len(settings))
+	for i, s := range settings {
+		parts[i] = fmt.Sprintf("%s=%s", s.Field, s.Value)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Validate checks the sweep — axes, mode, every value's type and every
+// expanded scenario — without running anything.
+func (sw Sweep) Validate() error {
+	_, err := sw.expand()
+	return err
+}
+
+// Expand materializes the sweep as its scenario list, in point order. Every
+// returned scenario has passed Scenario.Validate.
+func (sw Sweep) Expand() ([]Scenario, error) {
+	pts, err := sw.expand()
+	if err != nil {
+		return nil, err
+	}
+	scs := make([]Scenario, len(pts))
+	for i, pt := range pts {
+		scs[i] = pt.sc
+	}
+	return scs, nil
+}
+
+// point is one expanded sweep point: the concrete scenario plus the axis
+// assignments that produced it.
+type point struct {
+	sc       Scenario
+	settings []AxisSetting
+}
+
+// expand validates and materializes the sweep.
+func (sw Sweep) expand() ([]point, error) {
+	total, err := sw.points()
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for i, ax := range sw.Axes {
+		canon := canonicalField(ax.Field)
+		if seen[canon] {
+			return nil, fmt.Errorf("sim: duplicate sweep axis %q", canon)
+		}
+		seen[canon] = true
+		if sw.SplitSeeds && canon == "seed" {
+			return nil, fmt.Errorf("sim: split_seeds conflicts with a %q axis (pick one seed policy)", "seed")
+		}
+		_ = i
+	}
+	zip := sw.Mode == ExpandZip
+	pts := make([]point, total)
+	for i := 0; i < total; i++ {
+		sc := sw.Base
+		settings := make([]AxisSetting, len(sw.Axes))
+		rem := i
+		for j := len(sw.Axes) - 1; j >= 0; j-- {
+			ax := sw.Axes[j]
+			var v Value
+			if zip {
+				v = ax.Values[i]
+			} else {
+				v = ax.Values[rem%len(ax.Values)]
+				rem /= len(ax.Values)
+			}
+			settings[j] = AxisSetting{Field: ax.Field, Value: v}
+			if err := applyAxis(&sc, ax.Field, v); err != nil {
+				return nil, err
+			}
+		}
+		if sw.SplitSeeds {
+			sc.Seed = xrand.SplitSeed(sw.Base.Seed, uint64(i))
+		}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: sweep point %d (%s): %w", i, settingsString(settings), err)
+		}
+		pts[i] = point{sc: sc, settings: settings}
+	}
+	return pts, nil
+}
+
+// Row is one executed sweep point: its index, the axis assignments that
+// produced it, the concrete scenario and the full Result (bounds included).
+type Row struct {
+	// Point is the 0-based index in expansion order.
+	Point int
+	// Settings lists the axis assignments of the point, in axis order.
+	Settings []AxisSetting
+	// Scenario is the expanded scenario the point ran.
+	Scenario Scenario
+	// Result is the executed result; replicated points carry merged tallies
+	// in Result.Replicated, single-run points the per-run measurements.
+	Result *Result
+}
+
+// MarshalJSON renders the row as {"point": i, "axes": {...}, "result": {...}}
+// with the axes object in axis order.
+func (r Row) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `{"point":%d,"axes":{`, r.Point)
+	for i, s := range r.Settings {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(s.Field)
+		if err != nil {
+			return nil, err
+		}
+		val, err := json.Marshal(s.Value)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		b.WriteByte(':')
+		b.Write(val)
+	}
+	b.WriteString(`},"result":`)
+	res, err := json.Marshal(r.Result)
+	if err != nil {
+		return nil, err
+	}
+	b.Write(res)
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// RowSink receives executed sweep rows, strictly in point order.
+type RowSink interface {
+	WriteRow(Row) error
+}
+
+// rowColumns is the fixed (non-axis) column set of the CSV sink. Bound
+// columns that do not apply to a row's topology/routing are left empty, as
+// are NaN bounds (unstable parameters).
+var rowColumns = []string{
+	"topology", "d", "kernel", "router", "discipline",
+	"lambda", "load_factor", "p", "replications",
+	"mean_delay", "delay_ci95", "mean_hops", "mean_packets_per_node", "throughput",
+	"greedy_lower_bound", "greedy_upper_bound",
+	"universal_lower_bound", "oblivious_lower_bound", "slotted_upper_bound",
+}
+
+// cell formats a float at full precision; NaN renders as the empty cell.
+func cell(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// record flattens the row into the rowColumns cells.
+func (r Row) record() []string {
+	sc, res := r.Scenario, r.Result
+	rec := make([]string, 0, len(rowColumns))
+	rec = append(rec,
+		string(res.Topology.Kind),
+		strconv.Itoa(res.Topology.D),
+		res.Kernel,
+		routerNames[sc.Router],
+		sc.Discipline.String(),
+		cell(res.Lambda),
+		cell(res.LoadFactor),
+		cell(sc.P),
+		strconv.Itoa(sc.Replications),
+	)
+	meanDelay, ci95 := res.MeanDelay, res.Metrics.DelayCI95
+	meanHops, perNode, throughput := res.Metrics.MeanHops, res.MeanPacketsPerNode, res.Metrics.Throughput
+	if res.Replicated != nil {
+		meanDelay = res.Replicated[MetricMeanDelay].Mean
+		ci95 = res.Replicated[MetricMeanDelay].CI95
+		meanHops = res.Replicated[MetricMeanHops].Mean
+		perNode = res.Replicated[MetricMeanPacketsPerNode].Mean
+		throughput = res.Replicated[MetricThroughput].Mean
+	}
+	rec = append(rec, cell(meanDelay), cell(ci95), cell(meanHops), cell(perNode), cell(throughput))
+	nan := math.NaN()
+	greedyLo, greedyUp, universalLo, obliviousLo, slottedUp := nan, nan, nan, nan, nan
+	switch {
+	case res.Hypercube != nil:
+		h := res.Hypercube
+		greedyLo, greedyUp = h.GreedyLowerBound, h.GreedyUpperBound
+		universalLo, obliviousLo = h.UniversalLowerBound, h.ObliviousLowerBound
+		if sc.Slotted {
+			slottedUp = h.SlottedUpperBound
+		}
+	case res.Butterfly != nil:
+		greedyUp = res.Butterfly.GreedyUpperBound
+		universalLo = res.Butterfly.UniversalLowerBound
+	case res.Deflection != nil:
+		universalLo = res.Deflection.UniversalLowerBound
+	}
+	rec = append(rec, cell(greedyLo), cell(greedyUp), cell(universalLo), cell(obliviousLo), cell(slottedUp))
+	return rec
+}
+
+// csvEscape quotes a cell when it contains CSV metacharacters.
+func csvEscape(cell string) string {
+	if strings.ContainsAny(cell, ",\"\n") {
+		return `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+	}
+	return cell
+}
+
+// CSVSink streams rows as CSV: a header on the first row (point, one column
+// per axis, then the fixed result and bound columns, minus any fixed column
+// an axis already covers), then one record per point at full float precision.
+type CSVSink struct {
+	w           io.Writer
+	wroteHeader bool
+	// skip marks the rowColumns indices an axis column supersedes; computed
+	// from the first row (every row of a sweep has the same axes).
+	skip []bool
+}
+
+// NewCSVSink returns a CSV sink writing to w.
+func NewCSVSink(w io.Writer) *CSVSink { return &CSVSink{w: w} }
+
+// WriteRow writes one CSV record (and the header before the first).
+func (s *CSVSink) WriteRow(r Row) error {
+	var b strings.Builder
+	writeRecord := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(csvEscape(c))
+		}
+		b.WriteByte('\n')
+	}
+	if !s.wroteHeader {
+		axisFields := map[string]bool{}
+		for _, st := range r.Settings {
+			axisFields[canonicalField(st.Field)] = true
+		}
+		s.skip = make([]bool, len(rowColumns))
+		header := make([]string, 0, 1+len(r.Settings)+len(rowColumns))
+		header = append(header, "point")
+		for _, st := range r.Settings {
+			header = append(header, st.Field)
+		}
+		for i, col := range rowColumns {
+			if axisFields[col] {
+				s.skip[i] = true
+				continue
+			}
+			header = append(header, col)
+		}
+		writeRecord(header)
+		s.wroteHeader = true
+	}
+	rec := make([]string, 0, 1+len(r.Settings)+len(rowColumns))
+	rec = append(rec, strconv.Itoa(r.Point))
+	for _, st := range r.Settings {
+		rec = append(rec, st.Value.String())
+	}
+	for i, c := range r.record() {
+		if s.skip[i] {
+			continue
+		}
+		rec = append(rec, c)
+	}
+	writeRecord(rec)
+	_, err := io.WriteString(s.w, b.String())
+	return err
+}
+
+// JSONLSink streams rows as JSON Lines: one {"point", "axes", "result"}
+// object per line.
+type JSONLSink struct {
+	w io.Writer
+}
+
+// NewJSONLSink returns a JSON Lines sink writing to w.
+func NewJSONLSink(w io.Writer) *JSONLSink { return &JSONLSink{w: w} }
+
+// WriteRow writes one JSON line.
+func (s *JSONLSink) WriteRow(r Row) error {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	_, err = s.w.Write(append(data, '\n'))
+	return err
+}
+
+// RunSweep expands the sweep and executes every point on the shared engine
+// worker pool (at most Sweep.Parallelism concurrent points; each point's
+// replications run serially inside it, so the budget is global). Rows stream
+// to the sinks strictly in point order regardless of which point finishes
+// first, and the completed rows are also returned in point order (unless
+// DiscardResults selects streaming-only mode, in which case the returned
+// slice is nil).
+//
+// Determinism follows from the scenario layer: every point's seed is a pure
+// function of the sweep spec (Base.Seed, or its SplitSeeds split), so the
+// same sweep produces byte-identical sink output at any parallelism.
+//
+// Cancellation is cooperative between points (and between a point's
+// replications): once ctx is cancelled no new point starts, in-flight points
+// finish or abort, RunSweep returns ctx.Err(), and the sinks are left with a
+// clean prefix of the row stream — never a partial or out-of-order record. A
+// sink write error likewise stops the sweep and is returned.
+func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
+	pts, err := sw.expand()
+	if err != nil {
+		return nil, err
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rows := make([]Row, len(pts))
+	for i, pt := range pts {
+		rows[i] = Row{Point: i, Settings: pt.settings, Scenario: pt.sc}
+	}
+	var (
+		mu       sync.Mutex
+		next     int // first row not yet streamed
+		done     = make([]bool, len(pts))
+		pointErr = make([]error, len(pts))
+		sinkErr  error
+		finished int
+	)
+	// flushLocked streams the longest completed prefix; mu must be held.
+	flushLocked := func() {
+		for next < len(rows) && done[next] && sinkErr == nil {
+			for _, sink := range sinks {
+				if err := sink.WriteRow(rows[next]); err != nil {
+					sinkErr = err
+					cancel()
+					return
+				}
+			}
+			if sw.DiscardResults {
+				rows[next].Result = nil
+			}
+			next++
+		}
+	}
+	forErr := engine.ForEachCtx(runCtx, len(pts), sw.Parallelism, func(i int) {
+		sc := rows[i].Scenario
+		// One shared worker budget: the sweep pool provides the concurrency,
+		// so each point's replications run serially on their split seeds.
+		sc.Parallelism = 1
+		sc.Progress = nil
+		res, err := Run(runCtx, sc)
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			pointErr[i] = err
+			return
+		}
+		rows[i].Result = res
+		done[i] = true
+		finished++
+		if sw.Progress != nil {
+			sw.Progress(finished, len(pts))
+		}
+		flushLocked()
+	})
+	if sinkErr != nil {
+		return nil, fmt.Errorf("sim: sweep sink failed at point %d: %w", next, sinkErr)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if forErr != nil {
+		return nil, forErr
+	}
+	for i, err := range pointErr {
+		if err != nil {
+			return nil, fmt.Errorf("sim: sweep point %d (%s): %w", i, settingsString(rows[i].Settings), err)
+		}
+	}
+	if sw.DiscardResults {
+		return nil, nil
+	}
+	return rows, nil
+}

@@ -1,0 +1,444 @@
+package sim
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// smallSweep is a fast hypercube sweep the execution tests share.
+func smallSweep() Sweep {
+	return Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, Horizon: 200, Seed: 1},
+		Axes: []Axis{
+			{Field: "d", Values: Ints(3, 4)},
+			{Field: "load_factor", Values: Nums(0.3, 0.8)},
+		},
+	}
+}
+
+func TestSweepExpandProductOrder(t *testing.T) {
+	scs, err := smallSweep().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("expanded %d scenarios, want 4", len(scs))
+	}
+	// First axis slowest, exactly like nested loops in declaration order.
+	want := []struct {
+		d   int
+		rho float64
+	}{{3, 0.3}, {3, 0.8}, {4, 0.3}, {4, 0.8}}
+	for i, sc := range scs {
+		if sc.Topology.D != want[i].d || sc.LoadFactor != want[i].rho {
+			t.Errorf("point %d = (d=%d, rho=%g), want (d=%d, rho=%g)",
+				i, sc.Topology.D, sc.LoadFactor, want[i].d, want[i].rho)
+		}
+		if sc.P != 0.5 || sc.Horizon != 200 || sc.Seed != 1 {
+			t.Errorf("point %d lost base fields: %+v", i, sc)
+		}
+	}
+}
+
+func TestSweepExpandZip(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(4), P: 0.5, Horizon: 200, Seed: 1, Slotted: true},
+		Axes: []Axis{
+			{Field: "tau", Values: Nums(0.25, 0.5)},
+			{Field: "load_factor", Values: Nums(0.6, 0.9)},
+		},
+		Mode: ExpandZip,
+	}
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 2 {
+		t.Fatalf("zip expanded %d scenarios, want 2", len(scs))
+	}
+	if scs[0].Tau != 0.25 || scs[0].LoadFactor != 0.6 || scs[1].Tau != 0.5 || scs[1].LoadFactor != 0.9 {
+		t.Fatalf("zip pairing wrong: %+v", scs)
+	}
+}
+
+func TestSweepExpandSplitSeeds(t *testing.T) {
+	sw := smallSweep()
+	sw.SplitSeeds = true
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for _, sc := range scs {
+		if seen[sc.Seed] {
+			t.Fatalf("duplicate split seed %d", sc.Seed)
+		}
+		seen[sc.Seed] = true
+	}
+}
+
+func TestSweepLambdaAndLoadFactorAxesClearEachOther(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 100, Seed: 1},
+		Axes: []Axis{{Field: "lambda", Values: Nums(0.4, 0.8)}},
+	}
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.LoadFactor != 0 {
+			t.Fatalf("lambda axis did not clear base LoadFactor: %+v", sc)
+		}
+	}
+	sw = Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, Lambda: 1, Horizon: 100, Seed: 1},
+		Axes: []Axis{{Field: "rho", Values: Nums(0.4, 0.8)}}, // alias of load_factor
+	}
+	scs, err = sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.Lambda != 0 || sc.LoadFactor == 0 {
+			t.Fatalf("load_factor axis did not clear base Lambda: %+v", sc)
+		}
+	}
+}
+
+func TestSweepValidationErrors(t *testing.T) {
+	base := Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 100, Seed: 1}
+	cases := []struct {
+		name    string
+		sw      Sweep
+		wantSub string
+	}{
+		{"no axes", Sweep{Base: base}, "at least one axis"},
+		{"empty axis", Sweep{Base: base, Axes: []Axis{{Field: "d"}}}, "has no values"},
+		{"unknown field", Sweep{Base: base,
+			Axes: []Axis{{Field: "dimension", Values: Ints(3)}}}, "unknown sweep axis field"},
+		{"unknown mode", Sweep{Base: base, Mode: "cartesian",
+			Axes: []Axis{{Field: "d", Values: Ints(3)}}}, "unknown sweep mode"},
+		{"zip length mismatch", Sweep{Base: base, Mode: ExpandZip,
+			Axes: []Axis{
+				{Field: "d", Values: Ints(3, 4)},
+				{Field: "p", Values: Nums(0.5)},
+			}}, "equal-length axes"},
+		{"duplicate axis", Sweep{Base: base,
+			Axes: []Axis{
+				{Field: "load_factor", Values: Nums(0.5)},
+				{Field: "rho", Values: Nums(0.6)},
+			}}, "duplicate sweep axis"},
+		{"string for numeric field", Sweep{Base: base,
+			Axes: []Axis{{Field: "d", Values: Strs("four")}}}, "needs numeric values"},
+		{"fractional d", Sweep{Base: base,
+			Axes: []Axis{{Field: "d", Values: Nums(3.5)}}}, "needs integer values"},
+		{"number for router", Sweep{Base: base,
+			Axes: []Axis{{Field: "router", Values: Ints(1)}}}, "needs string values"},
+		{"unknown router name", Sweep{Base: base,
+			Axes: []Axis{{Field: "router", Values: Strs("hotwire")}}}, "unknown router"},
+		{"unknown discipline name", Sweep{Base: base,
+			Axes: []Axis{{Field: "discipline", Values: Strs("lifo")}}}, "unknown discipline"},
+		{"number for slotted", Sweep{Base: base,
+			Axes: []Axis{{Field: "slotted", Values: Ints(1)}}}, "needs bool values"},
+		{"negative seed", Sweep{Base: base,
+			Axes: []Axis{{Field: "seed", Values: Ints(-1)}}}, "non-negative"},
+		{"split seeds with seed axis", Sweep{Base: base, SplitSeeds: true,
+			Axes: []Axis{{Field: "seed", Values: Ints(1, 2)}}}, "split_seeds conflicts"},
+		{"invalid expanded point", Sweep{Base: base,
+			Axes: []Axis{{Field: "d", Values: Ints(3, 99)}}}, "sweep point 1 (d=99)"},
+		{"invalid topology value", Sweep{Base: base,
+			Axes: []Axis{{Field: "topology", Values: Strs("torus")}}}, "unknown topology kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.sw.Validate()
+			if err == nil {
+				t.Fatalf("expected error containing %q, got nil", tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestSweepValueRejectsNull(t *testing.T) {
+	var ax Axis
+	err := json.Unmarshal([]byte(`{"field": "p", "values": [0.3, null]}`), &ax)
+	if err == nil || !strings.Contains(err.Error(), "null") {
+		t.Fatalf("null axis value must be rejected, got %v (axis %+v)", err, ax)
+	}
+}
+
+func TestSweepPointCapZip(t *testing.T) {
+	vals := make([]Value, maxSweepPoints+1)
+	for i := range vals {
+		vals[i] = Num(float64(i))
+	}
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 100},
+		Axes: []Axis{{Field: "seed", Values: vals}},
+		Mode: ExpandZip,
+	}
+	if err := sw.Validate(); err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Fatalf("expected zip point-cap error, got %v", err)
+	}
+}
+
+func TestSweepPointCap(t *testing.T) {
+	vals := make([]Value, 400)
+	for i := range vals {
+		vals[i] = Num(float64(i))
+	}
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 100},
+		Axes: []Axis{
+			{Field: "seed", Values: vals},
+			{Field: "horizon", Values: vals},
+		},
+	}
+	if err := sw.Validate(); err == nil || !strings.Contains(err.Error(), "more than") {
+		t.Fatalf("expected point-cap error, got %v", err)
+	}
+}
+
+func TestSweepJSONRoundTrip(t *testing.T) {
+	sw := Sweep{
+		Name: "round-trip",
+		Base: Scenario{Topology: Hypercube(4), P: 0.5, Horizon: 300, Seed: 7},
+		Axes: []Axis{
+			{Field: "load_factor", Values: Nums(0.3, 0.9)},
+			{Field: "router", Values: Strs("greedy", "deflection")},
+			{Field: "slotted", Values: []Value{Bool(false)}},
+		},
+		Mode:       ExpandZip,
+		SplitSeeds: true,
+	}
+	data, err := json.Marshal(sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sweep
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sw, back) {
+		t.Fatalf("round trip changed the sweep:\n%+v\nvs\n%+v", sw, back)
+	}
+}
+
+// runToSinks executes the sweep into fresh CSV and JSONL buffers.
+func runToSinks(t *testing.T, sw Sweep) (string, string) {
+	t.Helper()
+	var csv, jsonl strings.Builder
+	if _, err := RunSweep(context.Background(), sw, NewCSVSink(&csv), NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	return csv.String(), jsonl.String()
+}
+
+func TestSweepDeterministicAcrossParallelism(t *testing.T) {
+	sw := smallSweep()
+	sw.Parallelism = 1
+	wantCSV, wantJSONL := runToSinks(t, sw)
+	if !strings.HasPrefix(wantCSV, "point,d,load_factor,") {
+		t.Fatalf("unexpected CSV header: %q", wantCSV[:60])
+	}
+	if n := strings.Count(wantCSV, "\n"); n != 5 { // header + 4 points
+		t.Fatalf("CSV has %d lines, want 5", n)
+	}
+	for _, par := range []int{2, 8} {
+		sw.Parallelism = par
+		gotCSV, gotJSONL := runToSinks(t, sw)
+		if gotCSV != wantCSV {
+			t.Fatalf("CSV at parallelism %d differs from serial:\n%s\nvs\n%s", par, gotCSV, wantCSV)
+		}
+		if gotJSONL != wantJSONL {
+			t.Fatalf("JSONL at parallelism %d differs from serial", par)
+		}
+	}
+}
+
+func TestSweepRowsMatchIndependentRuns(t *testing.T) {
+	sw := smallSweep()
+	rows, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, row := range rows {
+		want, err := Run(context.Background(), scs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row.Result.MeanDelay != want.MeanDelay || row.Result.Kernel != want.Kernel {
+			t.Fatalf("point %d: sweep result %v/%s differs from direct run %v/%s",
+				i, row.Result.MeanDelay, row.Result.Kernel, want.MeanDelay, want.Kernel)
+		}
+	}
+}
+
+// recordSink records each row's point index and whether its Result was
+// present at write time.
+type recordSink struct {
+	points     []int
+	hadResults bool
+}
+
+func (s *recordSink) WriteRow(r Row) error {
+	s.points = append(s.points, r.Point)
+	s.hadResults = r.Result != nil
+	return nil
+}
+
+func TestSweepDiscardResultsStreamsOnly(t *testing.T) {
+	sw := smallSweep()
+	sw.DiscardResults = true
+	sink := &recordSink{hadResults: true}
+	rows, err := RunSweep(context.Background(), sw, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows != nil {
+		t.Fatalf("streaming-only mode returned %d rows, want nil", len(rows))
+	}
+	if len(sink.points) != 4 || !sink.hadResults {
+		t.Fatalf("sink saw %v (results present: %v), want all 4 points with results",
+			sink.points, sink.hadResults)
+	}
+}
+
+func TestSweepProgressReported(t *testing.T) {
+	sw := smallSweep()
+	var mu sync.Mutex
+	calls, lastDone, total := 0, 0, 0
+	sw.Progress = func(done, tot int) {
+		mu.Lock()
+		defer mu.Unlock()
+		calls++
+		lastDone, total = done, tot
+	}
+	if _, err := RunSweep(context.Background(), sw); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || lastDone != 4 || total != 4 {
+		t.Fatalf("progress calls=%d last=%d/%d, want 4 calls ending 4/4", calls, lastDone, total)
+	}
+}
+
+// cancelSink cancels the context as soon as the trigger-th row is written,
+// recording everything it receives.
+type cancelSink struct {
+	cancel  context.CancelFunc
+	trigger int
+	rows    []int
+}
+
+func (s *cancelSink) WriteRow(r Row) error {
+	s.rows = append(s.rows, r.Point)
+	if len(s.rows) == s.trigger {
+		s.cancel()
+	}
+	return nil
+}
+
+func TestSweepCancellationStopsBetweenPoints(t *testing.T) {
+	// Serial execution makes the stopping point deterministic: the context
+	// is cancelled while point 0's row is being written, so point 1 must
+	// never start.
+	sw := smallSweep()
+	sw.Parallelism = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{cancel: cancel, trigger: 1}
+	_, err := RunSweep(ctx, sw, sink)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sink.rows) != 1 || sink.rows[0] != 0 {
+		t.Fatalf("sink rows = %v, want exactly [0]", sink.rows)
+	}
+}
+
+func TestSweepCancellationLeavesCleanPrefix(t *testing.T) {
+	// In parallel, in-flight points may still finish after cancellation; the
+	// guarantee is that whatever reaches the sinks is a clean in-order
+	// prefix — never a gap or an out-of-order point.
+	sw := smallSweep()
+	sw.Parallelism = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{cancel: cancel, trigger: 1}
+	_, err := RunSweep(ctx, sw, sink)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, p := range sink.rows {
+		if p != i {
+			t.Fatalf("sink rows %v are not a clean prefix", sink.rows)
+		}
+	}
+}
+
+func TestSweepCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sink := &cancelSink{cancel: func() {}}
+	if _, err := RunSweep(ctx, smallSweep(), sink); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(sink.rows) != 0 {
+		t.Fatalf("rows streamed after pre-cancelled context: %v", sink.rows)
+	}
+}
+
+// failSink errors on the trigger-th write.
+type failSink struct {
+	writes  int
+	trigger int
+}
+
+type sinkFailure struct{}
+
+func (sinkFailure) Error() string { return "disk full" }
+
+func (s *failSink) WriteRow(Row) error {
+	s.writes++
+	if s.writes == s.trigger {
+		return sinkFailure{}
+	}
+	return nil
+}
+
+func TestSweepSinkErrorStopsSweep(t *testing.T) {
+	sw := smallSweep()
+	_, err := RunSweep(context.Background(), sw, &failSink{trigger: 2})
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want the sink failure", err)
+	}
+}
+
+func TestSweepDeflectionPoints(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 200, Seed: 1},
+		Axes: []Axis{{Field: "router", Values: Strs("greedy", "deflection")}},
+	}
+	rows, err := RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].Result.Kernel == rows[1].Result.Kernel {
+		t.Fatalf("router axis did not switch kernels: %s", rows[0].Result.Kernel)
+	}
+	if rows[1].Result.Deflection == nil || rows[1].Result.Hypercube != nil {
+		t.Fatal("deflection point lacks its result block")
+	}
+}

@@ -32,6 +32,18 @@ type hypercubeConfig struct {
 	ForceEventDriven        bool
 }
 
+// deflectionConfig is the normalized internal form of a hot-potato scenario:
+// a hypercube scenario whose Router is Deflection. The kernel is slotted, so
+// the horizon normalizes to a whole number of slots.
+type deflectionConfig struct {
+	D              int
+	P              float64
+	Lambda         float64
+	Slots          int
+	WarmupFraction float64
+	Seed           uint64
+}
+
 // butterflyConfig is the normalized internal form of a butterfly scenario.
 type butterflyConfig struct {
 	D                       int
@@ -47,23 +59,32 @@ type butterflyConfig struct {
 	ForceEventDriven        bool
 }
 
+// normalized is the result of one validation/normalization pass: exactly one
+// of the per-kernel configs is non-nil.
+type normalized struct {
+	hc *hypercubeConfig
+	bc *butterflyConfig
+	dc *deflectionConfig
+}
+
 // Validate checks the scenario for consistency without running it. It is the
 // single validation pass shared by every topology; topology-specific rules
 // (dimension ranges, hypercube-only features) dispatch on Topology.Kind.
 func (s *Scenario) Validate() error {
-	_, _, err := s.normalize()
+	_, err := s.normalize()
 	return err
 }
 
-// normalize validates the scenario and returns its normalized per-topology
-// form (exactly one of the two results is non-nil on success).
-func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
+// normalize validates the scenario and returns its normalized per-kernel
+// form.
+func (s *Scenario) normalize() (normalized, error) {
+	var none normalized
 	switch s.Topology.Kind {
 	case TopologyHypercube, TopologyButterfly:
 	case "":
-		return nil, nil, fmt.Errorf("sim: topology kind missing (valid: %v)", topologyKinds)
+		return none, fmt.Errorf("sim: topology kind missing (valid: %v)", topologyKinds)
 	default:
-		return nil, nil, fmt.Errorf("sim: unknown topology kind %q (valid: %v)", s.Topology.Kind, topologyKinds)
+		return none, fmt.Errorf("sim: unknown topology kind %q (valid: %v)", s.Topology.Kind, topologyKinds)
 	}
 	isHypercube := s.Topology.Kind == TopologyHypercube
 
@@ -72,25 +93,25 @@ func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
 		maxD = butterfly.MaxDimension
 	}
 	if s.Topology.D < 1 || s.Topology.D > maxD {
-		return nil, nil, fmt.Errorf("sim: %s dimension %d out of range [1,%d]", s.Topology.Kind, s.Topology.D, maxD)
+		return none, fmt.Errorf("sim: %s dimension %d out of range [1,%d]", s.Topology.Kind, s.Topology.D, maxD)
 	}
 	if s.P < 0 || s.P > 1 {
-		return nil, nil, fmt.Errorf("sim: p = %v outside [0,1]", s.P)
+		return none, fmt.Errorf("sim: p = %v outside [0,1]", s.P)
 	}
 	if s.Horizon <= 0 {
-		return nil, nil, fmt.Errorf("sim: horizon must be positive, got %v", s.Horizon)
+		return none, fmt.Errorf("sim: horizon must be positive, got %v", s.Horizon)
 	}
 	if s.Lambda < 0 || s.LoadFactor < 0 {
-		return nil, nil, fmt.Errorf("sim: negative rate parameters")
+		return none, fmt.Errorf("sim: negative rate parameters")
 	}
 	if s.Lambda == 0 && s.LoadFactor == 0 {
-		return nil, nil, fmt.Errorf("sim: one of Lambda or LoadFactor must be set")
+		return none, fmt.Errorf("sim: one of Lambda or LoadFactor must be set")
 	}
 	if s.Lambda > 0 && s.LoadFactor > 0 {
-		return nil, nil, fmt.Errorf("sim: set only one of Lambda and LoadFactor")
+		return none, fmt.Errorf("sim: set only one of Lambda and LoadFactor")
 	}
 	if s.WarmupFraction < 0 || s.WarmupFraction >= 1 {
-		return nil, nil, fmt.Errorf("sim: warmup fraction %v outside [0,1)", s.WarmupFraction)
+		return none, fmt.Errorf("sim: warmup fraction %v outside [0,1)", s.WarmupFraction)
 	}
 	warmup := s.WarmupFraction
 	if warmup == 0 {
@@ -99,23 +120,23 @@ func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
 	switch s.Discipline {
 	case FIFO, RandomOrder:
 	default:
-		return nil, nil, fmt.Errorf("sim: unknown discipline %d", int(s.Discipline))
+		return none, fmt.Errorf("sim: unknown discipline %d", int(s.Discipline))
 	}
 	if s.Slotted {
 		if s.Tau <= 0 || s.Tau > 1 {
-			return nil, nil, fmt.Errorf("sim: slotted mode requires 0 < tau <= 1, got %v", s.Tau)
+			return none, fmt.Errorf("sim: slotted mode requires 0 < tau <= 1, got %v", s.Tau)
 		}
 	} else if s.Tau != 0 {
-		return nil, nil, fmt.Errorf("sim: tau = %v set without Slotted", s.Tau)
+		return none, fmt.Errorf("sim: tau = %v set without Slotted", s.Tau)
 	}
 	if s.ReturnDelays && !s.TrackQuantiles {
-		return nil, nil, fmt.Errorf("sim: ReturnDelays requires TrackQuantiles")
+		return none, fmt.Errorf("sim: ReturnDelays requires TrackQuantiles")
 	}
 	if s.Replications < 0 {
-		return nil, nil, fmt.Errorf("sim: negative replication count %d", s.Replications)
+		return none, fmt.Errorf("sim: negative replication count %d", s.Replications)
 	}
 	if s.PopulationTraceInterval < 0 {
-		return nil, nil, fmt.Errorf("sim: negative population trace interval %v", s.PopulationTraceInterval)
+		return none, fmt.Errorf("sim: negative population trace interval %v", s.PopulationTraceInterval)
 	}
 
 	if !isHypercube {
@@ -124,22 +145,22 @@ func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
 		// dropping settings.
 		switch {
 		case s.Router != GreedyDimensionOrder:
-			return nil, nil, fmt.Errorf("sim: the butterfly admits only greedy routing, got router %s", s.Router)
+			return none, fmt.Errorf("sim: the butterfly admits only greedy routing, got router %s", s.Router)
 		case s.Slotted:
-			return nil, nil, fmt.Errorf("sim: slotted arrivals are a hypercube feature (§3.4)")
+			return none, fmt.Errorf("sim: slotted arrivals are a hypercube feature (§3.4)")
 		case s.CustomWeights != nil:
-			return nil, nil, fmt.Errorf("sim: custom destination weights are a hypercube feature (§2.2)")
+			return none, fmt.Errorf("sim: custom destination weights are a hypercube feature (§2.2)")
 		case s.TrackPerDimensionWait:
-			return nil, nil, fmt.Errorf("sim: per-dimension wait tracking is a hypercube feature")
+			return none, fmt.Errorf("sim: per-dimension wait tracking is a hypercube feature")
 		}
 		lambda := s.Lambda
 		if s.LoadFactor > 0 {
 			if math.Max(s.P, 1-s.P) <= 0 {
-				return nil, nil, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when max{p,1-p} = 0")
+				return none, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when max{p,1-p} = 0")
 			}
 			lambda = workload.RequiredLambdaButterfly(s.LoadFactor, s.P)
 		}
-		return nil, &butterflyConfig{
+		return normalized{bc: &butterflyConfig{
 			D:                       s.Topology.D,
 			P:                       s.P,
 			Lambda:                  lambda,
@@ -151,41 +172,75 @@ func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
 			ReturnDelays:            s.ReturnDelays,
 			PopulationTraceInterval: s.PopulationTraceInterval,
 			ForceEventDriven:        s.ForceEventDriven,
-		}, nil
+		}}, nil
 	}
 
 	switch s.Router {
-	case GreedyDimensionOrder, GreedyRandomOrder, ValiantTwoPhase:
+	case GreedyDimensionOrder, GreedyRandomOrder, ValiantTwoPhase, Deflection:
 	default:
-		return nil, nil, fmt.Errorf("sim: unknown router kind %d", int(s.Router))
+		return none, fmt.Errorf("sim: unknown router kind %d", int(s.Router))
 	}
 	lambda := s.Lambda
 	if s.LoadFactor > 0 {
 		if s.P == 0 {
-			return nil, nil, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when p = 0")
+			return none, fmt.Errorf("sim: cannot derive Lambda from LoadFactor when p = 0")
 		}
 		lambda = s.LoadFactor / s.P
 	}
+	if s.Router == Deflection {
+		// Hot-potato routing runs on its own slotted kernel with none of the
+		// store-and-forward observability hooks; reject the settings it
+		// cannot honour so spec files fail loudly instead of silently
+		// reporting different semantics. (The pure performance toggles
+		// SkipPerDimensionStats and ForceEventDriven are ignored: they never
+		// change what a run computes.)
+		switch {
+		case s.Discipline != FIFO:
+			return none, fmt.Errorf("sim: deflection routing has no arc queues, so the discipline must stay FIFO (the default)")
+		case s.Slotted:
+			return none, fmt.Errorf("sim: deflection routing is inherently slotted (unit slots); drop Slotted/Tau")
+		case s.CustomWeights != nil:
+			return none, fmt.Errorf("sim: deflection routing supports only the bit-flip destination distribution")
+		case s.TrackQuantiles:
+			return none, fmt.Errorf("sim: deflection routing does not record delay quantiles")
+		case s.TrackPerDimensionWait:
+			return none, fmt.Errorf("sim: deflection routing does not track per-dimension waits")
+		case s.PopulationTraceInterval > 0:
+			return none, fmt.Errorf("sim: deflection routing reports its backlog slope instead of a population trace")
+		case s.Horizon < 1:
+			return none, fmt.Errorf("sim: deflection routing needs a horizon of at least one slot, got %v", s.Horizon)
+		case s.Horizon != math.Trunc(s.Horizon):
+			return none, fmt.Errorf("sim: deflection routing is slotted, so the horizon must be a whole number of slots, got %v", s.Horizon)
+		}
+		return normalized{dc: &deflectionConfig{
+			D:              s.Topology.D,
+			P:              s.P,
+			Lambda:         lambda,
+			Slots:          int(s.Horizon),
+			WarmupFraction: warmup,
+			Seed:           s.Seed,
+		}}, nil
+	}
 	if s.CustomWeights != nil {
 		if len(s.CustomWeights) != 1<<uint(s.Topology.D) {
-			return nil, nil, fmt.Errorf("sim: CustomWeights needs %d entries, got %d",
+			return none, fmt.Errorf("sim: CustomWeights needs %d entries, got %d",
 				1<<uint(s.Topology.D), len(s.CustomWeights))
 		}
 		if s.LoadFactor > 0 {
-			return nil, nil, fmt.Errorf("sim: set Lambda (not LoadFactor) with CustomWeights")
+			return none, fmt.Errorf("sim: set Lambda (not LoadFactor) with CustomWeights")
 		}
 		sum := 0.0
 		for i, w := range s.CustomWeights {
 			if w < 0 || math.IsNaN(w) {
-				return nil, nil, fmt.Errorf("sim: CustomWeights[%d] = %v is invalid", i, w)
+				return none, fmt.Errorf("sim: CustomWeights[%d] = %v is invalid", i, w)
 			}
 			sum += w
 		}
 		if sum <= 0 {
-			return nil, nil, fmt.Errorf("sim: CustomWeights sum to zero")
+			return none, fmt.Errorf("sim: CustomWeights sum to zero")
 		}
 	}
-	return &hypercubeConfig{
+	return normalized{hc: &hypercubeConfig{
 		D:                       s.Topology.D,
 		P:                       s.P,
 		Lambda:                  lambda,
@@ -203,5 +258,5 @@ func (s *Scenario) normalize() (*hypercubeConfig, *butterflyConfig, error) {
 		CustomWeights:           s.CustomWeights,
 		SkipPerDimensionStats:   s.SkipPerDimensionStats,
 		ForceEventDriven:        s.ForceEventDriven,
-	}, nil, nil
+	}}, nil
 }
