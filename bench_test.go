@@ -1,4 +1,4 @@
-// Benchmarks that regenerate every experiment of the reproduction (E1..E18)
+// Benchmarks that regenerate every experiment of the reproduction (E1..E20)
 // and the design ablations (A1..A3), one benchmark per experiment, matching
 // the registry in internal/harness (see README.md for the index). Each
 // benchmark iteration runs the experiment in Quick mode (shortened
@@ -105,6 +105,17 @@ func BenchmarkE17SlottedAtScale(b *testing.B) { runExperiment(b, "E17") }
 // the continuous-time workload of the slot-stepped kernel, guarded by the CI
 // perf gate.
 func BenchmarkE18ButterflyAtScale(b *testing.B) { runExperiment(b, "E18") }
+
+// BenchmarkE19MillionNodeHypercube regenerates E19: the slotted hypercube at
+// the topology cap — in Quick mode the reduced d = 16 point, the scale
+// workload the CI perf gate watches for structure-of-arrays kernel
+// regressions.
+func BenchmarkE19MillionNodeHypercube(b *testing.B) { runExperiment(b, "E19") }
+
+// BenchmarkE20MillionInputButterfly regenerates E20: the heavy-load butterfly
+// at scale — in Quick mode reduced dimensions, guarding the continuous-time
+// path of the scale kernel.
+func BenchmarkE20MillionInputButterfly(b *testing.B) { runExperiment(b, "E20") }
 
 // BenchmarkAblationDimensionOrder regenerates A1: canonical versus random
 // dimension order.

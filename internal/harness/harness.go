@@ -1,6 +1,6 @@
 // Package harness provides the experiment infrastructure shared by the
 // cmd/experiments binary and the benchmark suite: the registry of the
-// paper's experiments (E1–E18 plus the ablations A1–A3; `experiments -list`
+// paper's experiments (E1–E20 plus the ablations A1–A3; `experiments -list`
 // or Registry() shows the live set), grid execution on the sharded parallel
 // engine (internal/engine), and plain-text, CSV and JSON table rendering.
 // Experiments are expressed over the unified scenario API in repro/sim,
@@ -175,7 +175,7 @@ func addGridRows(table *Table, cfg RunConfig, n int, body func(i int) []string) 
 
 // Experiment is one reproducible experiment from the registry.
 type Experiment struct {
-	// ID is the experiment identifier (E1..E18, A1..A3).
+	// ID is the experiment identifier (E1..E20, A1..A3).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -194,7 +194,7 @@ func Registry() []Experiment {
 	out := make([]Experiment, len(registry))
 	copy(out, registry)
 	sort.Slice(out, func(i, j int) bool {
-		// Sort E1..E18 numerically, then ablations.
+		// Sort E1..E20 numerically, then ablations.
 		return lessID(out[i].ID, out[j].ID)
 	})
 	return out

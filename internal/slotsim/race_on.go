@@ -1,0 +1,9 @@
+//go:build race
+
+package slotsim
+
+// raceEnabled reports that the race detector is active. The million-node
+// scale tests skip under it: instrumenting hundreds of MiB of kernel arrays
+// multiplies both memory and runtime far past what a unit-test run should
+// cost, and the logic they cover is identical at small sizes.
+const raceEnabled = true

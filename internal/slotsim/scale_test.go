@@ -1,0 +1,182 @@
+package slotsim
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/butterfly"
+	"repro/internal/hypercube"
+	"repro/internal/routing"
+	"repro/internal/xrand"
+)
+
+// uniformDest samples destinations uniformly over the 2^d identities — the
+// bit-flip distribution at p = 1/2, without importing internal/workload's
+// wrappers.
+type uniformDest struct{ mask uint32 }
+
+func (u uniformDest) SampleDest(origin int32, rng *xrand.Rand) uint32 {
+	return uint32(rng.Uint64()) & u.mask
+}
+
+// uniformBatch is the bulk counterpart of uniformDest: one raw word for the
+// origin pick, one for the destination, drawn via FillUint64 like the
+// production BatchSampler in sim.
+type uniformBatch struct {
+	mask uint32
+	raw  []uint64
+}
+
+func (u *uniformBatch) SampleDestBatch(rng *xrand.Rand, origins, dests []uint32) {
+	if cap(u.raw) < 2*len(origins) {
+		u.raw = make([]uint64, 2*len(origins))
+	}
+	raw := u.raw[:2*len(origins)]
+	rng.FillUint64(raw)
+	for i := range origins {
+		origins[i] = uint32(raw[2*i]) & u.mask
+		dests[i] = origins[i] ^ (uint32(raw[2*i+1]) & u.mask)
+	}
+}
+
+// TestSteppedRoutesMatchPathRecords is the property test for the bit-packed
+// route steppers: across every dimension up to the supported maximum and
+// random (src, dst) pairs, the arc sequence produced by stepping the packed
+// uint64 state must equal the materialised per-arc path records the routing
+// package builds — the stepped modes must be a pure storage optimisation.
+func TestSteppedRoutesMatchPathRecords(t *testing.T) {
+	rng := xrand.NewStream(0xD1CE, 7)
+	for d := 2; d <= hypercube.MaxDimension; d++ {
+		cube := hypercube.New(d)
+		bf := butterfly.New(d)
+		n := uint64(1) << uint(d)
+		hk := &Kernel{mode: RouteHypercubeGreedy, srcN: 1 << d,
+			pUV: make([]uint64, 1), pAux: make([]uint64, 1)}
+		bk := &Kernel{mode: RouteButterfly, srcN: 1 << d, bfHops: int32(d),
+			pUV: make([]uint64, 1), pAux: make([]uint64, 1)}
+		for trial := 0; trial < 64; trial++ {
+			src := uint32(rng.Uint64n(n))
+			dst := uint32(rng.Uint64n(n))
+
+			want := routing.DimensionOrder{}.AppendPath(nil, cube,
+				hypercube.Node(src), hypercube.Node(dst), nil)
+			hk.pUV[0] = uint64(src)<<32 | uint64(src^dst)
+			hk.pAux[0] = uint64(noSlot)<<32 | uint64(uint16(bits.OnesCount32(src^dst)))
+			var got []int
+			for uint32(hk.pUV[0]) != 0 {
+				got = append(got, hk.nextArc(0))
+			}
+			if !slices.Equal(got, want) {
+				t.Fatalf("d=%d greedy %d->%d: stepped arcs %v, path records %v", d, src, dst, got, want)
+			}
+
+			wantBf := routing.AppendButterflyPath(nil, bf, butterfly.Row(src), butterfly.Row(dst))
+			bk.pUV[0] = uint64(src)<<32 | uint64(dst)
+			got = got[:0]
+			for hop := 0; hop < d; hop++ {
+				bk.pAux[0] = uint64(noSlot)<<32 | uint64(hop)<<16 | uint64(uint16(d))
+				got = append(got, bk.nextArc(0))
+			}
+			if !slices.Equal(got, wantBf) {
+				t.Fatalf("d=%d butterfly %d->%d: stepped arcs %v, path records %v", d, src, dst, got, wantBf)
+			}
+		}
+	}
+}
+
+// millionNodeConfig is the 2^20-node slotted hypercube the tentpole targets:
+// stepped greedy routing, bulk injection, per-dimension stats off, and an
+// explicit memory budget. Lambda is kept low so the test exercises the
+// million-arc arrays rather than a long transient.
+func millionNodeConfig() Config {
+	const d = 20
+	return Config{
+		NumArcs:             d * (1 << d),
+		NumGroups:           1,
+		Sources:             1 << d,
+		Horizon:             6,
+		Warmup:              2,
+		Seed:                99,
+		Lambda:              0.05,
+		Slotted:             true,
+		Tau:                 1,
+		Mode:                RouteHypercubeGreedy,
+		Dest:                uniformDest{mask: 1<<d - 1},
+		Batch:               &uniformBatch{mask: 1<<d - 1},
+		SkipGroupPopulation: true,
+		MaxBytes:            2 << 30,
+	}
+}
+
+// TestMillionNodeSteadyStateZeroAllocs pins the scale contract: a warm
+// 2^20-node replication — reset included — performs zero allocations, within
+// the configured 2 GiB budget. Skipped in -short runs and under the race
+// detector, where the 21M-arc arrays are disproportionate for a unit test.
+func TestMillionNodeSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("million-node arrays are disproportionate under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("allocates ~800 MB of kernel arrays")
+	}
+	cfg := millionNodeConfig()
+	k := &Kernel{}
+	m := k.Run(cfg)
+	if m.Generated == 0 || m.Delivered == 0 {
+		t.Fatalf("no traffic simulated at d=20: %+v", m)
+	}
+	k.Run(cfg)
+	drive := testing.AllocsPerRun(1, func() {
+		k.reset(cfg)
+		k.runSlotted()
+	})
+	if drive != 0 {
+		t.Errorf("steady-state 2^20-node replication allocates %v, want 0", drive)
+	}
+}
+
+// TestMaxBytesPreRunRejection checks that reset refuses a configuration whose
+// pre-run estimate exceeds the budget, before any array grows.
+func TestMaxBytesPreRunRejection(t *testing.T) {
+	cfg := slottedConfig()
+	cfg.MaxBytes = 64
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "MaxBytes") {
+			t.Fatalf("want a MaxBytes panic, got %v", r)
+		}
+	}()
+	(&Kernel{}).Run(cfg)
+}
+
+// TestMaxBytesGrowthRejection checks the run-time half of the budget: a
+// configuration that fits at reset but whose in-flight population outgrows
+// the budget must fail loudly at the growth site, not OOM.
+func TestMaxBytesGrowthRejection(t *testing.T) {
+	const d = 10
+	cfg := Config{
+		NumArcs:             d * (1 << d),
+		NumGroups:           1,
+		Sources:             1 << d,
+		Horizon:             50,
+		Warmup:              10,
+		Seed:                3,
+		Lambda:              8, // wildly unstable: in-flight grows past the initial pool
+		Slotted:             true,
+		Tau:                 1,
+		Mode:                RouteHypercubeGreedy,
+		Dest:                uniformDest{mask: 1<<d - 1},
+		SkipGroupPopulation: true,
+	}
+	cfg.MaxBytes = EstimateBytes(cfg) + 1024
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(fmt.Sprint(r), "memory budget exceeded") {
+			t.Fatalf("want a growth-time budget panic, got %v", r)
+		}
+	}()
+	(&Kernel{}).Run(cfg)
+}

@@ -7,27 +7,48 @@
 // the aggregate Poisson arrival stream) and a single monotone stream of
 // service completions.
 //
-// The kernel moves packets by value: a packet is a 32-byte record
-// (generation time, stepped-route state, hop counters) that lives inside the
-// arc record while in service and inside the arc's flat ringbuf ring while
-// queued, so a hop touches only the arc record and its ring — both local,
-// sequential memory — where the event-driven path chases *Packet pointers
-// through the heap. Randomized routers additionally materialise their routes
-// in a fixed-stride slab referenced by packet-held slots; the stepped modes
-// need no route storage at all. Time is driven by two specialised queues: a
-// flat FIFO ring
-// of service completions (their due times are non-decreasing because every
-// service lasts exactly 1) and either the slot clock (slotted mode) or the
-// single pending arrival of the aggregate Poisson stream (continuous mode —
-// the superposition of the per-node processes, whose arrivals pick a
-// uniformly random origin node; Poisson splitting makes that the same
-// process in law). There is no handler indirection and no per-event
-// allocation; once the arena, rings and sample buffers have grown to their
-// steady-state size, a whole replication — per-replication setup included,
-// since a pooled kernel (internal/core reuses one per worker via sync.Pool)
-// reseeds rather than reconstructs — performs zero allocations. Only the
-// Metrics snapshot handed to the caller is freshly allocated, because the
-// caller owns it.
+// # Memory layout: structure of arrays, sized for the million-node regime
+//
+// All kernel state is stored as flat parallel arrays (structure of arrays),
+// so a d = 20 hypercube — 2^20 nodes, d·2^d ≈ 21M arcs — fits in a few GiB
+// and a hop touches a handful of cache lines:
+//
+//   - Arc state is six parallel arrays indexed by arc (in-service packet
+//     index, queue head/tail, arrival count, busy-since/busy-time), 36 bytes
+//     per arc, plus an optional 4-byte group id when per-group statistics are
+//     on. There is no per-arc queue buffer: queue memory scales with the
+//     in-flight population, not with the arc count.
+//   - Packets live in a pooled slab of parallel arrays (generation time,
+//     bit-packed route state, hop counters, queue link), 28 bytes per packet.
+//     A packet keeps one pool slot for its whole life; per-arc FIFO queues
+//     are intrusive linked lists threaded through the pool's link array, so
+//     a hop writes an index instead of copying a record.
+//   - Hypercube greedy routes are never materialised: the route state is the
+//     XOR difference mask packed next to the current node in one uint64, and
+//     each hop resolves the lowest unresolved dimension with
+//     bits.TrailingZeros64 and clears it with a single XOR. Butterfly routes
+//     step the unique path the same way; only randomized routers store routes
+//     (in a fixed-stride slab referenced by packet-held slots).
+//   - Service completions form a flat FIFO ring of three parallel arrays
+//     (due time, tie-break sequence, arc).
+//
+// Slotted injection is batched: when Config.Batch is set, a whole slot's
+// origins and destinations are drawn in bulk (xrand.FillUint64-backed), so a
+// tick costs O(arrivals) with no per-packet sampler dispatch — at 2^20 nodes
+// a slot's Poisson(N·λ·τ) batch is the dominant per-tick work.
+//
+// Config.MaxBytes puts an explicit budget on all of this: EstimateBytes
+// prices the arc-indexed arrays up front (the deterministic, dominant term),
+// reset refuses configurations that cannot fit, and every growth of the
+// dynamic pools re-checks the budget so a run fails loudly with a diagnostic
+// instead of dying to the OOM killer.
+//
+// There is no handler indirection and no per-event allocation; once the pool,
+// rings and sample buffers have grown to their steady-state size, a whole
+// replication — per-replication setup included, since a pooled kernel
+// (internal/core reuses one per worker via sync.Pool) reseeds rather than
+// reconstructs — performs zero allocations. Only the Metrics snapshot handed
+// to the caller is freshly allocated, because the caller owns it.
 //
 // # Event-order equivalence with the event-driven calendar
 //
@@ -83,19 +104,30 @@ type DestSampler interface {
 	SampleDest(origin int32, rng *xrand.Rand) uint32
 }
 
+// BatchSampler bulk-samples a whole slot batch of origins and destinations
+// for the stepped route modes. Implementations must consume rng exactly as
+// len(origins) successive (uniform origin pick; DestSampler.SampleDest) pairs
+// would — stream consumption order is part of the cross-kernel contract — but
+// are free to draw the underlying uniform words in bulk (xrand.FillUint64)
+// when each pair costs exactly two raw draws, as it does for uniform traffic
+// on 2^d sources.
+type BatchSampler interface {
+	SampleDestBatch(rng *xrand.Rand, origins, dests []uint32)
+}
+
 // RouteMode selects how the kernel derives per-hop arc indices.
 type RouteMode int
 
 const (
-	// RouteStored materializes every route into the arena's flat route
-	// buffer via Traffic.AppendRoute — the general mode, needed for
-	// randomized hypercube routers whose paths depend on a routing stream.
+	// RouteStored materializes every route into the flat route slab via
+	// Traffic.AppendRoute — the general mode, needed for randomized
+	// hypercube routers whose paths depend on a routing stream.
 	RouteStored RouteMode = iota
 	// RouteHypercubeGreedy steps the canonical dimension-order path
 	// arithmetically: the packet state is (current node, remaining
-	// difference mask) and the next arc is tz(mask)*2^d + node — no stored
-	// route, no per-hop memory load. Identical arc-for-arc to
-	// routing.DimensionOrder.AppendPath.
+	// difference mask) bit-packed in one uint64, and the next arc is
+	// tz(mask)*2^d + node — no stored route, no per-hop memory load.
+	// Identical arc-for-arc to routing.DimensionOrder.AppendPath.
 	RouteHypercubeGreedy
 	// RouteButterfly steps the unique butterfly path: at hop h the packet
 	// crosses (row; h+1; s/v), vertical exactly when row and destination
@@ -117,7 +149,7 @@ type Config struct {
 	// Sources is the number of traffic sources (hypercube nodes or butterfly
 	// first-level rows); arrivals of the aggregate stream pick one uniformly.
 	Sources int
-	// MaxHops is the per-packet route capacity (the arena stride).
+	// MaxHops is the per-packet route capacity (the route-slab stride).
 	MaxHops int
 	// Horizon is the simulated time span; Warmup is the absolute time at
 	// which measurement starts (events at exactly Warmup still precede it,
@@ -140,6 +172,17 @@ type Config struct {
 	Traffic Traffic
 	// Dest samples destinations; required in the stepped route modes.
 	Dest DestSampler
+	// Batch, when non-nil, bulk-samples whole slot batches instead of
+	// dispatching Dest per packet. Used only by the stepped route modes
+	// under slotted arrivals; it must produce exactly the (origin, dest)
+	// sequence the scalar path would.
+	Batch BatchSampler
+	// MaxBytes caps the kernel's memory: reset panics when the pre-run
+	// estimate (EstimateBytes) exceeds it, and every growth of the dynamic
+	// pools re-checks it. Zero disables the budget. Callers that want a
+	// clean error instead of a panic validate with EstimateBytes first
+	// (sim.Scenario.MaxBytes does).
+	MaxBytes int64
 	// TrackQuantiles stores every measured delay for exact quantiles.
 	TrackQuantiles bool
 	// TrackPerHopWait records per-group arc sojourn times.
@@ -153,67 +196,100 @@ type Config struct {
 	TraceInterval float64
 }
 
-// pkt is one packet, moved by value between the arc records and the per-arc
-// rings (24 bytes). Queue-join times for the optional per-hop wait statistic
-// live in side storage so the common case stays small.
-type pkt struct {
-	genTime float64
-	u, v    uint32 // stepped-route state: current identity, mask/dest row
-	slot    int32  // stored-route slab slot, -1 in stepped modes
-	hop     int16  // hops already served
-	hops    int16  // total route length (delivery statistics)
-}
+// Per-element sizes of the structure-of-arrays storage, in bytes. They are
+// the coefficients of EstimateBytes and of the growth-time budget checks.
+const (
+	arcBytes      = 4 + 4 + 4 + 8 + 8 + 8 // aSvc+aHead+aTail+aArrivals+aBusySince+aBusyTime
+	arcGroupBytes = 4                     // aGroup, only with per-group stats
+	pktBytes      = 8 + 8 + 8 + 4         // pGen+pUV+pAux+pNext
+	pktWaitBytes  = 8                     // pEnqAt, only with per-hop waits
+	compBytes     = 8 + 8 + 4             // compTime+compSeq+compArc
+	poolChunk     = 4096                  // initial packet-pool capacity (slots)
+	compChunk     = 64                    // initial completion-ring capacity
+)
 
-// arcRec is one arc's server and queue state; the packet in transmission
-// lives inside the record, the waiting packets inside the arc-local ring
-// (power-of-two capacity, head-indexed — the ringbuf layout, monomorphised
-// here so the 24-byte value pushes inline into the per-hop path).
-type arcRec struct {
-	svc       pkt
-	busy      bool
-	group     int32
-	arrivals  int64
-	busySince float64
-	busyTime  float64
-	svcEnqAt  float64 // queue-join time of svc (per-hop wait stat only)
-	qHead     int32
-	qLen      int32
-	qBuf      []pkt
-	qTimes    []float64 // queue-join times, allocated only for per-hop waits
-}
+// noSlot marks a stepped-route packet (no stored-route slab slot) in the
+// packed auxiliary word.
+const noSlot = ^uint32(0)
 
-// completion is one pending service completion; seq replays the des
-// calendar's tie-breaking in continuous mode.
-type completion struct {
-	time float64
-	seq  uint64
-	arc  int32
+// EstimateBytes returns the kernel's pre-run memory estimate for cfg: the
+// arc-indexed arrays — the deterministic term that dominates at scale (a
+// d = 20 hypercube has d·2^d ≈ 21M arcs) — plus the initial capacities of the
+// dynamically growing packet pool and completion ring. The dynamic structures
+// grow with the in-flight population, and every growth re-checks
+// Config.MaxBytes, so the estimate is a floor, not a ceiling; it is what
+// sim's max_bytes validation prices before a run starts.
+func EstimateBytes(cfg Config) int64 {
+	perArc := int64(arcBytes)
+	if !cfg.SkipGroupPopulation || cfg.TrackPerHopWait {
+		perArc += arcGroupBytes
+	}
+	perPkt := int64(pktBytes)
+	if cfg.TrackPerHopWait {
+		perPkt += pktWaitBytes
+	}
+	est := int64(cfg.NumArcs)*perArc + poolChunk*perPkt + compChunk*compBytes
+	groups := cfg.NumGroups
+	if groups < 1 {
+		groups = 1
+	}
+	return est + int64(groups)*24 // snapshot scratch
 }
 
 // Kernel is a reusable slot-stepped simulator. The zero value is ready for
 // use; Run may be called repeatedly (with differing configs) and reuses all
 // internal storage.
 type Kernel struct {
-	cfg      Config
-	col      network.Collector
-	trackGrp bool
-	hopWait  bool
-	bfHops   int32 // butterfly mode: hops per packet (= log2 Sources)
+	cfg        Config
+	col        network.Collector
+	trackGrp   bool
+	hopWait    bool
+	haveGroups bool  // aGroup is populated (trackGrp || hopWait)
+	bfHops     int32 // butterfly mode: hops per packet (= log2 Sources)
 
 	// Hot copies of config fields, so the per-hop path never reloads the
 	// config struct.
 	mode    RouteMode
 	srcN    int
 	maxHops int
+	numArcs int
 
-	arcs []arcRec
+	// Arc state, one entry per arc: the packet in service (doubling as the
+	// busy flag), intrusive FIFO queue head/tail pool indices, and the
+	// measurement accumulators. The three index arrays are biased by one —
+	// 0 means idle/empty, s+1 means pool slot s — so an all-zero array is a
+	// valid initial state: reset can rely on make's lazy zero pages and a
+	// fresh million-arc run never pre-faults memory it does not touch.
+	aSvc       []int32
+	aHead      []int32
+	aTail      []int32
+	aArrivals  []int64
+	aBusySince []float64
+	aBusyTime  []float64
+	aGroup     []int32 // populated only when per-group stats are on
+
+	// Packet pool: parallel arrays indexed by pool slot. A packet occupies
+	// one slot from injection to delivery; pNext threads both the per-arc
+	// FIFO queues and the free list. Allocation is bump-then-free-list, so
+	// reset is O(1) in the pool size.
+	pGen     []float64
+	pUV      []uint64  // current identity (high 32) | mask or dest row (low 32)
+	pAux     []uint64  // route slot (high 32) | hop (16) | total hops (16)
+	pNext    []int32   // queue / free-list link, -1 = end
+	pEnqAt   []float64 // queue-join time, allocated only for per-hop waits
+	freeHead int32
+	poolBump int32
+
 	// Stored-route slab: MaxHops ints per slot, with a slot free list.
 	paths    []int
 	pathFree []int32
 	numSlots int
 
-	// Completion FIFO: a power-of-two ring over comp[compHead ... ).
-	comp     []completion
+	// Completion FIFO: a power-of-two ring of parallel arrays over
+	// [compHead, compHead+compLen).
+	compTime []float64
+	compSeq  []uint64
+	compArc  []int32
 	compHead int
 	compLen  int
 
@@ -234,6 +310,10 @@ type Kernel struct {
 	// Aggregate traffic sources, reseeded in place per run.
 	slotSrc *workload.SlottedSource
 	poisSrc *workload.PoissonSource
+
+	// Bulk-injection scratch (Config.Batch).
+	batchOrigins []uint32
+	batchDests   []uint32
 
 	// Snapshot scratch.
 	snapArcs     []int
@@ -305,32 +385,44 @@ func (k *Kernel) reset(cfg Config) {
 	if cfg.NumGroups <= 0 {
 		cfg.NumGroups = 1
 	}
+	if cfg.MaxBytes > 0 {
+		if est := EstimateBytes(cfg); est > cfg.MaxBytes {
+			panic(fmt.Sprintf("slotsim: estimated kernel memory %d B exceeds MaxBytes %d (NumArcs=%d; see EstimateBytes)",
+				est, cfg.MaxBytes, cfg.NumArcs))
+		}
+	}
 	k.cfg = cfg
 	k.trackGrp = !cfg.SkipGroupPopulation
 	k.hopWait = cfg.TrackPerHopWait
+	k.haveGroups = k.trackGrp || k.hopWait
 	k.bfHops = int32(bits.TrailingZeros32(uint32(cfg.Sources)))
 	k.mode = cfg.Mode
 	k.srcN = cfg.Sources
 	k.maxHops = cfg.MaxHops
+	k.numArcs = cfg.NumArcs
 
-	k.arcs = resize(k.arcs, cfg.NumArcs)
-	for i := range k.arcs {
-		a := &k.arcs[i]
-		g := cfg.GroupOf(i)
-		if g < 0 || g >= cfg.NumGroups {
-			panic(fmt.Sprintf("slotsim: GroupOf(%d) = %d outside [0,%d)", i, g, cfg.NumGroups))
+	k.aSvc = resizeZero(k.aSvc, cfg.NumArcs)
+	k.aHead = resizeZero(k.aHead, cfg.NumArcs)
+	k.aTail = resizeZero(k.aTail, cfg.NumArcs)
+	k.aArrivals = resizeZero(k.aArrivals, cfg.NumArcs)
+	k.aBusySince = resizeZero(k.aBusySince, cfg.NumArcs)
+	k.aBusyTime = resizeZero(k.aBusyTime, cfg.NumArcs)
+	if k.haveGroups {
+		k.aGroup = resize(k.aGroup, cfg.NumArcs)
+		for i := range k.aGroup {
+			g := cfg.GroupOf(i)
+			if g < 0 || g >= cfg.NumGroups {
+				panic(fmt.Sprintf("slotsim: GroupOf(%d) = %d outside [0,%d)", i, g, cfg.NumGroups))
+			}
+			k.aGroup[i] = int32(g)
 		}
-		a.svc = pkt{}
-		a.busy = false
-		a.group = int32(g)
-		a.arrivals = 0
-		a.busySince = 0
-		a.busyTime = 0
-		a.svcEnqAt = 0
-		a.qHead, a.qLen = 0, 0 // buffers are reused; pkt holds no references
-		if k.hopWait && a.qBuf != nil && a.qTimes == nil {
-			a.qTimes = make([]float64, len(a.qBuf))
-		}
+	}
+
+	// Packet pool: every slot is free again (bump allocation restarts).
+	k.freeHead = -1
+	k.poolBump = 0
+	if k.hopWait {
+		k.pEnqAt = resize(k.pEnqAt, len(k.pGen))
 	}
 
 	// Stored-route slab: every slot is free again; re-stride for the
@@ -389,12 +481,59 @@ func (k *Kernel) reset(cfg Config) {
 	}
 }
 
-// resize returns s with length n, reusing capacity when possible.
+// resize returns s with length n, reusing capacity when possible and
+// preserving the existing contents otherwise. The explicit make+copy (rather
+// than append with a zeroed tail) keeps growth to a single allocation and a
+// single pass over memory — at million-arc sizes the redundant temporary
+// would double the first-touch page-fault cost.
 func resize[T any](s []T, n int) []T {
 	if cap(s) >= n {
 		return s[:n]
 	}
-	return append(s[:cap(s)], make([]T, n-cap(s))...)
+	ns := make([]T, n)
+	copy(ns, s)
+	return ns
+}
+
+// resizeZero returns a zeroed slice of length n. Reused capacity is cleared
+// with memclr; a fresh allocation is returned as-is, because make's pages are
+// already zero and remain untouched until the run first writes them. That
+// lazy path is what keeps a cold 2^20-node reset from pre-faulting ~750 MB of
+// arc arrays the run may never fully visit.
+func resizeZero[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
+// memFootprint sums the capacities of the kernel's long-lived arrays; it is
+// the "in use" figure of the growth-time budget checks.
+func (k *Kernel) memFootprint() int64 {
+	b := int64(cap(k.aSvc))*4 + int64(cap(k.aHead))*4 + int64(cap(k.aTail))*4 +
+		int64(cap(k.aArrivals))*8 + int64(cap(k.aBusySince))*8 + int64(cap(k.aBusyTime))*8 +
+		int64(cap(k.aGroup))*4
+	b += int64(cap(k.pGen))*8 + int64(cap(k.pUV))*8 + int64(cap(k.pAux))*8 +
+		int64(cap(k.pNext))*4 + int64(cap(k.pEnqAt))*8
+	b += int64(cap(k.compTime))*8 + int64(cap(k.compSeq))*8 + int64(cap(k.compArc))*4
+	b += int64(cap(k.paths))*8 + int64(cap(k.pathFree))*4
+	b += int64(cap(k.batchOrigins))*4 + int64(cap(k.batchDests))*4
+	return b
+}
+
+// checkBudget panics when growing `what` by extra bytes would exceed the
+// configured MaxBytes. Growth happens mid-run, where no error return exists;
+// failing loudly with sizes beats being OOM-killed without one.
+func (k *Kernel) checkBudget(what string, extra int64) {
+	if k.cfg.MaxBytes <= 0 {
+		return
+	}
+	if use := k.memFootprint(); use+extra > k.cfg.MaxBytes {
+		panic(fmt.Sprintf("slotsim: memory budget exceeded growing %s: ~%d B in use + %d B needed > MaxBytes %d",
+			what, use, extra, k.cfg.MaxBytes))
+	}
 }
 
 // runSlotted advances the slot clock: at every slot instant, due completions
@@ -413,13 +552,13 @@ func (k *Kernel) runSlotted() {
 			// Completions due at the tick instant precede the tick: they
 			// were scheduled no later than the end of the previous tick's
 			// handler, which is also where the tick itself was scheduled.
-			if ct := k.comp[k.compHead].time; ct <= tick {
+			if ct := k.compTime[k.compHead]; ct <= tick {
 				next, compFirst = ct, true
 			} else {
 				next = tick
 			}
 		case k.compLen > 0:
-			next, compFirst = k.comp[k.compHead].time, true
+			next, compFirst = k.compTime[k.compHead], true
 		case tickPending:
 			next = tick
 		default:
@@ -441,8 +580,8 @@ func (k *Kernel) runSlotted() {
 			measuring = true
 		}
 		if compFirst {
-			c := k.popCompletion()
-			k.complete(int(c.arc), c.time)
+			arc, t := k.popCompletion()
+			k.complete(arc, t)
 		} else {
 			k.fireTick(tick)
 			tick += tau
@@ -468,14 +607,14 @@ func (k *Kernel) runContinuous() {
 		compFirst := false
 		switch {
 		case k.compLen > 0 && k.arrPending:
-			c := &k.comp[k.compHead]
-			if c.time < k.arrTime || (c.time == k.arrTime && c.seq < k.arrSeq) {
-				next, compFirst = c.time, true
+			ct := k.compTime[k.compHead]
+			if ct < k.arrTime || (ct == k.arrTime && k.compSeq[k.compHead] < k.arrSeq) {
+				next, compFirst = ct, true
 			} else {
 				next = k.arrTime
 			}
 		case k.compLen > 0:
-			next, compFirst = k.comp[k.compHead].time, true
+			next, compFirst = k.compTime[k.compHead], true
 		case k.arrPending:
 			next = k.arrTime
 		default:
@@ -492,8 +631,8 @@ func (k *Kernel) runContinuous() {
 			measuring = true
 		}
 		if compFirst {
-			c := k.popCompletion()
-			k.complete(int(c.arc), c.time)
+			arc, t := k.popCompletion()
+			k.complete(arc, t)
 		} else {
 			t := k.arrTime
 			k.arrPending = false
@@ -514,11 +653,26 @@ func (k *Kernel) runContinuous() {
 
 // fireTick injects the network-wide slot batch at time now; each packet picks
 // a uniformly random origin node from the aggregate source's payload stream.
+// With a BatchSampler configured the whole batch's (origin, dest) pairs are
+// drawn in bulk first, so the tick does O(batch) work with no per-packet
+// sampler dispatch; the sample path is identical either way.
 func (k *Kernel) fireTick(now float64) {
 	src := k.slotSrc
-	nodes := uint64(k.srcN)
 	batch := src.BatchSize()
 	rng := src.RNG()
+	if k.cfg.Batch != nil && k.mode != RouteStored && batch > 0 {
+		if cap(k.batchOrigins) < batch {
+			k.checkBudget("slot batch buffers", int64(2*batch-cap(k.batchOrigins)-cap(k.batchDests))*4)
+		}
+		k.batchOrigins = resize(k.batchOrigins, batch)
+		k.batchDests = resize(k.batchDests, batch)
+		k.cfg.Batch.SampleDestBatch(rng, k.batchOrigins, k.batchDests)
+		for j := 0; j < batch; j++ {
+			k.injectTo(k.batchOrigins[j], k.batchDests[j], now)
+		}
+		return
+	}
+	nodes := uint64(k.srcN)
 	for j := 0; j < batch; j++ {
 		node := int32(rng.Uint64n(nodes))
 		k.inject(node, rng, now)
@@ -527,17 +681,9 @@ func (k *Kernel) fireTick(now float64) {
 
 // inject creates one packet at time now; it mirrors network.System.Inject.
 func (k *Kernel) inject(node int32, rng *xrand.Rand, now float64) {
-	p := pkt{genTime: now, slot: -1}
 	switch k.mode {
-	case RouteHypercubeGreedy:
-		dest := k.cfg.Dest.SampleDest(node, rng)
-		p.u = uint32(node)
-		p.v = uint32(node) ^ dest
-		p.hops = int16(bits.OnesCount32(p.v))
-	case RouteButterfly:
-		p.u = uint32(node)
-		p.v = k.cfg.Dest.SampleDest(node, rng)
-		p.hops = int16(k.bfHops)
+	case RouteHypercubeGreedy, RouteButterfly:
+		k.injectTo(uint32(node), k.cfg.Dest.SampleDest(node, rng), now)
 	default:
 		slot := k.allocPathSlot()
 		base := int(slot) * k.maxHops
@@ -549,163 +695,166 @@ func (k *Kernel) inject(node int32, rng *xrand.Rand, now float64) {
 			// A Traffic implementation that did not append in place still works.
 			copy(k.paths[base:base+len(route)], route)
 		}
-		p.slot = slot
-		p.hops = int16(len(route))
+		k.col.CountGenerated()
+		if len(route) == 0 {
+			k.col.Deliver(now, now, 0, 0)
+			k.pathFree = append(k.pathFree, slot)
+			return
+		}
+		k.packetEntered(now)
+		s := k.allocPkt()
+		k.pGen[s] = now
+		k.pUV[s] = 0
+		k.pAux[s] = uint64(uint32(slot))<<32 | uint64(uint16(len(route)))
+		k.enqueue(s, now)
+	}
+}
+
+// injectTo creates one stepped-route packet with a presampled destination
+// identity; both the scalar and the bulk injection paths funnel through it.
+func (k *Kernel) injectTo(origin, dest uint32, now float64) {
+	var uv uint64
+	var hops int
+	if k.mode == RouteHypercubeGreedy {
+		mask := origin ^ dest
+		uv = uint64(origin)<<32 | uint64(mask)
+		hops = bits.OnesCount32(mask)
+	} else {
+		uv = uint64(origin)<<32 | uint64(dest)
+		hops = int(k.bfHops)
 	}
 	k.col.CountGenerated()
-	if p.hops == 0 {
+	if hops == 0 {
 		k.col.Deliver(now, now, 0, 0)
-		if p.slot >= 0 {
-			k.pathFree = append(k.pathFree, p.slot)
-		}
 		return
 	}
 	k.packetEntered(now)
-	k.enqueue(&p, now)
+	s := k.allocPkt()
+	k.pGen[s] = now
+	k.pUV[s] = uv
+	k.pAux[s] = uint64(noSlot)<<32 | uint64(uint16(hops))
+	k.enqueue(s, now)
 }
 
-// nextArc returns the arc index of the packet's current hop, advancing the
+// nextArc returns the arc index of pool slot s's current hop, advancing the
 // stepped-route state. The stepped arithmetic reproduces the arc indices of
 // routing.DimensionOrder.AppendPath and routing.AppendButterflyPath exactly.
-func (k *Kernel) nextArc(p *pkt) int {
+func (k *Kernel) nextArc(s int32) int {
 	switch k.mode {
 	case RouteHypercubeGreedy:
-		bit := p.v & -p.v
-		dim := uint32(bits.TrailingZeros32(p.v))
-		idx := int(dim)*k.srcN + int(p.u)
-		p.u ^= bit
-		p.v &^= bit
+		// The difference mask lives in the low word, so the lowest set bit
+		// of the packed word is the lowest unresolved dimension; one XOR
+		// clears it from the mask and flips it into the node (high word).
+		uv := k.pUV[s]
+		bit := uv & -uv
+		idx := bits.TrailingZeros64(uv)*k.srcN + int(uv>>32)
+		k.pUV[s] = uv ^ (bit | bit<<32)
 		return idx
 	case RouteButterfly:
-		bit := uint32(1) << uint32(p.hop)
-		idx := int(p.hop) * 2 * k.srcN
-		if (p.u^p.v)&bit != 0 {
-			idx += k.srcN + int(p.u)
-			p.u ^= bit
+		hop := uint64(uint16(k.pAux[s] >> 16))
+		uv := k.pUV[s]
+		idx := int(hop) * 2 * k.srcN
+		if ((uv>>32)^uv)>>hop&1 != 0 {
+			idx += k.srcN + int(uv>>32)
+			k.pUV[s] = uv ^ (1 << (hop + 32))
 		} else {
-			idx += int(p.u)
+			idx += int(uv >> 32)
 		}
 		return idx
 	default:
-		idx := k.paths[int(p.slot)*k.maxHops+int(p.hop)]
-		if idx < 0 || idx >= len(k.arcs) {
-			panic(fmt.Sprintf("slotsim: route refers to arc %d outside [0,%d)", idx, len(k.arcs)))
+		aux := k.pAux[s]
+		idx := k.paths[int(uint32(aux>>32))*k.maxHops+int(uint16(aux>>16))]
+		if idx < 0 || idx >= k.numArcs {
+			panic(fmt.Sprintf("slotsim: route refers to arc %d outside [0,%d)", idx, k.numArcs))
 		}
 		return idx
 	}
 }
 
-// enqueue places the packet at its current arc; it mirrors System.enqueue.
-// The packet value is copied into the arc record (idle arc) or the arc-local
-// ring (busy arc).
-func (k *Kernel) enqueue(p *pkt, now float64) {
-	idx := k.nextArc(p)
-	a := &k.arcs[idx]
-	a.arrivals++
-	if !a.busy {
-		if k.hopWait {
-			a.svcEnqAt = now
-		}
-		k.startService(a, int32(idx), p, now)
+// enqueue places pool slot s at its current arc; it mirrors System.enqueue.
+// An idle arc starts service immediately; a busy arc appends s to its
+// intrusive FIFO list.
+func (k *Kernel) enqueue(s int32, now float64) {
+	idx := k.nextArc(s)
+	k.aArrivals[idx]++
+	if k.hopWait {
+		k.pEnqAt[s] = now
+	}
+	if k.aSvc[idx] == 0 {
+		k.startService(idx, s, now)
 	} else {
-		if int(a.qLen) == len(a.qBuf) {
-			k.growQueue(a)
+		k.pNext[s] = -1
+		if t := k.aTail[idx]; t != 0 {
+			k.pNext[t-1] = s
+		} else {
+			k.aHead[idx] = s + 1
 		}
-		pos := (int(a.qHead) + int(a.qLen)) & (len(a.qBuf) - 1)
-		a.qBuf[pos] = *p
-		if k.hopWait {
-			a.qTimes[pos] = now
-		}
-		a.qLen++
+		k.aTail[idx] = s + 1
 	}
 	if k.trackGrp {
-		k.col.GroupPopulationAdd(a.group, now, +1)
+		k.col.GroupPopulationAdd(k.aGroup[idx], now, +1)
 	}
 }
 
-// startService begins the unit transmission of p on arc a.
-func (k *Kernel) startService(a *arcRec, idx int32, p *pkt, now float64) {
-	a.svc = *p
-	a.busy = true
-	a.busySince = now
-	k.pushCompletion(completion{time: now + 1, seq: k.nextSeq(), arc: idx})
-}
-
-// growQueue doubles an arc queue's power-of-two capacity (starting at 8),
-// linearising the contents so the head restarts at zero.
-func (k *Kernel) growQueue(a *arcRec) {
-	newCap := 2 * len(a.qBuf)
-	if newCap == 0 {
-		newCap = 8
-	}
-	nb := make([]pkt, newCap)
-	mask := len(a.qBuf) - 1
-	for i := 0; i < int(a.qLen); i++ {
-		nb[i] = a.qBuf[(int(a.qHead)+i)&mask]
-	}
-	if k.hopWait {
-		nt := make([]float64, newCap)
-		for i := 0; i < int(a.qLen); i++ {
-			nt[i] = a.qTimes[(int(a.qHead)+i)&mask]
-		}
-		a.qTimes = nt
-	} else if a.qTimes != nil {
-		a.qTimes = make([]float64, newCap)
-	}
-	a.qBuf = nb
-	a.qHead = 0
+// startService begins the unit transmission of pool slot s on arc idx.
+func (k *Kernel) startService(idx int, s int32, now float64) {
+	k.aSvc[idx] = s + 1
+	k.aBusySince[idx] = now
+	k.pushCompletion(now+1, k.nextSeq(), int32(idx))
 }
 
 // complete finishes the transmission on arc idx; it mirrors
 // System.completeService (FIFO discipline).
 func (k *Kernel) complete(idx int, now float64) {
-	a := &k.arcs[idx]
-	if !a.busy {
+	s := k.aSvc[idx] - 1
+	if s < 0 {
 		panic(fmt.Sprintf("slotsim: completion on idle arc %d", idx))
 	}
-	p := a.svc
-	a.busy = false
-	a.busyTime += now - a.busySince
-	if k.trackGrp {
-		k.col.GroupPopulationAdd(a.group, now, -1)
-	}
-	if k.hopWait {
-		k.col.ArcWait(a.group, now, a.svcEnqAt, p.genTime)
-	}
-
-	// Start the next queued packet on this arc.
-	if a.qLen > 0 {
-		head := int(a.qHead)
-		next := a.qBuf[head]
+	k.aSvc[idx] = 0
+	k.aBusyTime[idx] += now - k.aBusySince[idx]
+	if k.haveGroups {
+		g := k.aGroup[idx]
+		if k.trackGrp {
+			k.col.GroupPopulationAdd(g, now, -1)
+		}
 		if k.hopWait {
-			a.svcEnqAt = a.qTimes[head]
+			k.col.ArcWait(g, now, k.pEnqAt[s], k.pGen[s])
 		}
-		a.qHead = int32((head + 1) & (len(a.qBuf) - 1))
-		a.qLen--
-		k.startService(a, int32(idx), &next, now)
 	}
 
-	p.hop++
-	if p.hop >= p.hops {
-		k.packetLeft(now)
-		k.col.Deliver(now, p.genTime, int(p.hops), 0)
-		if p.slot >= 0 {
-			k.pathFree = append(k.pathFree, p.slot)
+	// Start the next queued packet on this arc. pNext stores raw slots with
+	// a -1 end sentinel, so nh+1 is exactly the biased head encoding.
+	if h := k.aHead[idx]; h != 0 {
+		nh := k.pNext[h-1] + 1
+		k.aHead[idx] = nh
+		if nh == 0 {
+			k.aTail[idx] = 0
 		}
+		k.startService(idx, h-1, now)
+	}
+
+	aux := k.pAux[s] + 1<<16 // hop++
+	if uint16(aux>>16) >= uint16(aux) {
+		k.packetLeft(now)
+		k.col.Deliver(now, k.pGen[s], int(uint16(aux)), 0)
+		if slot := uint32(aux >> 32); slot != noSlot {
+			k.pathFree = append(k.pathFree, int32(slot))
+		}
+		k.freePkt(s)
 		return
 	}
-	k.enqueue(&p, now)
+	k.pAux[s] = aux
+	k.enqueue(s, now)
 }
 
 // startMeasurement discards the warm-up transient at the given instant.
 func (k *Kernel) startMeasurement(now float64) {
 	k.col.StartMeasurement(now)
-	for i := range k.arcs {
-		a := &k.arcs[i]
-		a.arrivals = 0
-		a.busyTime = 0
-		if a.busy {
-			a.busySince = now
+	clear(k.aArrivals)
+	clear(k.aBusyTime)
+	for i, s := range k.aSvc {
+		if s != 0 {
+			k.aBusySince[i] = now
 		}
 	}
 }
@@ -717,24 +866,71 @@ func (k *Kernel) snapshot() network.Metrics {
 	k.snapArcs = resize(k.snapArcs, n)
 	k.snapBusy = resize(k.snapBusy, n)
 	k.snapArrivals = resize(k.snapArrivals, n)
-	for g := 0; g < n; g++ {
-		k.snapArcs[g] = 0
-		k.snapBusy[g] = 0
-		k.snapArrivals[g] = 0
-	}
+	clear(k.snapArcs)
+	clear(k.snapBusy)
+	clear(k.snapArrivals)
 	now := k.cfg.Horizon
-	for i := range k.arcs {
-		a := &k.arcs[i]
-		g := a.group
+	for i := 0; i < k.numArcs; i++ {
+		var g int
+		if k.haveGroups {
+			g = int(k.aGroup[i])
+		} else {
+			g = k.cfg.GroupOf(i)
+			if g < 0 || g >= n {
+				panic(fmt.Sprintf("slotsim: GroupOf(%d) = %d outside [0,%d)", i, g, n))
+			}
+		}
 		k.snapArcs[g]++
-		busy := a.busyTime
-		if a.busy {
-			busy += now - a.busySince
+		busy := k.aBusyTime[i]
+		if k.aSvc[i] != 0 {
+			busy += now - k.aBusySince[i]
 		}
 		k.snapBusy[g] += busy
-		k.snapArrivals[g] += float64(a.arrivals)
+		k.snapArrivals[g] += float64(k.aArrivals[i])
 	}
 	return k.col.Snapshot(now, k.snapArcs, k.snapBusy, k.snapArrivals)
+}
+
+// allocPkt takes a pool slot: from the free list when one exists, otherwise
+// by bumping into (and if needed growing) the slab.
+func (k *Kernel) allocPkt() int32 {
+	if s := k.freeHead; s >= 0 {
+		k.freeHead = k.pNext[s]
+		return s
+	}
+	if int(k.poolBump) == len(k.pGen) {
+		k.growPool()
+	}
+	s := k.poolBump
+	k.poolBump++
+	return s
+}
+
+// freePkt returns a delivered packet's pool slot to the free list.
+func (k *Kernel) freePkt(s int32) {
+	k.pNext[s] = k.freeHead
+	k.freeHead = s
+}
+
+// growPool doubles the packet pool (which scales with the in-flight
+// population, not the arc count).
+func (k *Kernel) growPool() {
+	newCap := 2 * len(k.pGen)
+	if newCap == 0 {
+		newCap = poolChunk
+	}
+	per := int64(pktBytes)
+	if k.hopWait {
+		per += pktWaitBytes
+	}
+	k.checkBudget("packet pool", int64(newCap-len(k.pGen))*per)
+	k.pGen = resize(k.pGen, newCap)
+	k.pUV = resize(k.pUV, newCap)
+	k.pAux = resize(k.pAux, newCap)
+	k.pNext = resize(k.pNext, newCap)
+	if k.hopWait {
+		k.pEnqAt = resize(k.pEnqAt, newCap)
+	}
 }
 
 // allocPathSlot takes a stored-route slab slot from the free list, growing
@@ -747,8 +943,18 @@ func (k *Kernel) allocPathSlot() int32 {
 	}
 	s := int32(k.numSlots)
 	k.numSlots++
-	for i := 0; i < k.maxHops; i++ {
-		k.paths = append(k.paths, 0)
+	need := k.numSlots * k.maxHops
+	if need > cap(k.paths) {
+		newCap := 2 * cap(k.paths)
+		if newCap < need {
+			newCap = need
+		}
+		k.checkBudget("route slab", int64(newCap-cap(k.paths))*8)
+		np := make([]int, need, newCap)
+		copy(np, k.paths)
+		k.paths = np
+	} else {
+		k.paths = k.paths[:need]
 	}
 	return s
 }
@@ -791,32 +997,43 @@ func (k *Kernel) flushPop(at float64) {
 
 // pushCompletion appends to the completion ring, growing (power-of-two
 // capacity) when full.
-func (k *Kernel) pushCompletion(c completion) {
-	if k.compLen == len(k.comp) {
+func (k *Kernel) pushCompletion(t float64, seq uint64, arc int32) {
+	if k.compLen == len(k.compTime) {
 		k.growComp()
 	}
-	k.comp[(k.compHead+k.compLen)&(len(k.comp)-1)] = c
+	pos := (k.compHead + k.compLen) & (len(k.compTime) - 1)
+	k.compTime[pos] = t
+	k.compSeq[pos] = seq
+	k.compArc[pos] = arc
 	k.compLen++
 }
 
 // popCompletion removes the head completion; the caller has checked compLen.
-func (k *Kernel) popCompletion() completion {
-	c := k.comp[k.compHead]
-	k.compHead = (k.compHead + 1) & (len(k.comp) - 1)
+func (k *Kernel) popCompletion() (arc int, t float64) {
+	h := k.compHead
+	arc, t = int(k.compArc[h]), k.compTime[h]
+	k.compHead = (h + 1) & (len(k.compTime) - 1)
 	k.compLen--
-	return c
+	return arc, t
 }
 
 func (k *Kernel) growComp() {
-	newCap := 2 * len(k.comp)
+	oldCap := len(k.compTime)
+	newCap := 2 * oldCap
 	if newCap == 0 {
-		newCap = 64
+		newCap = compChunk
 	}
-	nb := make([]completion, newCap)
-	mask := len(k.comp) - 1
+	k.checkBudget("completion ring", int64(newCap-oldCap)*compBytes)
+	nt := make([]float64, newCap)
+	ns := make([]uint64, newCap)
+	na := make([]int32, newCap)
+	mask := oldCap - 1
 	for i := 0; i < k.compLen; i++ {
-		nb[i] = k.comp[(k.compHead+i)&mask]
+		src := (k.compHead + i) & mask
+		nt[i] = k.compTime[src]
+		ns[i] = k.compSeq[src]
+		na[i] = k.compArc[src]
 	}
-	k.comp = nb
+	k.compTime, k.compSeq, k.compArc = nt, ns, na
 	k.compHead = 0
 }

@@ -22,6 +22,24 @@ func TestSeedStreamMatchesNewStream(t *testing.T) {
 	}
 }
 
+// TestFillUint64MatchesScalar pins the raw bulk draw to the scalar sequence:
+// batching a slot's worth of uniform words must not change the sample path.
+func TestFillUint64MatchesScalar(t *testing.T) {
+	bulk := NewStream(17, 4)
+	scalar := NewStream(17, 4)
+	dst := make([]uint64, 513)
+	bulk.FillUint64(dst)
+	for i, v := range dst {
+		if w := scalar.Uint64(); v != w {
+			t.Fatalf("FillUint64[%d] = %d, Uint64 = %d", i, v, w)
+		}
+	}
+	// The states must also agree afterwards, so mixed bulk/scalar use works.
+	if g, w := bulk.Uint64(), scalar.Uint64(); g != w {
+		t.Fatalf("state diverges after bulk fill: %d vs %d", g, w)
+	}
+}
+
 // TestFillExpMatchesScalar checks that bulk exponential generation consumes
 // the stream exactly like repeated Exp calls, bit for bit.
 func TestFillExpMatchesScalar(t *testing.T) {

@@ -210,6 +210,26 @@ func (r *Rand) FillExp(dst []float64, rate float64) {
 	}
 }
 
+// FillUint64 fills dst with the next len(dst) raw generator outputs, exactly
+// the values successive Uint64 calls would return. Bulk injection paths use it
+// to draw a whole slot batch's worth of uniform words in one pass — the
+// generator state lives in registers for the duration of the loop instead of
+// being reloaded per call — without changing the sample path.
+func (r *Rand) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := r.s[0], r.s[1], r.s[2], r.s[3]
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s[0], r.s[1], r.s[2], r.s[3] = s0, s1, s2, s3
+}
+
 // FillPoisson fills dst with independent Poisson draws of the given mean,
 // exactly the values len(dst) successive Poisson calls would return. The bulk
 // form hoists the mean-dependent set-up (exp(-mean) for the Knuth sampler,

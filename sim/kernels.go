@@ -178,6 +178,7 @@ type hyperRunner struct {
 	// Slot-stepped state, built on first use.
 	kernel  *slotsim.Kernel
 	slotCfg slotsim.Config
+	rawBuf  []uint64 // bulk-injection scratch (SampleDestBatch)
 }
 
 var hyperRunners = sync.Pool{New: func() any { return new(hyperRunner) }}
@@ -230,6 +231,38 @@ func (r *hyperRunner) AppendRoute(origin int32, rng *xrand.Rand, dst []int) []in
 // destination stream consumption matches injectFrom exactly.
 func (r *hyperRunner) SampleDest(origin int32, rng *xrand.Rand) uint32 {
 	return uint32(r.dist.Sample(hypercube.Node(origin), rng))
+}
+
+// SampleDestBatch serves the kernel's bulk slot-injection path. For uniform
+// traffic (bit-flip with p = 1/2) every packet costs exactly two raw
+// generator words — origin pick on 2^d nodes and destination mask — so the
+// whole batch is one xrand.FillUint64 over 2·n words plus masking, with a
+// sample path identical to the scalar (origin; SampleDest) sequence. Other
+// distributions fall back to that scalar sequence per packet, which is still
+// a correct BatchSampler: the contract is about stream consumption, not about
+// how the words are drawn.
+func (r *hyperRunner) SampleDestBatch(rng *xrand.Rand, origins, dests []uint32) {
+	n := len(origins)
+	if bf, ok := r.dist.(workload.BitFlip); ok && bf.P == 0.5 {
+		if cap(r.rawBuf) < 2*n {
+			r.rawBuf = make([]uint64, 2*n)
+		}
+		raw := r.rawBuf[:2*n]
+		rng.FillUint64(raw)
+		mask := uint32(r.cube.Nodes() - 1)
+		for i := 0; i < n; i++ {
+			o := uint32(raw[2*i]) & mask
+			origins[i] = o
+			dests[i] = o ^ (uint32(raw[2*i+1]) & mask)
+		}
+		return
+	}
+	nodes := uint64(r.cube.Nodes())
+	for i := 0; i < n; i++ {
+		node := int32(rng.Uint64n(nodes))
+		origins[i] = uint32(node)
+		dests[i] = uint32(r.dist.Sample(hypercube.Node(node), rng))
+	}
 }
 
 // runEventDriven executes cfg on the des-based calendar.
@@ -297,11 +330,14 @@ func (r *hyperRunner) runSlotStepped(cfg *hypercubeConfig) runOutcome {
 	// routers need materialized routes.
 	if cfg.Router == GreedyDimensionOrder {
 		r.slotCfg.Mode = slotsim.RouteHypercubeGreedy
+		r.slotCfg.Batch = r // bulk slot injection (stepped greedy only)
 	} else {
 		r.slotCfg.Mode = slotsim.RouteStored
+		r.slotCfg.Batch = nil
 	}
 	r.slotCfg.Traffic = r
 	r.slotCfg.Dest = r
+	r.slotCfg.MaxBytes = cfg.MaxBytes
 	r.slotCfg.TrackQuantiles = cfg.TrackQuantiles
 	r.slotCfg.TrackPerHopWait = cfg.TrackPerDimensionWait
 	r.slotCfg.SkipGroupPopulation = cfg.SkipPerDimensionStats
@@ -424,6 +460,7 @@ func (r *butterflyRunner) runSlotStepped(cfg *butterflyConfig) runOutcome {
 	r.slotCfg.Tau = 0
 	r.slotCfg.Mode = slotsim.RouteButterfly
 	r.slotCfg.Dest = r
+	r.slotCfg.MaxBytes = cfg.MaxBytes
 	r.slotCfg.TrackQuantiles = cfg.TrackQuantiles
 	r.slotCfg.TrackPerHopWait = false
 	r.slotCfg.SkipGroupPopulation = true

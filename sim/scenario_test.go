@@ -91,6 +91,29 @@ func TestScenarioValidationErrors(t *testing.T) {
 			s.Topology = Butterfly(4)
 			s.TrackPerDimensionWait = true
 		}, "hypercube feature"},
+		{"negative max bytes", func(s *Scenario) { s.MaxBytes = -1 }, "negative max_bytes"},
+		{"max bytes on a continuous hypercube", func(s *Scenario) {
+			s.MaxBytes = 1 << 30
+		}, "must be slotted"},
+		{"max bytes with the event-driven kernel forced", func(s *Scenario) {
+			s.Slotted = true
+			s.Tau = 1
+			s.ForceEventDriven = true
+			s.MaxBytes = 1 << 30
+		}, "without force_event_driven"},
+		{"max bytes below the hypercube estimate", func(s *Scenario) {
+			s.Slotted = true
+			s.Tau = 1
+			s.MaxBytes = 64
+		}, "exceeding max_bytes"},
+		{"max bytes below the butterfly estimate", func(s *Scenario) {
+			s.Topology = Butterfly(4)
+			s.MaxBytes = 64
+		}, "exceeding max_bytes"},
+		{"max bytes with deflection routing", func(s *Scenario) {
+			s.Router = Deflection
+			s.MaxBytes = 1 << 30
+		}, "deflection routing"},
 	}
 	for _, tc := range cases {
 		sc := valid()
@@ -131,6 +154,14 @@ func TestScenarioValidationAccepts(t *testing.T) {
 		{"butterfly", func(s *Scenario) { *s = Scenario{Topology: Butterfly(5), P: 0.3, LoadFactor: 0.8, Horizon: 50} }},
 		{"butterfly skip per-dimension stats is a no-op", func(s *Scenario) {
 			*s = Scenario{Topology: Butterfly(5), P: 0.3, LoadFactor: 0.8, Horizon: 50, SkipPerDimensionStats: true}
+		}},
+		{"slotted hypercube within max bytes", func(s *Scenario) {
+			s.Slotted = true
+			s.Tau = 1
+			s.MaxBytes = 1 << 30
+		}},
+		{"butterfly within max bytes", func(s *Scenario) {
+			*s = Scenario{Topology: Butterfly(5), P: 0.3, LoadFactor: 0.8, Horizon: 50, MaxBytes: 1 << 30}
 		}},
 	}
 	for _, tc := range cases {

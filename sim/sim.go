@@ -314,6 +314,17 @@ type Scenario struct {
 	// ForceEventDriven disables the slot-stepped fast kernel for eligible
 	// workloads; results are byte-identical either way.
 	ForceEventDriven bool `json:"force_event_driven,omitempty"`
+	// MaxBytes caps the slot-stepped kernel's estimated memory per
+	// replication, in bytes (0 = unlimited). Validation prices the kernel's
+	// arc-indexed arrays up front (slotsim.EstimateBytes) and rejects
+	// scenarios that cannot fit with a clean error; the kernel re-checks the
+	// budget whenever its dynamic pools grow mid-run, so a run whose
+	// in-flight population outgrows the budget fails loudly instead of being
+	// OOM-killed. It requires a scenario the fast kernel will actually
+	// execute (slotted hypercube or FIFO butterfly, without
+	// force_event_driven): the million-node runs it exists for are exactly
+	// the fast-kernel workloads.
+	MaxBytes int64 `json:"max_bytes,omitempty"`
 
 	// Parallelism bounds the number of concurrently executing replication
 	// shards (0 = GOMAXPROCS). Execution policy: never affects results and

@@ -7,6 +7,7 @@ import (
 	"repro/internal/butterfly"
 	"repro/internal/hypercube"
 	"repro/internal/network"
+	"repro/internal/slotsim"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,7 @@ type hypercubeConfig struct {
 	CustomWeights           []float64
 	SkipPerDimensionStats   bool
 	ForceEventDriven        bool
+	MaxBytes                int64
 }
 
 // deflectionConfig is the normalized internal form of a hot-potato scenario:
@@ -57,6 +59,7 @@ type butterflyConfig struct {
 	ReturnDelays            bool
 	PopulationTraceInterval float64
 	ForceEventDriven        bool
+	MaxBytes                int64
 }
 
 // normalized is the result of one validation/normalization pass: exactly one
@@ -138,6 +141,9 @@ func (s *Scenario) normalize() (normalized, error) {
 	if s.PopulationTraceInterval < 0 {
 		return none, fmt.Errorf("sim: negative population trace interval %v", s.PopulationTraceInterval)
 	}
+	if s.MaxBytes < 0 {
+		return none, fmt.Errorf("sim: negative max_bytes %d", s.MaxBytes)
+	}
 
 	if !isHypercube {
 		// Reject the hypercube-only features explicitly so a spec file that
@@ -160,6 +166,15 @@ func (s *Scenario) normalize() (normalized, error) {
 			}
 			lambda = workload.RequiredLambdaButterfly(s.LoadFactor, s.P)
 		}
+		if s.MaxBytes > 0 {
+			if s.ForceEventDriven || s.Discipline != FIFO {
+				return none, fmt.Errorf("sim: max_bytes budgets the slot-stepped kernel; it requires the FIFO discipline without force_event_driven")
+			}
+			if est := slotEstimateButterfly(s.Topology.D); est > s.MaxBytes {
+				return none, fmt.Errorf("sim: butterfly d=%d needs an estimated %s of kernel memory, exceeding max_bytes = %s",
+					s.Topology.D, formatBytes(est), formatBytes(s.MaxBytes))
+			}
+		}
 		return normalized{bc: &butterflyConfig{
 			D:                       s.Topology.D,
 			P:                       s.P,
@@ -172,6 +187,7 @@ func (s *Scenario) normalize() (normalized, error) {
 			ReturnDelays:            s.ReturnDelays,
 			PopulationTraceInterval: s.PopulationTraceInterval,
 			ForceEventDriven:        s.ForceEventDriven,
+			MaxBytes:                s.MaxBytes,
 		}}, nil
 	}
 
@@ -207,6 +223,8 @@ func (s *Scenario) normalize() (normalized, error) {
 			return none, fmt.Errorf("sim: deflection routing does not track per-dimension waits")
 		case s.PopulationTraceInterval > 0:
 			return none, fmt.Errorf("sim: deflection routing reports its backlog slope instead of a population trace")
+		case s.MaxBytes > 0:
+			return none, fmt.Errorf("sim: max_bytes budgets the slot-stepped kernel, which deflection routing does not use")
 		case s.Horizon < 1:
 			return none, fmt.Errorf("sim: deflection routing needs a horizon of at least one slot, got %v", s.Horizon)
 		case s.Horizon != math.Trunc(s.Horizon):
@@ -240,6 +258,18 @@ func (s *Scenario) normalize() (normalized, error) {
 			return none, fmt.Errorf("sim: CustomWeights sum to zero")
 		}
 	}
+	if s.MaxBytes > 0 {
+		switch {
+		case !s.Slotted:
+			return none, fmt.Errorf("sim: max_bytes budgets the slot-stepped kernel; the hypercube scenario must be slotted (§3.4)")
+		case s.ForceEventDriven || s.Discipline != FIFO:
+			return none, fmt.Errorf("sim: max_bytes budgets the slot-stepped kernel; it requires the FIFO discipline without force_event_driven")
+		}
+		if est := slotEstimateHypercube(s.Topology.D, s.SkipPerDimensionStats, s.TrackPerDimensionWait); est > s.MaxBytes {
+			return none, fmt.Errorf("sim: hypercube d=%d needs an estimated %s of kernel memory, exceeding max_bytes = %s",
+				s.Topology.D, formatBytes(est), formatBytes(s.MaxBytes))
+		}
+	}
 	return normalized{hc: &hypercubeConfig{
 		D:                       s.Topology.D,
 		P:                       s.P,
@@ -258,5 +288,42 @@ func (s *Scenario) normalize() (normalized, error) {
 		CustomWeights:           s.CustomWeights,
 		SkipPerDimensionStats:   s.SkipPerDimensionStats,
 		ForceEventDriven:        s.ForceEventDriven,
+		MaxBytes:                s.MaxBytes,
 	}}, nil
+}
+
+// slotEstimateHypercube prices the slotsim configuration runSlotStepped
+// builds for a slotted hypercube run: d·2^d arcs plus the kernel's initial
+// dynamic capacities. Kept next to the validation that quotes it; the
+// runner-side config construction lives in kernels.go.
+func slotEstimateHypercube(d int, skipPerDim, trackPerDimWait bool) int64 {
+	return slotsim.EstimateBytes(slotsim.Config{
+		NumArcs:             d * (1 << uint(d)),
+		NumGroups:           d,
+		SkipGroupPopulation: skipPerDim,
+		TrackPerHopWait:     trackPerDimWait,
+	})
+}
+
+// slotEstimateButterfly prices the slotsim configuration for a butterfly run:
+// 2·d·2^d arcs, with per-group populations always off (matching
+// butterflyRunner.runSlotStepped).
+func slotEstimateButterfly(d int) int64 {
+	return slotsim.EstimateBytes(slotsim.Config{
+		NumArcs:             2 * d * (1 << uint(d)),
+		NumGroups:           2 * d,
+		SkipGroupPopulation: true,
+	})
+}
+
+// formatBytes renders a byte count in binary units for validation errors.
+func formatBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
 }
