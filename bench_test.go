@@ -1,4 +1,4 @@
-// Benchmarks that regenerate every experiment of the reproduction (E1..E20)
+// Benchmarks that regenerate every experiment of the reproduction (E1..E21)
 // and the design ablations (A1..A3), one benchmark per experiment, matching
 // the registry in internal/harness (see README.md for the index). Each
 // benchmark iteration runs the experiment in Quick mode (shortened
@@ -116,6 +116,11 @@ func BenchmarkE19MillionNodeHypercube(b *testing.B) { runExperiment(b, "E19") }
 // at scale — in Quick mode reduced dimensions, guarding the continuous-time
 // path of the scale kernel.
 func BenchmarkE20MillionInputButterfly(b *testing.B) { runExperiment(b, "E20") }
+
+// BenchmarkE21FaultInjection regenerates E21: delivery ratio and conditional
+// delay under transient link faults, greedy versus deflection — the workload
+// that exercises the fault path of both kernels, guarded by the CI perf gate.
+func BenchmarkE21FaultInjection(b *testing.B) { runExperiment(b, "E21") }
 
 // BenchmarkAblationDimensionOrder regenerates A1: canonical versus random
 // dimension order.

@@ -18,11 +18,13 @@
 //	run -json specs/sample.json > results.json
 //	run -artifacts out/ specs/a.json specs/b.json
 //	run -parallelism 4 -progress specs/sample.json
+//	run -timeout 30s specs/sample.json
 //	run specs/sweep-smoke.json
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -51,9 +53,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		parallelism = fs.Int("parallelism", 0, "max concurrent replication shards (0 = GOMAXPROCS)")
 		progress    = fs.Bool("progress", false, "report per-replication progress on stderr")
 		validate    = fs.Bool("validate", false, "load, validate and expand the specs without running them")
+		timeout     = fs.Duration("timeout", 0, "abort the whole invocation after this wall-clock duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	if fs.NArg() == 0 {
 		fmt.Fprintf(stderr, "usage: run [flags] spec.json [spec2.json ...]\n")
@@ -121,9 +130,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 				}
 			}
 			start := time.Now()
-			res, err := sim.Run(context.Background(), sc)
+			res, err := sim.Run(ctx, sc)
 			if err != nil {
-				fail(fmt.Errorf("%s: %w", path, err))
+				if errors.Is(err, context.DeadlineExceeded) {
+					fail(fmt.Errorf("%s: %s: timed out after %v (-timeout)", path, sc.Title(), *timeout))
+				} else {
+					fail(fmt.Errorf("%s: %w", path, err))
+				}
 				return code
 			}
 			elapsed := time.Since(start)

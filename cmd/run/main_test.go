@@ -164,6 +164,27 @@ func TestRunDeflectionSpecEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunTimeoutFlag pins the -timeout UX: an expired deadline exits 1 with
+// a message that names the flag, and a generous deadline changes nothing.
+func TestRunTimeoutFlag(t *testing.T) {
+	spec := write(t, "spec.json",
+		`{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100, "seed": 1}`)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-timeout", "1ns", spec}, &stdout, &stderr); code != 1 {
+		t.Fatalf("expired -timeout exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"timed out after 1ns", "(-timeout)"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr %q does not contain %q", stderr.String(), want)
+		}
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-timeout", "1m", spec}, &stdout, &stderr); code != 0 {
+		t.Fatalf("generous -timeout exit code = %d, want 0; stderr: %s", code, stderr.String())
+	}
+}
+
 func TestRunValidateFlag(t *testing.T) {
 	good := write(t, "good.json",
 		`{"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100},

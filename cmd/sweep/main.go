@@ -25,11 +25,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/asciiplot"
 	"repro/internal/harness"
@@ -58,9 +60,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut     = fs.Bool("json", false, "emit JSON (built-in modes: the table; -spec: JSON Lines rows)")
 		parallelism = fs.Int("parallelism", 0, "max concurrent sweep points (0 = GOMAXPROCS)")
 		progress    = fs.Bool("progress", false, "report per-point progress on stderr")
+		timeout     = fs.Duration("timeout", 0, "abort the whole invocation after this wall-clock duration (0 = no limit)")
+		checkpoint  = fs.String("checkpoint", "", "journal completed points to this file and resume from it (-spec mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	if *spec != "" {
@@ -91,6 +101,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// -spec mode only streams to a sink; don't hold every Result until
 		// the sweep ends.
 		sw.DiscardResults = true
+		sw.CheckpointPath = *checkpoint
 		if *progress {
 			title := sw.Title()
 			sw.Progress = func(done, total int) {
@@ -103,31 +114,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			sink = sim.NewCSVSink(stdout)
 		}
-		if _, err := sim.RunSweep(context.Background(), *sw, sink); err != nil {
-			fmt.Fprintf(stderr, "sweep: %v\n", err)
+		if _, err := sim.RunSweep(ctx, *sw, sink); err != nil {
+			reportSweepErr(err, *timeout, stderr)
 			return 1
 		}
 		return 0
 	}
+	if *checkpoint != "" {
+		fmt.Fprintf(stderr, "sweep: -checkpoint only applies to -spec runs\n")
+		return 2
+	}
 
 	switch *mode {
 	case "load":
-		return sweepLoad(*d, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut, stdout, stderr)
+		return sweepLoad(ctx, *d, *p, *horizon, *seed, *parallelism, *timeout, *csvOnly, *jsonOut, stdout, stderr)
 	case "dimension":
-		return sweepDimension(*rho, *p, *horizon, *seed, *parallelism, *csvOnly, *jsonOut, stdout, stderr)
+		return sweepDimension(ctx, *rho, *p, *horizon, *seed, *parallelism, *timeout, *csvOnly, *jsonOut, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "sweep: unknown mode %q\n", *mode)
 		return 2
 	}
 }
 
+// reportSweepErr prints a sweep failure, translating a -timeout expiry into
+// a message that names the flag.
+func reportSweepErr(err error, timeout time.Duration, stderr io.Writer) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "sweep: timed out after %v (-timeout)\n", timeout)
+		return
+	}
+	fmt.Fprintf(stderr, "sweep: %v\n", err)
+}
+
 // runSweep executes the sweep and returns its rows in point order; a nil
 // slice means the error was already reported.
-func runSweep(sw sim.Sweep, parallelism int, stderr io.Writer) []sim.Row {
+func runSweep(ctx context.Context, sw sim.Sweep, parallelism int, timeout time.Duration, stderr io.Writer) []sim.Row {
 	sw.Parallelism = parallelism
-	rows, err := sim.RunSweep(context.Background(), sw)
+	rows, err := sim.RunSweep(ctx, sw)
 	if err != nil {
-		fmt.Fprintf(stderr, "sweep: %v\n", err)
+		reportSweepErr(err, timeout, stderr)
 		return nil
 	}
 	return rows
@@ -175,14 +200,14 @@ func dimensionSweep(rho, p, horizon float64, seed uint64) sim.Sweep {
 	}
 }
 
-func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
+func sweepLoad(ctx context.Context, d int, p, horizon float64, seed uint64, parallelism int, timeout time.Duration, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
 	table := harness.NewTable(fmt.Sprintf("mean delay vs rho (d=%d, p=%g)", d, p),
 		"rho", "measured T", "lower (P13)", "upper (P12)")
 	var measured, lower, upper stats.Series
 	measured.Name = "measured T"
 	lower.Name = "lower bound (Prop 13)"
 	upper.Name = "upper bound (Prop 12)"
-	rows := runSweep(loadSweep(d, p, horizon, seed), parallelism, stderr)
+	rows := runSweep(ctx, loadSweep(d, p, horizon, seed), parallelism, timeout, stderr)
 	if rows == nil {
 		return 1
 	}
@@ -199,13 +224,13 @@ func sweepLoad(d int, p, horizon float64, seed uint64, parallelism int, csvOnly,
 	return emit(table, []stats.Series{measured, lower, upper}, jsonOut, csvOnly, "rho", stdout, stderr)
 }
 
-func sweepDimension(rho, p, horizon float64, seed uint64, parallelism int, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
+func sweepDimension(ctx context.Context, rho, p, horizon float64, seed uint64, parallelism int, timeout time.Duration, csvOnly, jsonOut bool, stdout, stderr io.Writer) int {
 	table := harness.NewTable(fmt.Sprintf("mean delay vs dimension (rho=%g, p=%g)", rho, p),
 		"d", "measured T", "lower (P13)", "upper (P12)", "T/d")
 	var measured, upper stats.Series
 	measured.Name = "measured T"
 	upper.Name = "upper bound (Prop 12)"
-	rows := runSweep(dimensionSweep(rho, p, horizon, seed), parallelism, stderr)
+	rows := runSweep(ctx, dimensionSweep(rho, p, horizon, seed), parallelism, timeout, stderr)
 	if rows == nil {
 		return 1
 	}

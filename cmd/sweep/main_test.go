@@ -126,6 +126,50 @@ func TestSweepSmokeSpecMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestSweepTimeoutFlag pins the -timeout UX for -spec runs: an expired
+// deadline exits 1 with a message naming the flag.
+func TestSweepTimeoutFlag(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-timeout", "1ns", "-spec", spec}, &stdout, &stderr); code != 1 {
+		t.Fatalf("expired -timeout exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	for _, want := range []string{"timed out after 1ns", "(-timeout)"} {
+		if !strings.Contains(stderr.String(), want) {
+			t.Fatalf("stderr %q does not contain %q", stderr.String(), want)
+		}
+	}
+}
+
+// TestSweepCheckpointFlag pins -checkpoint: it is -spec-only (usage error
+// otherwise), and a resumed run — here a fully-journaled rerun — streams the
+// exact bytes of the uninterrupted run.
+func TestSweepCheckpointFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-mode", "load", "-checkpoint", "x.ckpt"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("built-in mode with -checkpoint exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-checkpoint only applies to -spec runs") {
+		t.Fatalf("stderr %q does not explain the -checkpoint restriction", stderr.String())
+	}
+
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	ckpt := filepath.Join(t.TempDir(), "smoke.ckpt")
+	var first, second strings.Builder
+	if code := run([]string{"-spec", spec, "-checkpoint", ckpt}, &first, &stderr); code != 0 {
+		t.Fatalf("checkpointed run failed with code %d: %s", code, stderr.String())
+	}
+	if got, want := first.String(), golden(t, "golden/sweep-smoke.csv"); got != want {
+		t.Fatalf("checkpointed run differs from golden:\n%s\nvs\n%s", got, want)
+	}
+	if code := run([]string{"-spec", spec, "-checkpoint", ckpt}, &second, &stderr); code != 0 {
+		t.Fatalf("resumed run failed with code %d: %s", code, stderr.String())
+	}
+	if first.String() != second.String() {
+		t.Fatalf("resumed output differs from first run:\n%s\nvs\n%s", second.String(), first.String())
+	}
+}
+
 // TestSweepSmokeSpecDeterministicAcrossParallelism reruns the smoke spec at
 // several parallelism levels; the streamed bytes must be identical.
 func TestSweepSmokeSpecDeterministicAcrossParallelism(t *testing.T) {

@@ -87,6 +87,9 @@ type HypercubeConfig struct {
 	SkipPerDimensionStats bool
 	// ForceEventDriven disables the slot-stepped fast path.
 	ForceEventDriven bool
+	// Faults, when non-nil, activates the fault model (transient arc faults,
+	// scheduled outages, finite buffers); see sim.FaultSpec.
+	Faults *sim.FaultSpec
 }
 
 // scenario converts the config to its unified form, preserving the original
@@ -112,6 +115,7 @@ func (c HypercubeConfig) scenario() sim.Scenario {
 		PopulationTraceInterval: c.PopulationTraceInterval,
 		SkipPerDimensionStats:   c.SkipPerDimensionStats,
 		ForceEventDriven:        c.ForceEventDriven,
+		Faults:                  c.Faults,
 	}
 	if !sc.Slotted {
 		sc.Tau = 0
@@ -229,6 +233,8 @@ type ButterflyConfig struct {
 	PopulationTraceInterval float64
 	// ForceEventDriven disables the slot-stepped fast path.
 	ForceEventDriven bool
+	// Faults, when non-nil, activates the fault model; see sim.FaultSpec.
+	Faults *sim.FaultSpec
 }
 
 // scenario converts the config to its unified form.
@@ -246,6 +252,7 @@ func (c ButterflyConfig) scenario() sim.Scenario {
 		ReturnDelays:            c.ReturnDelays,
 		PopulationTraceInterval: c.PopulationTraceInterval,
 		ForceEventDriven:        c.ForceEventDriven,
+		Faults:                  c.Faults,
 	}
 	if !sc.TrackQuantiles {
 		sc.ReturnDelays = false

@@ -55,6 +55,10 @@ func compareMetrics(t *testing.T, label string, a, b network.Metrics) {
 		t.Errorf("%s: counters differ: %d/%d/%d vs %d/%d/%d", label,
 			a.Delivered, a.Generated, a.InFlight, b.Delivered, b.Generated, b.InFlight)
 	}
+	if a.DroppedFault != b.DroppedFault || a.DroppedOverflow != b.DroppedOverflow {
+		t.Errorf("%s: drop counters differ: %d/%d vs %d/%d", label,
+			a.DroppedFault, a.DroppedOverflow, b.DroppedFault, b.DroppedOverflow)
+	}
 	vectors := []struct {
 		name string
 		x, y []float64
@@ -102,6 +106,22 @@ func TestCrossKernelGoldenHypercubeSlotted(t *testing.T) {
 			c.Lambda = 1.0
 			c.CustomWeights = []float64{0, 1, 1, 0.5, 0, 0, 2, 0, 0, 0, 0, 0, 1, 0, 0, 3}
 		},
+		// Fault-model variants: transient faults alone, finite buffers alone,
+		// and the full model with scheduled outages. Identity must hold for
+		// the loss accounting too (compareMetrics covers the drop counters).
+		func(c *HypercubeConfig) { c.Faults = &sim.FaultSpec{ArcFailProb: 0.02} },
+		func(c *HypercubeConfig) { c.Faults = &sim.FaultSpec{BufferCapacity: 1}; c.LoadFactor = 0.9 },
+		func(c *HypercubeConfig) {
+			c.Faults = &sim.FaultSpec{
+				ArcFailProb:    0.01,
+				BufferCapacity: 3,
+				Outages: []sim.Outage{
+					{From: 80, Until: 160, Fraction: 0.25},
+					{From: 160, Until: 170, Arcs: []int{0, 1, 2, 5}},
+					{From: 200.25, Until: 233.5, Fraction: 0.5},
+				},
+			}
+		},
 	}
 	for i, mod := range variants {
 		cfg := base
@@ -132,6 +152,9 @@ func TestCrossKernelGoldenHypercubeSlotted(t *testing.T) {
 				!floatsEq(fast.PerDimensionMeanWait, ref.PerDimensionMeanWait) {
 				t.Error("per-dimension statistics differ")
 			}
+			if cfg.Faults != nil && ref.Metrics.DroppedFault+ref.Metrics.DroppedOverflow == 0 {
+				t.Error("fault variant recorded no drops; the loss path was not exercised")
+			}
 		})
 	}
 }
@@ -144,6 +167,17 @@ func TestCrossKernelGoldenButterfly(t *testing.T) {
 		{D: 5, P: 0.3, LoadFactor: 0.6, Horizon: 300, Seed: 21, TrackQuantiles: true, ReturnDelays: true},
 		{D: 3, P: 0.7, Lambda: 1.9, Horizon: 500, Seed: 3, PopulationTraceInterval: 20},
 		{D: 4, P: 0.5, LoadFactor: 1.3, Horizon: 200, Seed: 5}, // unstable
+		// Fault-model configs on the continuous-time (butterfly) path.
+		{D: 4, P: 0.5, LoadFactor: 0.8, Horizon: 400, Seed: 11, TrackQuantiles: true, ReturnDelays: true,
+			Faults: &sim.FaultSpec{ArcFailProb: 0.03}},
+		{D: 3, P: 0.4, LoadFactor: 0.9, Horizon: 300, Seed: 13,
+			Faults: &sim.FaultSpec{
+				BufferCapacity: 2,
+				Outages: []sim.Outage{
+					{From: 60, Until: 120.5, Fraction: 0.3},
+					{From: 150, Until: 151, Arcs: []int{3, 4}},
+				},
+			}},
 	}
 	for i, cfg := range cfgs {
 		t.Run(fmt.Sprintf("config%d", i), func(t *testing.T) {
@@ -167,6 +201,9 @@ func TestCrossKernelGoldenButterfly(t *testing.T) {
 			if !floatEq(fast.StraightUtilization, ref.StraightUtilization) ||
 				!floatEq(fast.VerticalUtilization, ref.VerticalUtilization) {
 				t.Error("per-kind utilisations differ")
+			}
+			if cfg.Faults != nil && ref.Metrics.DroppedFault+ref.Metrics.DroppedOverflow == 0 {
+				t.Error("fault config recorded no drops; the loss path was not exercised")
 			}
 		})
 	}

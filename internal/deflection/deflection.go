@@ -40,6 +40,11 @@ type Config struct {
 	WarmupFraction float64
 	// Seed drives all randomness.
 	Seed uint64
+	// ArcFailProb is the probability that any single hop transmission fails
+	// and drops its packet, drawn per hop from the dedicated fault stream
+	// (xrand.StreamFault of Seed). Zero disables the draw. Deflection routing
+	// is bufferless, so this is the only fault mode that applies to it.
+	ArcFailProb float64
 }
 
 func (c *Config) normalize() error {
@@ -60,6 +65,9 @@ func (c *Config) normalize() error {
 	}
 	if c.WarmupFraction == 0 {
 		c.WarmupFraction = 0.2
+	}
+	if c.ArcFailProb < 0 || c.ArcFailProb >= 1 {
+		return fmt.Errorf("deflection: arc_fail_prob = %v outside [0,1)", c.ArcFailProb)
 	}
 	return nil
 }
@@ -91,6 +99,10 @@ type Result struct {
 	// MaxNodeOccupancy is the largest number of packets observed at one node
 	// when ports were assigned; it can never exceed d.
 	MaxNodeOccupancy int
+	// Dropped is the number of measured packets lost to transient hop faults
+	// (Config.ArcFailProb); it counts packets generated after warm-up, the
+	// same population the delay statistics draw from.
+	Dropped int64
 }
 
 // packet is one in-flight or queued packet.
@@ -111,6 +123,7 @@ func Run(cfg Config) (*Result, error) {
 	d := cfg.D
 	dist := workload.NewBitFlip(d, cfg.P)
 	rng := xrand.NewStream(cfg.Seed, 0xDEF1)
+	faultRNG := xrand.NewStream(cfg.Seed, xrand.StreamFault)
 	srcRNG := make([]*xrand.Rand, n)
 	for x := range srcRNG {
 		srcRNG[x] = xrand.NewStream(cfg.Seed, uint64(x))
@@ -126,7 +139,7 @@ func Run(cfg Config) (*Result, error) {
 	var netPop, backlog stats.Tally
 	var backlogSeries stats.Series
 	maxOccupancy := 0
-	var delivered int64
+	var delivered, dropped int64
 
 	// Scratch buffers reused across nodes and slots.
 	dimUsed := make([]bool, d+1)
@@ -205,7 +218,7 @@ func Run(cfg Config) (*Result, error) {
 				for m := 1; m <= d; m++ {
 					if diff&(1<<uint(m-1)) != 0 && !dimUsed[m] {
 						dimUsed[m] = true
-						moveOne(cube, x, m, p, false, next, &delivered, &delay, &hops, &shortest, &deflections, slot, warmupSlot)
+						moveOne(cube, x, m, p, false, next, &delivered, &dropped, &delay, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
 						assigned = true
 						break
 					}
@@ -220,7 +233,7 @@ func Run(cfg Config) (*Result, error) {
 				for m := 1; m <= d; m++ {
 					if !dimUsed[m] {
 						dimUsed[m] = true
-						moveOne(cube, x, m, p, true, next, &delivered, &delay, &hops, &shortest, &deflections, slot, warmupSlot)
+						moveOne(cube, x, m, p, true, next, &delivered, &dropped, &delay, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
 						placed = true
 						break
 					}
@@ -243,6 +256,7 @@ func Run(cfg Config) (*Result, error) {
 		MeanInjectionBacklog:  backlog.Mean(),
 		InjectionBacklogSlope: backlogSeries.LinearSlope(),
 		MaxNodeOccupancy:      maxOccupancy,
+		Dropped:               dropped,
 	}
 	if math.IsNaN(res.MeanDelay) {
 		res.MeanDelay = 0
@@ -253,13 +267,22 @@ func Run(cfg Config) (*Result, error) {
 // moveOne advances packet p from node x along dimension m, recording delivery
 // statistics when it reaches its destination. The hop completes at the end of
 // the slot, so a packet delivered in slot s has spent s+1-genSlot slots in
-// the system.
+// the system. With a positive failProb each hop transmission draws once from
+// the fault stream and may drop the packet — including on its final hop,
+// matching the store-and-forward kernels' per-completion fault semantics.
 func moveOne(cube *hypercube.Cube, x, m int, p *packet, deflected bool, next [][]*packet,
-	delivered *int64, delay, hops, shortest, deflections *stats.Tally, slot, warmupSlot int) {
+	delivered, dropped *int64, delay, hops, shortest, deflections *stats.Tally, slot, warmupSlot int,
+	failProb float64, faultRNG *xrand.Rand) {
 	to := cube.Flip(hypercube.Node(x), hypercube.Dimension(m))
 	p.hops++
 	if deflected {
 		p.deflections++
+	}
+	if failProb > 0 && faultRNG.Float64() < failProb {
+		if p.genSlot >= warmupSlot {
+			*dropped++
+		}
+		return
 	}
 	if to == p.dest {
 		if p.genSlot >= warmupSlot {

@@ -20,13 +20,68 @@ package engine
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
 	"repro/internal/stats"
 	"repro/internal/xrand"
 )
+
+// panicAttempts is the total number of times a panicking index is attempted
+// before the engine gives up on it. Tasks are pure functions of their index
+// and seed, so the retry only rescues transient failures (a corrupted pooled
+// object, an overload-induced allocation failure); a deterministic panic
+// fails again immediately and surfaces as a *PanicError.
+const panicAttempts = 2
+
+// PanicError reports an index whose task panicked on every attempt. The
+// worker pool converts panics into this typed error instead of crashing the
+// process, so one poisoned shard cannot take down a long sweep; callers
+// inspect it with errors.As.
+type PanicError struct {
+	// Index is the ForEachCtx index (the shard or sweep-point index) that
+	// panicked.
+	Index int
+	// Attempts is the number of times the index was tried.
+	Attempts int
+	// Value is the last recovered panic value.
+	Value any
+	// Stack is the stack trace captured at the last recovery.
+	Stack []byte
+}
+
+// Error formats the panic with its index and attempt count; the captured
+// stack is available separately to keep single-line logs readable.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: task %d panicked after %d attempts: %v", e.Index, e.Attempts, e.Value)
+}
+
+// runIsolated executes fn(i) with panic isolation: a panic is recovered and
+// the index retried up to panicAttempts total attempts. It returns nil on
+// success, or the PanicError of the final attempt.
+func runIsolated(fn func(i int), i int) *PanicError {
+	var last *PanicError
+	for attempt := 1; attempt <= panicAttempts; attempt++ {
+		if last = tryIndex(fn, i, attempt); last == nil {
+			return nil
+		}
+	}
+	return last
+}
+
+// tryIndex is one recover-guarded attempt at fn(i).
+func tryIndex(fn func(i int), i, attempt int) (pe *PanicError) {
+	defer func() {
+		if v := recover(); v != nil {
+			pe = &PanicError{Index: i, Attempts: attempt, Value: v, Stack: debug.Stack()}
+		}
+	}()
+	fn(i)
+	return nil
+}
 
 // Task is one replication of an experiment. It receives the replication's
 // global index and its deterministic seed, runs whatever simulation the
@@ -215,13 +270,23 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 // has completed. Iteration slots are claimed dynamically, so uneven work is
 // balanced across workers; callers that need deterministic output should have
 // fn(i) write only to the i-th slot of a result slice.
+//
+// A panicking index is retried (see PanicError); if it keeps panicking,
+// ForEach re-panics with the *PanicError on the caller's goroutine, so legacy
+// callers keep crash-on-bug semantics while the worker goroutines themselves
+// never die. Callers that want the typed error instead use ForEachCtx.
 func ForEach(n, parallelism int, fn func(i int)) {
-	ForEachCtx(context.Background(), n, parallelism, fn)
+	if err := ForEachCtx(context.Background(), n, parallelism, fn); err != nil {
+		panic(err)
+	}
 }
 
-// ForEachCtx is ForEach with cooperative cancellation: once ctx is cancelled
-// no further index is dispatched, in-flight fn calls run to completion, and
-// the context error is returned. A nil return means fn ran for every index.
+// ForEachCtx is ForEach with cooperative cancellation and panic isolation:
+// once ctx is cancelled no further index is dispatched, in-flight fn calls
+// run to completion, and the context error is returned. A panic inside fn is
+// recovered and the index retried; an index that panics on every attempt
+// stops dispatch and is reported as a *PanicError (the process survives). A
+// nil return means fn ran for every index.
 func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
@@ -237,10 +302,18 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			fn(i)
+			if pe := runIsolated(fn, i); pe != nil {
+				return pe
+			}
 		}
 		return nil
 	}
+	// A persistent panic cancels this derived context so dispatch stops
+	// promptly; the parent's error still wins when both fire.
+	ctx, stop := context.WithCancel(ctx)
+	defer stop()
+	var panicMu sync.Mutex
+	var panicErr *PanicError
 	next := make(chan int)
 	var wg sync.WaitGroup
 	wg.Add(parallelism)
@@ -248,7 +321,14 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				fn(i)
+				if pe := runIsolated(fn, i); pe != nil {
+					panicMu.Lock()
+					if panicErr == nil || pe.Index < panicErr.Index {
+						panicErr = pe
+					}
+					panicMu.Unlock()
+					stop()
+				}
 			}
 		}()
 	}
@@ -264,5 +344,11 @@ dispatch:
 	}
 	close(next)
 	wg.Wait()
+	// After the barrier panicErr needs no lock. It takes precedence over err
+	// because a dispatch break may only be the echo of our own stop() call;
+	// when no panic occurred, err can only come from the parent context.
+	if panicErr != nil {
+		return panicErr
+	}
 	return err
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -286,6 +287,100 @@ func TestRunCtxCancelled(t *testing.T) {
 	}
 	if n := atomic.LoadInt64(&started); n >= 1000 {
 		t.Fatalf("cancellation did not stop dispatch (%d replications ran)", n)
+	}
+}
+
+// TestForEachCtxPanicIsolation checks that a persistently panicking index
+// surfaces as a typed *PanicError on both execution paths — after the bounded
+// retry — instead of killing the process, and that dispatch stops early.
+func TestForEachCtxPanicIsolation(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var attempts int64
+		err := ForEachCtx(context.Background(), 100, par, func(i int) {
+			if i == 7 {
+				atomic.AddInt64(&attempts, 1)
+				panic("poisoned shard")
+			}
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: err = %v (%T), want *PanicError", par, err, err)
+		}
+		if pe.Index != 7 || pe.Attempts != 2 || pe.Value != "poisoned shard" {
+			t.Fatalf("parallelism %d: bad PanicError: %+v", par, pe)
+		}
+		if got := atomic.LoadInt64(&attempts); got != 2 {
+			t.Fatalf("parallelism %d: index attempted %d times, want 2", par, got)
+		}
+		if len(pe.Stack) == 0 {
+			t.Fatalf("parallelism %d: PanicError carries no stack", par)
+		}
+	}
+}
+
+// TestForEachCtxPanicRetryRecovers checks the transient-failure half of the
+// retry contract: an index that panics once and then succeeds must not error,
+// and every index must still run exactly once (successfully).
+func TestForEachCtxPanicRetryRecovers(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		var flaky int32
+		n := 50
+		ok := make([]int32, n)
+		err := ForEachCtx(context.Background(), n, par, func(i int) {
+			if i == 13 && atomic.CompareAndSwapInt32(&flaky, 0, 1) {
+				panic("transient glitch")
+			}
+			atomic.AddInt32(&ok[i], 1)
+		})
+		if err != nil {
+			t.Fatalf("parallelism %d: retry did not absorb a transient panic: %v", par, err)
+		}
+		for i, c := range ok {
+			if c != 1 {
+				t.Fatalf("parallelism %d: index %d succeeded %d times, want 1", par, i, c)
+			}
+		}
+	}
+}
+
+// TestForEachRepanics checks that the non-context entry point preserves the
+// historical crash-on-bug contract by re-panicking with the typed error on
+// the caller's goroutine (where it can be recovered) rather than dying on an
+// unrecoverable worker-goroutine panic.
+func TestForEachRepanics(t *testing.T) {
+	defer func() {
+		pe, ok := recover().(*PanicError)
+		if !ok || pe.Index != 2 {
+			t.Fatalf("recovered %v, want *PanicError for index 2", pe)
+		}
+	}()
+	ForEach(8, 4, func(i int) {
+		if i == 2 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ForEach returned despite a persistent panic")
+}
+
+// TestRunCtxPanicTyped checks that a shard panic inside a sharded run comes
+// back as a typed error with no partial result.
+func TestRunCtxPanicTyped(t *testing.T) {
+	res, err := RunCtx(context.Background(), Config{Replications: 40, ShardSize: 4, Parallelism: 4, BaseSeed: 2},
+		func(rep int, _ uint64) map[string]float64 {
+			if rep == 21 {
+				panic(fmt.Sprintf("rep %d exploded", rep))
+			}
+			return map[string]float64{"v": 1}
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 5 { // shard 5 holds reps [20, 24)
+		t.Fatalf("PanicError.Index = %d, want shard 5", pe.Index)
+	}
+	if res != nil {
+		t.Fatal("panicking run must not return a partial result")
 	}
 }
 

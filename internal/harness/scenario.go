@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"reflect"
+	"sort"
 	"strings"
 
 	"repro/sim"
@@ -129,8 +131,14 @@ func isSweepSpec(data []byte) bool {
 
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing
 // content (a second top-level value would otherwise be silently dropped —
-// the classic forgotten-array-brackets mistake).
+// the classic forgotten-array-brackets mistake). Unknown keys are diagnosed
+// by checkUnknownKeys first, which names the offending key, the nested block
+// it sits in and the block's valid keys; the decoder's own
+// DisallowUnknownFields remains as a backstop.
 func decodeStrict(data []byte, v any) error {
+	if err := checkUnknownKeys(data, reflect.TypeOf(v).Elem(), ""); err != nil {
+		return err
+	}
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
@@ -140,6 +148,86 @@ func decodeStrict(data []byte, v any) error {
 		return fmt.Errorf("trailing content after the first JSON value (wrap multiple scenarios in an array)")
 	}
 	return nil
+}
+
+// checkUnknownKeys walks the spec JSON alongside the target Go type and
+// reports the first unknown object key, depth-first in sorted key order. The
+// error names the key, the block it appears in ("faults", "topology", ...)
+// and the block's valid keys, so a spec typo comes back with its fix attached
+// rather than as a bare rejection. Non-object JSON where an object is
+// expected is left for the real decoder to report.
+func checkUnknownKeys(data []byte, t reflect.Type, block string) error {
+	switch t.Kind() {
+	case reflect.Pointer:
+		return checkUnknownKeys(data, t.Elem(), block)
+	case reflect.Slice, reflect.Array:
+		var elems []json.RawMessage
+		if err := json.Unmarshal(data, &elems); err != nil {
+			return nil
+		}
+		for _, e := range elems {
+			if err := checkUnknownKeys(e, t.Elem(), block); err != nil {
+				return err
+			}
+		}
+		return nil
+	case reflect.Struct:
+		fields := jsonFields(t)
+		if len(fields) == 0 {
+			return nil // opaque type with its own UnmarshalJSON (e.g. axis values)
+		}
+		var obj map[string]json.RawMessage
+		if err := json.Unmarshal(data, &obj); err != nil {
+			return nil
+		}
+		keys := make([]string, 0, len(obj))
+		for k := range obj {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			ft, ok := fields[key]
+			if !ok {
+				valid := make([]string, 0, len(fields))
+				for name := range fields {
+					valid = append(valid, name)
+				}
+				sort.Strings(valid)
+				loc := ""
+				if block != "" {
+					loc = fmt.Sprintf(" in %q block", block)
+				}
+				return fmt.Errorf("unknown field %q%s (valid: %s)", key, loc, strings.Join(valid, ", "))
+			}
+			if err := checkUnknownKeys(obj[key], ft, key); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// jsonFields maps a struct's JSON key names to their field types, skipping
+// fields tagged `json:"-"` (execution policy, not part of the spec).
+func jsonFields(t reflect.Type) map[string]reflect.Type {
+	fields := map[string]reflect.Type{}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		name, _, _ := strings.Cut(f.Tag.Get("json"), ",")
+		switch name {
+		case "-":
+			continue
+		case "":
+			name = f.Name
+		}
+		fields[name] = f.Type
+	}
+	return fields
 }
 
 // ScenarioTable renders one executed scenario as a report table: the common
@@ -163,6 +251,12 @@ func ScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 	table.AddRow("mean total population", F(res.Metrics.MeanPopulation))
 	table.AddRow("throughput (packets/time)", F(res.Metrics.Throughput))
 	table.AddRow("packets delivered", fmt.Sprintf("%d", res.Metrics.Delivered))
+	if f := res.Faults; f != nil {
+		table.AddRow("delivery ratio (decided fates)", F(f.DeliveryRatio))
+		table.AddRow("conditional mean delay", F(f.ConditionalMeanDelay))
+		table.AddRow("dropped: transmission fault", fmt.Sprintf("%d", f.DroppedFault))
+		table.AddRow("dropped: buffer overflow", fmt.Sprintf("%d", f.DroppedOverflow))
+	}
 	if sc.TrackQuantiles {
 		table.AddRow("delay P95", F(res.DelayP95))
 		table.AddRow("delay P99", F(res.DelayP99))
@@ -218,6 +312,9 @@ func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 		metrics = append(metrics,
 			metric{"mean deflections per packet", sim.MetricMeanDeflections},
 			metric{"mean injection backlog", sim.MetricInjectionBacklog})
+	}
+	if res.Faults != nil {
+		metrics = append(metrics, metric{"delivery ratio (decided fates)", sim.MetricDeliveryRatio})
 	}
 	for _, mt := range metrics {
 		r := res.Replicated[mt.key]

@@ -40,9 +40,11 @@ type Collector struct {
 	groupWait  []stats.Tally
 	perHopWait bool
 
-	departures int64
-	generated  int64
-	inFlight   int64
+	departures      int64
+	generated       int64
+	inFlight        int64
+	droppedFault    int64
+	droppedOverflow int64
 
 	popTrace   stats.Series
 	traceEvery float64
@@ -86,6 +88,8 @@ func (c *Collector) Reset(numGroups int) {
 	c.departures = 0
 	c.generated = 0
 	c.inFlight = 0
+	c.droppedFault = 0
+	c.droppedOverflow = 0
 	c.popTrace.Reset()
 	c.traceEvery = 0
 	c.lastTrace = 0
@@ -211,6 +215,21 @@ func (c *Collector) Deliver(now, genTime float64, hops, class int) {
 	c.departures++
 }
 
+// Drop records a packet lost at time now: a transient transmission fault
+// (overflow = false) or a full finite buffer (overflow = true). Like Deliver,
+// drops of packets generated before the measurement window are not counted —
+// the caller still owes the population bookkeeping (PacketLeft) either way.
+func (c *Collector) Drop(genTime float64, overflow bool) {
+	if genTime < c.measureFrom {
+		return
+	}
+	if overflow {
+		c.droppedOverflow++
+	} else {
+		c.droppedFault++
+	}
+}
+
 // StartMeasurement discards the warm-up transient at time now: delay
 // statistics will only include packets generated from now on, and
 // time-weighted statistics restart from the current state.
@@ -228,6 +247,8 @@ func (c *Collector) StartMeasurement(now float64) {
 	}
 	c.departures = 0
 	c.generated = 0
+	c.droppedFault = 0
+	c.droppedOverflow = 0
 	if c.perHopWait {
 		for g := range c.groupWait {
 			c.groupWait[g] = stats.Tally{}
@@ -284,6 +305,8 @@ func (c *Collector) Snapshot(now float64, groupArcs []int, groupBusy, groupArriv
 		MeanHops:            c.hopCount.Mean(),
 		Delivered:           c.departures,
 		Generated:           c.generated,
+		DroppedFault:        c.droppedFault,
+		DroppedOverflow:     c.droppedOverflow,
 		MeanPopulation:      c.population.MeanAt(now),
 		MaxPopulation:       c.population.Max(),
 		InFlight:            c.inFlight,

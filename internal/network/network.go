@@ -83,6 +83,30 @@ type Config struct {
 	// zero GroupMeanPopulation. Callers that never read the per-group
 	// populations (the butterfly experiments) set it on both kernels.
 	SkipGroupPopulation bool
+	// ArcFailProb is the probability that any single transmission fails and
+	// drops its packet, drawn at each service completion from the dedicated
+	// fault stream (xrand.StreamFault of Seed). Zero disables the draw
+	// entirely, keeping faultless runs byte-identical.
+	ArcFailProb float64
+	// BufferCapacity, when positive, bounds each arc's waiting queue (the
+	// packet in service is not counted); an arrival at a full queue is
+	// dropped. Zero means infinite buffers.
+	BufferCapacity int
+	// Outages schedules link outage windows, sorted by start time and
+	// non-overlapping. A down arc finishes its in-flight transmission but
+	// starts no new one until the window ends; its queue keeps accepting
+	// packets (subject to BufferCapacity).
+	Outages []Outage
+}
+
+// Outage is one resolved link outage window [From, Until) over an explicit,
+// ascending arc index set. It is the kernel-level currency shared by the
+// event-driven and slot-stepped kernels (sim resolves spec-level outage
+// fractions into this form once, so both kernels see identical arc sets).
+type Outage struct {
+	From  float64
+	Until float64
+	Arcs  []int32
 }
 
 // arcState is the per-arc queue and busy/idle state.
@@ -94,9 +118,13 @@ type arcState struct {
 	busyTime  float64
 }
 
-// evComplete is the typed-event kind for a service completion; owner is the
-// arc index.
-const evComplete int32 = 0
+// Typed-event kinds of the System handler. evComplete's owner is the arc
+// index; the outage kinds' owner is the index into Config.Outages.
+const (
+	evComplete int32 = iota
+	evOutageStart
+	evOutageEnd
+)
 
 // maxDenseClass bounds the packet classes tracked in a dense slice instead of
 // a map; the experiments use at most a handful of classes (Valiant phases,
@@ -116,6 +144,12 @@ type System struct {
 	// NewSystem so the hot path never calls the cfg.GroupOf func.
 	groupOf []int32
 	rng     *xrand.Rand
+	// faultRNG is the dedicated transient-fault stream; it is consumed only
+	// when cfg.ArcFailProb > 0 (exactly one draw per service completion).
+	faultRNG *xrand.Rand
+	// arcDown marks arcs inside an active outage window; nil when the run has
+	// no outages, so the faultless hot path costs one nil check.
+	arcDown []bool
 	nextID  int64
 	// pool is the free list of delivered pooled packets (see AcquirePacket).
 	pool []*Packet
@@ -138,8 +172,9 @@ type System struct {
 // NewSystem builds a System from the configuration.
 func NewSystem(cfg Config) *System {
 	s := &System{
-		Sim: des.New(),
-		rng: xrand.New(0),
+		Sim:      des.New(),
+		rng:      xrand.New(0),
+		faultRNG: xrand.New(0),
 	}
 	s.handler = s.Sim.RegisterHandler(s)
 	s.svcCh = s.Sim.NewChannel()
@@ -217,6 +252,27 @@ func (s *System) configure(cfg Config) {
 		s.groupOf[i] = int32(g)
 	}
 	s.rng.SeedStream(cfg.Seed, 0xD15C)
+	s.faultRNG.SeedStream(cfg.Seed, xrand.StreamFault)
+	if len(cfg.Outages) > 0 {
+		if cap(s.arcDown) < cfg.NumArcs {
+			s.arcDown = make([]bool, cfg.NumArcs)
+		} else {
+			s.arcDown = s.arcDown[:cfg.NumArcs]
+			for i := range s.arcDown {
+				s.arcDown[i] = false
+			}
+		}
+		// Outage transitions are scheduled before any source or completion
+		// event, so their sequence numbers are the lowest: at equal times a
+		// transition always fires first, matching the slot-stepped kernel's
+		// transitions-before-events rule.
+		for i, o := range cfg.Outages {
+			s.Sim.ScheduleEventAt(o.From, s.handler, evOutageStart, int32(i))
+			s.Sim.ScheduleEventAt(o.Until, s.handler, evOutageEnd, int32(i))
+		}
+	} else {
+		s.arcDown = nil
+	}
 	s.col.Reset(cfg.NumGroups)
 }
 
@@ -225,6 +281,21 @@ func (s *System) HandleEvent(kind, owner int32) {
 	switch kind {
 	case evComplete:
 		s.completeService(int(owner))
+	case evOutageStart:
+		for _, arc := range s.cfg.Outages[owner].Arcs {
+			s.arcDown[arc] = true
+		}
+	case evOutageEnd:
+		now := s.Sim.Now()
+		for _, arc := range s.cfg.Outages[owner].Arcs {
+			s.arcDown[arc] = false
+			// Restart idle arcs with queued work, in ascending arc order (the
+			// slot-stepped kernel restarts in the same order).
+			a := &s.arcs[arc]
+			if a.inService == nil && a.queue.Len() > 0 {
+				s.startService(int(arc), s.nextFromQueue(a), now)
+			}
+		}
 	default:
 		panic(fmt.Sprintf("network: unknown event kind %d", kind))
 	}
@@ -295,22 +366,53 @@ func (s *System) Inject(p *Packet) {
 }
 
 // enqueue places the packet at its current arc and starts service if the arc
-// is idle.
+// is idle (and not inside an outage window). With a finite BufferCapacity, a
+// packet that would join a full queue is dropped instead.
 func (s *System) enqueue(p *Packet, now float64) {
 	idx := p.Path[p.hop]
 	if idx < 0 || idx >= len(s.arcs) {
 		panic(fmt.Sprintf("network: packet %d path refers to arc %d outside [0,%d)", p.ID, idx, len(s.arcs)))
 	}
 	a := &s.arcs[idx]
-	a.arrivals++
-	p.enqueuedAt = now
-	if a.inService == nil {
-		s.startService(idx, p, now)
-	} else {
+	if a.inService != nil || (s.arcDown != nil && s.arcDown[idx]) {
+		if s.cfg.BufferCapacity > 0 && a.queue.Len() >= s.cfg.BufferCapacity {
+			s.drop(p, now, true)
+			return
+		}
+		a.arrivals++
+		p.enqueuedAt = now
 		a.queue.Push(p)
+	} else {
+		a.arrivals++
+		p.enqueuedAt = now
+		s.startService(idx, p, now)
 	}
 	if !s.cfg.SkipGroupPopulation {
 		s.col.GroupPopulationAdd(s.groupOf[idx], now, +1)
+	}
+}
+
+// drop discards a packet that is already inside the network: a transient
+// transmission fault (overflow = false) or a full finite buffer
+// (overflow = true).
+func (s *System) drop(p *Packet, now float64, overflow bool) {
+	s.col.PacketLeft(now)
+	s.col.Drop(p.GenTime, overflow)
+	if p.pooled {
+		s.releasePacket(p)
+	}
+}
+
+// nextFromQueue removes the next packet to serve from a's queue according to
+// the configured discipline. The queue must be non-empty.
+func (s *System) nextFromQueue(a *arcState) *Packet {
+	switch s.cfg.Discipline {
+	case FIFO:
+		return a.queue.PopFront()
+	case RandomOrder:
+		return a.queue.RemoveSwap(s.rng.Intn(a.queue.Len()))
+	default:
+		panic("network: unknown discipline")
 	}
 }
 
@@ -338,18 +440,17 @@ func (s *System) completeService(idx int) {
 	}
 	s.col.ArcWait(s.groupOf[idx], now, p.enqueuedAt, p.GenTime)
 
-	// Start the next packet on this arc.
-	if a.queue.Len() > 0 {
-		var next *Packet
-		switch s.cfg.Discipline {
-		case FIFO:
-			next = a.queue.PopFront()
-		case RandomOrder:
-			next = a.queue.RemoveSwap(s.rng.Intn(a.queue.Len()))
-		default:
-			panic("network: unknown discipline")
-		}
-		s.startService(idx, next, now)
+	// Start the next packet on this arc (never inside an outage window: the
+	// outage-end handler restarts the arc).
+	if a.queue.Len() > 0 && (s.arcDown == nil || !s.arcDown[idx]) {
+		s.startService(idx, s.nextFromQueue(a), now)
+	}
+
+	// Transient fault: one dedicated-stream draw per completed transmission
+	// decides whether this transmission failed, dropping the packet.
+	if s.cfg.ArcFailProb > 0 && s.faultRNG.Float64() < s.cfg.ArcFailProb {
+		s.drop(p, now, false)
+		return
 	}
 
 	// Advance the completed packet.
@@ -410,6 +511,13 @@ type Metrics struct {
 	Delivered int64
 	// Generated is the number of packets injected during the window.
 	Generated int64
+	// DroppedFault is the number of measured packets lost to transient
+	// transmission faults (Config.ArcFailProb). Omitted from JSON when zero
+	// so faultless results stay byte-identical to pre-fault output.
+	DroppedFault int64 `json:",omitempty"`
+	// DroppedOverflow is the number of measured packets lost to full finite
+	// buffers (Config.BufferCapacity); JSON omission as for DroppedFault.
+	DroppedOverflow int64 `json:",omitempty"`
 	// Throughput is Delivered divided by Elapsed.
 	Throughput float64
 	// MeanPopulation is the time-averaged number of packets in flight.

@@ -194,6 +194,34 @@ type Config struct {
 	SkipGroupPopulation bool
 	// TraceInterval enables the population trace (0 disables it).
 	TraceInterval float64
+	// ArcFailProb is the probability that any single transmission fails and
+	// drops its packet, drawn at each service completion from the dedicated
+	// fault stream (xrand.StreamFault of Seed) — exactly one draw per
+	// completion, in completion order, so the stream consumption matches the
+	// event-driven kernel's. Zero disables the draw entirely.
+	ArcFailProb float64
+	// BufferCapacity, when positive, bounds each arc's waiting queue (the
+	// packet in service is not counted); an arrival at a full queue is
+	// dropped. Finite buffers disable the batched population updates, because
+	// an injection-time drop breaks the monotone down-then-up order within a
+	// slot instant that batching relies on.
+	BufferCapacity int
+	// Outages schedules link outage windows; they must be sorted by start
+	// time and non-overlapping (sim resolves specs into this form). Down-arc
+	// semantics match network.Config.Outages: in-flight transmissions finish,
+	// no new ones start until the window ends.
+	Outages []network.Outage
+}
+
+// transition is one flattened outage boundary. The list is built in
+// (From, Until) pairs over the sorted, non-overlapping Config.Outages, which
+// makes it time-ordered with ends preceding starts at equal times — exactly
+// the (time, sequence) order in which the event-driven calendar fires the
+// outage events it schedules during configuration.
+type transition struct {
+	at     float64
+	outage int32
+	start  bool
 }
 
 // Per-element sizes of the structure-of-arrays storage, in bytes. They are
@@ -228,7 +256,13 @@ func EstimateBytes(cfg Config) int64 {
 	if cfg.TrackPerHopWait {
 		perPkt += pktWaitBytes
 	}
+	if cfg.BufferCapacity > 0 {
+		perArc += 4 // aQLen
+	}
 	est := int64(cfg.NumArcs)*perArc + poolChunk*perPkt + compChunk*compBytes
+	if len(cfg.Outages) > 0 {
+		est += int64((cfg.NumArcs+63)/64)*8 + int64(2*len(cfg.Outages))*16 // down bitset + transitions
+	}
 	groups := cfg.NumGroups
 	if groups < 1 {
 		groups = 1
@@ -249,10 +283,22 @@ type Kernel struct {
 
 	// Hot copies of config fields, so the per-hop path never reloads the
 	// config struct.
-	mode    RouteMode
-	srcN    int
-	maxHops int
-	numArcs int
+	mode     RouteMode
+	srcN     int
+	maxHops  int
+	numArcs  int
+	failProb float64
+	bufCap   int
+
+	// Fault state. faultRNG is the dedicated transient-fault stream, consumed
+	// only when failProb > 0 (exactly one draw per completion). downWords is
+	// the down-arc bitset, nil when the run has no outages so the faultless
+	// hot path costs one nil check; trans is the flattened, time-ordered
+	// outage boundary list with transNext the next unfired boundary.
+	faultRNG  *xrand.Rand
+	downWords []uint64
+	trans     []transition
+	transNext int
 
 	// Arc state, one entry per arc: the packet in service (doubling as the
 	// busy flag), intrusive FIFO queue head/tail pool indices, and the
@@ -267,6 +313,7 @@ type Kernel struct {
 	aBusySince []float64
 	aBusyTime  []float64
 	aGroup     []int32 // populated only when per-group stats are on
+	aQLen      []int32 // waiting-queue lengths, maintained only with finite buffers
 
 	// Packet pool: parallel arrays indexed by pool slot. A packet occupies
 	// one slot from injection to delivery; pNext threads both the per-arc
@@ -400,6 +447,28 @@ func (k *Kernel) reset(cfg Config) {
 	k.srcN = cfg.Sources
 	k.maxHops = cfg.MaxHops
 	k.numArcs = cfg.NumArcs
+	k.failProb = cfg.ArcFailProb
+	k.bufCap = cfg.BufferCapacity
+	if k.faultRNG == nil {
+		k.faultRNG = xrand.New(0)
+	}
+	k.faultRNG.SeedStream(cfg.Seed, xrand.StreamFault)
+	k.trans = k.trans[:0]
+	k.transNext = 0
+	if len(cfg.Outages) > 0 {
+		k.downWords = resizeZero(k.downWords, (cfg.NumArcs+63)/64)
+		last := 0.0
+		for i := range cfg.Outages {
+			o := &cfg.Outages[i]
+			if o.From < last || o.Until <= o.From {
+				panic(fmt.Sprintf("slotsim: outages must be sorted and non-overlapping, got [%v,%v) after %v", o.From, o.Until, last))
+			}
+			last = o.Until
+			k.trans = append(k.trans, transition{o.From, int32(i), true}, transition{o.Until, int32(i), false})
+		}
+	} else {
+		k.downWords = nil
+	}
 
 	k.aSvc = resizeZero(k.aSvc, cfg.NumArcs)
 	k.aHead = resizeZero(k.aHead, cfg.NumArcs)
@@ -416,6 +485,9 @@ func (k *Kernel) reset(cfg Config) {
 			}
 			k.aGroup[i] = int32(g)
 		}
+	}
+	if k.bufCap > 0 {
+		k.aQLen = resizeZero(k.aQLen, cfg.NumArcs)
 	}
 
 	// Packet pool: every slot is free again (bump allocation restarts).
@@ -440,7 +512,7 @@ func (k *Kernel) reset(cfg Config) {
 	k.compHead, k.compLen = 0, 0
 	k.seq = 0
 	k.arrPending = false
-	k.batchPop = cfg.Slotted && cfg.TraceInterval == 0
+	k.batchPop = cfg.Slotted && cfg.TraceInterval == 0 && cfg.BufferCapacity == 0
 	k.popDelta = 0
 	k.popDirty = false
 
@@ -514,7 +586,7 @@ func resizeZero[T any](s []T, n int) []T {
 func (k *Kernel) memFootprint() int64 {
 	b := int64(cap(k.aSvc))*4 + int64(cap(k.aHead))*4 + int64(cap(k.aTail))*4 +
 		int64(cap(k.aArrivals))*8 + int64(cap(k.aBusySince))*8 + int64(cap(k.aBusyTime))*8 +
-		int64(cap(k.aGroup))*4
+		int64(cap(k.aGroup))*4 + int64(cap(k.aQLen))*4 + int64(cap(k.downWords))*8 + int64(cap(k.trans))*16
 	b += int64(cap(k.pGen))*8 + int64(cap(k.pUV))*8 + int64(cap(k.pAux))*8 +
 		int64(cap(k.pNext))*4 + int64(cap(k.pEnqAt))*8
 	b += int64(cap(k.compTime))*8 + int64(cap(k.compSeq))*8 + int64(cap(k.compArc))*4
@@ -536,8 +608,73 @@ func (k *Kernel) checkBudget(what string, extra int64) {
 	}
 }
 
-// runSlotted advances the slot clock: at every slot instant, due completions
-// fire first (FIFO), then the tick injects the network-wide Poisson batch.
+// Next-event kinds of the two main loops.
+const (
+	evNone = iota
+	evTrans
+	evComp
+	evTick
+	evArr
+)
+
+// fireTransition applies the next outage boundary at time now: a start marks
+// its arcs down; an end marks them up again and — in ascending arc order,
+// matching the event-driven handler — restarts idle arcs with queued work.
+func (k *Kernel) fireTransition(now float64) {
+	tr := k.trans[k.transNext]
+	k.transNext++
+	arcs := k.cfg.Outages[tr.outage].Arcs
+	if tr.start {
+		for _, arc := range arcs {
+			k.downWords[uint32(arc)>>6] |= 1 << (uint32(arc) & 63)
+		}
+		return
+	}
+	for _, arc := range arcs {
+		k.downWords[uint32(arc)>>6] &^= 1 << (uint32(arc) & 63)
+		if k.aSvc[arc] == 0 && k.aHead[arc] != 0 {
+			k.startService(int(arc), k.popHead(int(arc)), now)
+		}
+	}
+}
+
+// arcDown reports whether arc idx is inside an active outage window; callers
+// have checked downWords != nil.
+func (k *Kernel) arcDown(idx int) bool {
+	return k.downWords[uint32(idx)>>6]>>(uint32(idx)&63)&1 != 0
+}
+
+// popHead removes and returns the head of arc idx's FIFO queue; the caller
+// has checked the queue is non-empty. pNext stores raw slots with a -1 end
+// sentinel, so nh+1 is exactly the biased head encoding.
+func (k *Kernel) popHead(idx int) int32 {
+	h := k.aHead[idx]
+	nh := k.pNext[h-1] + 1
+	k.aHead[idx] = nh
+	if nh == 0 {
+		k.aTail[idx] = 0
+	}
+	if k.bufCap > 0 {
+		k.aQLen[idx]--
+	}
+	return h - 1
+}
+
+// dropPkt discards pool slot s mid-network — a transient transmission fault
+// (overflow = false) or a full finite buffer (overflow = true) — mirroring
+// System.drop: the packet leaves the population and is counted per cause.
+func (k *Kernel) dropPkt(s int32, now float64, overflow bool) {
+	k.packetLeft(now)
+	k.col.Drop(k.pGen[s], overflow)
+	if slot := uint32(k.pAux[s] >> 32); slot != noSlot {
+		k.pathFree = append(k.pathFree, int32(slot))
+	}
+	k.freePkt(s)
+}
+
+// runSlotted advances the slot clock: at every slot instant, outage
+// transitions and due completions fire first (in that order), then the tick
+// injects the network-wide Poisson batch.
 func (k *Kernel) runSlotted() {
 	horizon, warmup, tau := k.cfg.Horizon, k.cfg.Warmup, k.cfg.Tau
 	tick := 0.0 // next tick time, accumulated exactly like the des driver
@@ -545,23 +682,27 @@ func (k *Kernel) runSlotted() {
 	measuring := false
 	cur := 0.0 // instant the batched population delta accumulated over
 	for {
+		// Pick the next event among outage transitions, due completions and
+		// the slot tick. At equal times transitions fire first (the des path
+		// schedules them during configuration, so they hold the lowest
+		// sequence numbers), then completions, then the tick: completions
+		// due at the tick instant were scheduled no later than the end of
+		// the previous tick's handler, which is also where the tick itself
+		// was scheduled.
 		var next float64
-		compFirst := false
-		switch {
-		case k.compLen > 0 && tickPending:
-			// Completions due at the tick instant precede the tick: they
-			// were scheduled no later than the end of the previous tick's
-			// handler, which is also where the tick itself was scheduled.
-			if ct := k.compTime[k.compHead]; ct <= tick {
-				next, compFirst = ct, true
-			} else {
-				next = tick
+		kind := evNone
+		if k.transNext < len(k.trans) {
+			next, kind = k.trans[k.transNext].at, evTrans
+		}
+		if k.compLen > 0 {
+			if ct := k.compTime[k.compHead]; kind == evNone || ct < next {
+				next, kind = ct, evComp
 			}
-		case k.compLen > 0:
-			next, compFirst = k.compTime[k.compHead], true
-		case tickPending:
-			next = tick
-		default:
+		}
+		if tickPending && (kind == evNone || tick < next) {
+			next, kind = tick, evTick
+		}
+		if kind == evNone {
 			k.flushPop(cur)
 			if !measuring {
 				k.startMeasurement(warmup)
@@ -579,10 +720,13 @@ func (k *Kernel) runSlotted() {
 			k.startMeasurement(warmup)
 			measuring = true
 		}
-		if compFirst {
+		switch kind {
+		case evTrans:
+			k.fireTransition(next)
+		case evComp:
 			arc, t := k.popCompletion()
 			k.complete(arc, t)
-		} else {
+		default:
 			k.fireTick(tick)
 			tick += tau
 			tickPending = tick <= horizon
@@ -604,20 +748,29 @@ func (k *Kernel) runContinuous() {
 	measuring := false
 	for {
 		var next float64
-		compFirst := false
+		kind := evNone
 		switch {
 		case k.compLen > 0 && k.arrPending:
 			ct := k.compTime[k.compHead]
 			if ct < k.arrTime || (ct == k.arrTime && k.compSeq[k.compHead] < k.arrSeq) {
-				next, compFirst = ct, true
+				next, kind = ct, evComp
 			} else {
-				next = k.arrTime
+				next, kind = k.arrTime, evArr
 			}
 		case k.compLen > 0:
-			next, compFirst = k.compTime[k.compHead], true
+			next, kind = k.compTime[k.compHead], evComp
 		case k.arrPending:
-			next = k.arrTime
-		default:
+			next, kind = k.arrTime, evArr
+		}
+		// Outage transitions carry the lowest sequence numbers on the des
+		// calendar (scheduled during configuration), so at equal times they
+		// precede both completions and arrivals.
+		if k.transNext < len(k.trans) {
+			if tt := k.trans[k.transNext].at; kind == evNone || tt <= next {
+				next, kind = tt, evTrans
+			}
+		}
+		if kind == evNone {
 			if !measuring {
 				k.startMeasurement(warmup)
 			}
@@ -630,10 +783,13 @@ func (k *Kernel) runContinuous() {
 			k.startMeasurement(warmup)
 			measuring = true
 		}
-		if compFirst {
+		switch kind {
+		case evTrans:
+			k.fireTransition(next)
+		case evComp:
 			arc, t := k.popCompletion()
 			k.complete(arc, t)
-		} else {
+		default:
 			t := k.arrTime
 			k.arrPending = false
 			node := int32(rng.Uint64n(nodes))
@@ -772,17 +928,20 @@ func (k *Kernel) nextArc(s int32) int {
 }
 
 // enqueue places pool slot s at its current arc; it mirrors System.enqueue.
-// An idle arc starts service immediately; a busy arc appends s to its
-// intrusive FIFO list.
+// An idle arc outside any outage window starts service immediately; otherwise
+// s joins the arc's intrusive FIFO list — unless a finite buffer is full, in
+// which case the packet is dropped before any statistic is touched.
 func (k *Kernel) enqueue(s int32, now float64) {
 	idx := k.nextArc(s)
-	k.aArrivals[idx]++
-	if k.hopWait {
-		k.pEnqAt[s] = now
-	}
-	if k.aSvc[idx] == 0 {
-		k.startService(idx, s, now)
-	} else {
+	if k.aSvc[idx] != 0 || (k.downWords != nil && k.arcDown(idx)) {
+		if k.bufCap > 0 && int(k.aQLen[idx]) >= k.bufCap {
+			k.dropPkt(s, now, true)
+			return
+		}
+		k.aArrivals[idx]++
+		if k.hopWait {
+			k.pEnqAt[s] = now
+		}
 		k.pNext[s] = -1
 		if t := k.aTail[idx]; t != 0 {
 			k.pNext[t-1] = s
@@ -790,6 +949,15 @@ func (k *Kernel) enqueue(s int32, now float64) {
 			k.aHead[idx] = s + 1
 		}
 		k.aTail[idx] = s + 1
+		if k.bufCap > 0 {
+			k.aQLen[idx]++
+		}
+	} else {
+		k.aArrivals[idx]++
+		if k.hopWait {
+			k.pEnqAt[s] = now
+		}
+		k.startService(idx, s, now)
 	}
 	if k.trackGrp {
 		k.col.GroupPopulationAdd(k.aGroup[idx], now, +1)
@@ -822,15 +990,17 @@ func (k *Kernel) complete(idx int, now float64) {
 		}
 	}
 
-	// Start the next queued packet on this arc. pNext stores raw slots with
-	// a -1 end sentinel, so nh+1 is exactly the biased head encoding.
-	if h := k.aHead[idx]; h != 0 {
-		nh := k.pNext[h-1] + 1
-		k.aHead[idx] = nh
-		if nh == 0 {
-			k.aTail[idx] = 0
-		}
-		k.startService(idx, h-1, now)
+	// Start the next queued packet on this arc (never inside an outage
+	// window: the outage-end transition restarts the arc).
+	if k.aHead[idx] != 0 && (k.downWords == nil || !k.arcDown(idx)) {
+		k.startService(idx, k.popHead(idx), now)
+	}
+
+	// Transient fault: one dedicated-stream draw per completed transmission
+	// decides whether this transmission failed, dropping the packet.
+	if k.failProb > 0 && k.faultRNG.Float64() < k.failProb {
+		k.dropPkt(s, now, false)
+		return
 	}
 
 	aux := k.pAux[s] + 1<<16 // hop++

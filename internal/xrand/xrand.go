@@ -21,6 +21,22 @@ import (
 	"math/bits"
 )
 
+// Reserved stream identifiers for NewStream/SeedStream. The simulation
+// kernels also derive per-entity streams from small integers (per-node source
+// streams use the node index, up to 2^20), so the reserved identifiers live
+// above 2^32 where they cannot collide with any entity index.
+const (
+	// StreamFault seeds the dedicated fault-injection stream: transient
+	// link-fault draws, consumed once per transmission completion when a
+	// scenario sets a positive arc_fail_prob. Keeping fault randomness on its
+	// own stream is what makes faultless runs byte-identical to builds that
+	// predate fault injection.
+	StreamFault uint64 = 0xFA17_0000_0001
+	// StreamOutage is the base stream for resolving fractional outage arc
+	// subsets; outage i draws from StreamOutage + i.
+	StreamOutage uint64 = 0xFA17_0001_0000
+)
+
 // splitMix64 advances a SplitMix64 state and returns the next output.
 // It is used only for seeding the main generator and for deriving streams.
 func splitMix64(state *uint64) uint64 {

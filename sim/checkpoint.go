@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+)
+
+// This file implements the sweep checkpoint journal behind
+// Sweep.CheckpointPath. The format is JSON Lines:
+//
+//	{"sweep_sha256":"<hex>","points":N}        header, written first
+//	{"point":17,"result":{...}}                one line per completed point
+//
+// The header fingerprints the sweep spec (its canonical JSON) plus the
+// expansion size, so a journal can never silently resume a different sweep.
+// Completed points append in completion order — the order is irrelevant on
+// restore because every line names its point. A process killed mid-write
+// leaves at most one torn final line; restore stops at the first line that
+// does not parse, re-runs that point, and compacts the journal through an
+// atomic write-temp-then-rename before appending resumes. Results restore
+// bit-exactly (Result's UnmarshalJSON shadows reverse the NaN-as-null
+// encoding, and Go prints float64 at shortest round-trip precision), so a
+// resumed sweep streams byte-identical rows to an uninterrupted one.
+
+// ckHeader is the journal's first line.
+type ckHeader struct {
+	SweepSHA256 string `json:"sweep_sha256"`
+	Points      int    `json:"points"`
+}
+
+// ckEntry is one completed-point line.
+type ckEntry struct {
+	Point  int             `json:"point"`
+	Result json.RawMessage `json:"result"`
+}
+
+// sweepFingerprint hashes the sweep's canonical JSON spec. Execution policy
+// (parallelism, sinks, timeouts, the checkpoint path itself) is tagged
+// `json:"-"` and therefore excluded: resuming on a different machine or
+// worker count is legal and yields identical results.
+func sweepFingerprint(sw Sweep) (string, error) {
+	spec, err := json.Marshal(sw)
+	if err != nil {
+		return "", fmt.Errorf("sim: fingerprinting sweep spec: %w", err)
+	}
+	sum := sha256.Sum256(spec)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// checkpoint is an open journal ready for appends.
+type checkpoint struct {
+	path string
+	f    *os.File
+}
+
+// openCheckpoint creates the journal (or resumes an existing one) for a sweep
+// expanding to n points. It returns the restored results indexed by point
+// (nil entries were never journaled) and the journal opened for appending.
+func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
+	fp, err := sweepFingerprint(sw)
+	if err != nil {
+		return nil, nil, err
+	}
+	path := sw.CheckpointPath
+	restored := make([]*Result, n)
+	data, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist), err == nil && len(bytes.TrimSpace(data)) == 0:
+		data = nil
+	case err != nil:
+		return nil, nil, fmt.Errorf("sim: reading sweep checkpoint %s: %w", path, err)
+	}
+
+	var keep [][]byte // valid journal lines, verbatim, for the compacted rewrite
+	if data != nil {
+		lines := bytes.Split(data, []byte("\n"))
+		var hdr ckHeader
+		if err := json.Unmarshal(lines[0], &hdr); err != nil {
+			return nil, nil, fmt.Errorf("sim: sweep checkpoint %s: unreadable header: %w", path, err)
+		}
+		if hdr.SweepSHA256 != fp || hdr.Points != n {
+			return nil, nil, fmt.Errorf("sim: sweep checkpoint %s was written by a different sweep spec (%d points, sha256 %.12s...); delete it or pick another path",
+				path, hdr.Points, hdr.SweepSHA256)
+		}
+		for _, line := range lines[1:] {
+			if len(bytes.TrimSpace(line)) == 0 {
+				continue
+			}
+			var e ckEntry
+			if err := json.Unmarshal(line, &e); err != nil || e.Point < 0 || e.Point >= n || len(e.Result) == 0 {
+				break // torn tail from a mid-write kill: re-run from here
+			}
+			res := new(Result)
+			if err := json.Unmarshal(e.Result, res); err != nil {
+				break
+			}
+			restored[e.Point] = res
+			keep = append(keep, line)
+		}
+	}
+
+	// Compact through an atomic rename so the journal is never left with the
+	// torn tail, then append from a clean end-of-file.
+	var buf bytes.Buffer
+	hdrLine, err := json.Marshal(ckHeader{SweepSHA256: fp, Points: n})
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: sweep checkpoint %s: %w", path, err)
+	}
+	buf.Write(hdrLine)
+	buf.WriteByte('\n')
+	for _, line := range keep {
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return nil, nil, fmt.Errorf("sim: writing sweep checkpoint %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, nil, fmt.Errorf("sim: replacing sweep checkpoint %s: %w", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: opening sweep checkpoint %s for append: %w", path, err)
+	}
+	return restored, &checkpoint{path: path, f: f}, nil
+}
+
+// record appends one completed point. RunSweep serializes calls under its
+// row mutex, so the journal needs no locking of its own.
+func (c *checkpoint) record(point int, res *Result) error {
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	line, err := json.Marshal(ckEntry{Point: point, Result: resJSON})
+	if err != nil {
+		return err
+	}
+	_, err = c.f.Write(append(line, '\n'))
+	return err
+}
+
+// close releases the journal file handle. The journal itself is left in
+// place — deleting it after a completed sweep is the caller's choice.
+func (c *checkpoint) close() error { return c.f.Close() }

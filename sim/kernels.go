@@ -149,6 +149,34 @@ func (d *slottedNodeSources) HandleEvent(_, _ int32) {
 	}
 }
 
+// applyNetFaults copies the resolved fault plan (or its absence) into a
+// reusable event-driven config; runners recycle their configs across pooled
+// replications, so the faultless case must clear the fields explicitly.
+func applyNetFaults(c *network.Config, f *faultPlan) {
+	if f != nil {
+		c.ArcFailProb = f.arcFailProb
+		c.BufferCapacity = f.bufferCap
+		c.Outages = f.outages
+	} else {
+		c.ArcFailProb = 0
+		c.BufferCapacity = 0
+		c.Outages = nil
+	}
+}
+
+// applySlotFaults is applyNetFaults for the slot-stepped kernel config.
+func applySlotFaults(c *slotsim.Config, f *faultPlan) {
+	if f != nil {
+		c.ArcFailProb = f.arcFailProb
+		c.BufferCapacity = f.bufferCap
+		c.Outages = f.outages
+	} else {
+		c.ArcFailProb = 0
+		c.BufferCapacity = 0
+		c.Outages = nil
+	}
+}
+
 // runOutcome bundles what result assembly needs from either kernel.
 type runOutcome struct {
 	m        network.Metrics
@@ -274,6 +302,7 @@ func (r *hyperRunner) runEventDriven(cfg *hypercubeConfig) runOutcome {
 	r.netCfg.ServiceTime = 1
 	r.netCfg.Seed = cfg.Seed
 	r.netCfg.SkipGroupPopulation = cfg.SkipPerDimensionStats
+	applyNetFaults(&r.netCfg, cfg.Faults)
 	if r.sys == nil {
 		r.netCfg.GroupOf = func(a int) int { return int(r.cube.DimensionOfArcIndex(a)) - 1 }
 		r.sys = network.NewSystem(r.netCfg)
@@ -342,6 +371,7 @@ func (r *hyperRunner) runSlotStepped(cfg *hypercubeConfig) runOutcome {
 	r.slotCfg.TrackPerHopWait = cfg.TrackPerDimensionWait
 	r.slotCfg.SkipGroupPopulation = cfg.SkipPerDimensionStats
 	r.slotCfg.TraceInterval = cfg.PopulationTraceInterval
+	applySlotFaults(&r.slotCfg, cfg.Faults)
 	out := runOutcome{m: r.kernel.Run(r.slotCfg)}
 	out.q95 = r.kernel.DelayQuantile(0.95)
 	out.q99 = r.kernel.DelayQuantile(0.99)
@@ -416,6 +446,7 @@ func (r *butterflyRunner) runEventDriven(cfg *butterflyConfig) runOutcome {
 	// The butterfly results never read per-group populations; skip them on
 	// both kernels (cross-kernel identity requires the settings to match).
 	r.netCfg.SkipGroupPopulation = true
+	applyNetFaults(&r.netCfg, cfg.Faults)
 	if r.sys == nil {
 		r.netCfg.GroupOf = r.groupOfArc
 		r.sys = network.NewSystem(r.netCfg)
@@ -465,6 +496,7 @@ func (r *butterflyRunner) runSlotStepped(cfg *butterflyConfig) runOutcome {
 	r.slotCfg.TrackPerHopWait = false
 	r.slotCfg.SkipGroupPopulation = true
 	r.slotCfg.TraceInterval = cfg.PopulationTraceInterval
+	applySlotFaults(&r.slotCfg, cfg.Faults)
 	out := runOutcome{m: r.kernel.Run(r.slotCfg)}
 	out.q95 = r.kernel.DelayQuantile(0.95)
 	out.q99 = r.kernel.DelayQuantile(0.99)

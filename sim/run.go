@@ -110,6 +110,50 @@ type DeflectionStats struct {
 	UniversalLowerBound float64 `json:"universal_lower_bound"`
 }
 
+// FaultStats summarises packet loss when the scenario has an active fault
+// model ("faults" block); Result.Faults is nil for faultless runs, keeping
+// their JSON byte-identical to pre-fault output. All counters cover packets
+// generated inside the measurement window.
+type FaultStats struct {
+	// Offered is the number of packets injected during the window
+	// (Metrics.Generated; for deflection routing, the accounted packets —
+	// delivered plus dropped — since that kernel reports no generation count).
+	Offered int64 `json:"offered"`
+	// Delivered is the number of packets that reached their destination.
+	Delivered int64 `json:"delivered"`
+	// DroppedFault counts packets lost to transient transmission faults
+	// (arc_fail_prob).
+	DroppedFault int64 `json:"dropped_fault"`
+	// DroppedOverflow counts packets lost to full finite buffers
+	// (buffer_capacity).
+	DroppedOverflow int64 `json:"dropped_overflow"`
+	// DeliveryRatio is Delivered / (Delivered + DroppedFault +
+	// DroppedOverflow): the ratio over packets with a decided fate, which is
+	// robust to packets still in flight at the horizon. NaN when no packet's
+	// fate was decided.
+	DeliveryRatio float64 `json:"delivery_ratio"`
+	// ConditionalMeanDelay is the mean delay over delivered packets only
+	// (identical to Result.MeanDelay, restated because under loss the
+	// unconditional delay is undefined).
+	ConditionalMeanDelay float64 `json:"conditional_mean_delay"`
+}
+
+// faultStatsFromMetrics assembles the loss summary of one faulty run.
+func faultStatsFromMetrics(m *Metrics) *FaultStats {
+	f := &FaultStats{
+		Offered:              m.Generated,
+		Delivered:            m.Delivered,
+		DroppedFault:         m.DroppedFault,
+		DroppedOverflow:      m.DroppedOverflow,
+		ConditionalMeanDelay: m.MeanDelay,
+		DeliveryRatio:        math.NaN(),
+	}
+	if decided := f.Delivered + f.DroppedFault + f.DroppedOverflow; decided > 0 {
+		f.DeliveryRatio = float64(f.Delivered) / float64(decided)
+	}
+	return f
+}
+
 // Metric keys of the replicated tallies in Result.Replicated. P95/P99 appear
 // only when TrackQuantiles is set; the utilisation pair only on the
 // butterfly; the deflection pair only under hot-potato routing.
@@ -125,6 +169,7 @@ const (
 	MetricVerticalUtilization = "vertical_utilization"
 	MetricMeanDeflections     = "mean_deflections"
 	MetricInjectionBacklog    = "mean_injection_backlog"
+	MetricDeliveryRatio       = "delivery_ratio"
 )
 
 // Replication summarises one metric over independent replications.
@@ -205,6 +250,10 @@ type Result struct {
 	// topology is a hypercube: the greedy bounds do not apply).
 	Deflection *DeflectionStats `json:"deflection,omitempty"`
 
+	// Faults carries the loss accounting when the scenario has an active
+	// fault model; nil for faultless runs.
+	Faults *FaultStats `json:"faults,omitempty"`
+
 	// Replicated maps metric keys (MetricMeanDelay, ...) to merged Welford
 	// tallies over Scenario.Replications independent runs. Nil for single
 	// runs.
@@ -278,6 +327,108 @@ func (b *ButterflyStats) MarshalJSON() ([]byte, error) {
 		UniversalLowerBound nanNull `json:"universal_lower_bound"`
 		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
 	}{(*alias)(b), nanNull(b.UniversalLowerBound), nanNull(b.GreedyUpperBound)})
+}
+
+// MarshalJSON shadows the NaN-able ratio and delay fields with their
+// null-safe form (both are NaN when no packet's fate was decided).
+func (f *FaultStats) MarshalJSON() ([]byte, error) {
+	type alias FaultStats
+	return json.Marshal(struct {
+		*alias
+		DeliveryRatio        nanNull `json:"delivery_ratio"`
+		ConditionalMeanDelay nanNull `json:"conditional_mean_delay"`
+	}{(*alias)(f), nanNull(f.DeliveryRatio), nanNull(f.ConditionalMeanDelay)})
+}
+
+// The Unmarshal methods below mirror the Marshal shadows field for field, so
+// a marshalled Result reads back exactly (Go prints float64 values in their
+// shortest round-trip form, so every float survives bit-for-bit). The sweep
+// checkpoint journal depends on this: a resumed sweep re-emits cached points
+// from their journalled JSON and must stay byte-identical to the
+// uninterrupted run.
+
+// UnmarshalJSON reads back the null-safe quantile fields.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	type alias Result
+	aux := struct {
+		*alias
+		DelayP95 nanNull `json:"delay_p95"`
+		DelayP99 nanNull `json:"delay_p99"`
+	}{alias: (*alias)(r)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.DelayP95 = float64(aux.DelayP95)
+	r.DelayP99 = float64(aux.DelayP99)
+	return nil
+}
+
+// UnmarshalJSON reads back the null-safe bound fields.
+func (h *HypercubeStats) UnmarshalJSON(data []byte) error {
+	type alias HypercubeStats
+	aux := struct {
+		*alias
+		GreedyLowerBound    nanNull `json:"greedy_lower_bound"`
+		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+		ObliviousLowerBound nanNull `json:"oblivious_lower_bound"`
+		SlottedUpperBound   nanNull `json:"slotted_upper_bound"`
+	}{alias: (*alias)(h)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	h.GreedyLowerBound = float64(aux.GreedyLowerBound)
+	h.GreedyUpperBound = float64(aux.GreedyUpperBound)
+	h.UniversalLowerBound = float64(aux.UniversalLowerBound)
+	h.ObliviousLowerBound = float64(aux.ObliviousLowerBound)
+	h.SlottedUpperBound = float64(aux.SlottedUpperBound)
+	return nil
+}
+
+// UnmarshalJSON reads back the null-safe bound field.
+func (d *DeflectionStats) UnmarshalJSON(data []byte) error {
+	type alias DeflectionStats
+	aux := struct {
+		*alias
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+	}{alias: (*alias)(d)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	d.UniversalLowerBound = float64(aux.UniversalLowerBound)
+	return nil
+}
+
+// UnmarshalJSON reads back the null-safe bound fields.
+func (b *ButterflyStats) UnmarshalJSON(data []byte) error {
+	type alias ButterflyStats
+	aux := struct {
+		*alias
+		UniversalLowerBound nanNull `json:"universal_lower_bound"`
+		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
+	}{alias: (*alias)(b)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	b.UniversalLowerBound = float64(aux.UniversalLowerBound)
+	b.GreedyUpperBound = float64(aux.GreedyUpperBound)
+	return nil
+}
+
+// UnmarshalJSON reads back the null-safe ratio and delay fields.
+func (f *FaultStats) UnmarshalJSON(data []byte) error {
+	type alias FaultStats
+	aux := struct {
+		*alias
+		DeliveryRatio        nanNull `json:"delivery_ratio"`
+		ConditionalMeanDelay nanNull `json:"conditional_mean_delay"`
+	}{alias: (*alias)(f)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	f.DeliveryRatio = float64(aux.DeliveryRatio)
+	f.ConditionalMeanDelay = float64(aux.ConditionalMeanDelay)
+	return nil
 }
 
 // Run executes one scenario: validation and normalization first, then either
@@ -361,6 +512,9 @@ func runHypercubeOnce(cfg *hypercubeConfig) *Result {
 		DelayP99:   out.q99,
 		Delays:     out.delays,
 		Hypercube:  h,
+	}
+	if cfg.Faults != nil {
+		res.Faults = faultStatsFromMetrics(&m)
 	}
 	nodes := float64(r.cube.Nodes())
 	res.MeanPacketsPerNode = m.MeanPopulation / nodes
@@ -447,6 +601,9 @@ func runButterflyOnce(cfg *butterflyConfig) *Result {
 		Delays:     out.delays,
 		Butterfly:  b,
 	}
+	if cfg.Faults != nil {
+		res.Faults = faultStatsFromMetrics(&m)
+	}
 	// Aggregate per-kind utilisation across levels.
 	var straight, vertical float64
 	for level := 0; level < cfg.D; level++ {
@@ -474,6 +631,7 @@ func runDeflectionOnce(cfg *deflectionConfig) *Result {
 	out, err := deflection.Run(deflection.Config{
 		D: cfg.D, Lambda: cfg.Lambda, P: cfg.P, Slots: cfg.Slots,
 		WarmupFraction: cfg.WarmupFraction, Seed: cfg.Seed,
+		ArcFailProb: cfg.ArcFailProb,
 	})
 	if err != nil {
 		// The scenario was validated; a failure here is a broken kernel
@@ -504,6 +662,20 @@ func runDeflectionOnce(cfg *deflectionConfig) *Result {
 	d.MeanInjectionBacklog = out.MeanInjectionBacklog
 	d.InjectionBacklogSlope = out.InjectionBacklogSlope
 	d.MaxNodeOccupancy = out.MaxNodeOccupancy
+	if cfg.ArcFailProb > 0 {
+		res.Metrics.DroppedFault = out.Dropped
+		f := &FaultStats{
+			Offered:              out.Delivered + out.Dropped,
+			Delivered:            out.Delivered,
+			DroppedFault:         out.Dropped,
+			ConditionalMeanDelay: out.MeanDelay,
+			DeliveryRatio:        math.NaN(),
+		}
+		if decided := out.Delivered + out.Dropped; decided > 0 {
+			f.DeliveryRatio = float64(out.Delivered) / float64(decided)
+		}
+		res.Faults = f
+	}
 	return res
 }
 
@@ -581,6 +753,9 @@ func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, er
 		if rep.Deflection != nil {
 			m[MetricMeanDeflections] = rep.Deflection.MeanDeflections
 			m[MetricInjectionBacklog] = rep.Deflection.MeanInjectionBacklog
+		}
+		if rep.Faults != nil {
+			m[MetricDeliveryRatio] = rep.Faults.DeliveryRatio
 		}
 		return m
 	}

@@ -314,6 +314,16 @@ type Scenario struct {
 	// ForceEventDriven disables the slot-stepped fast kernel for eligible
 	// workloads; results are byte-identical either way.
 	ForceEventDriven bool `json:"force_event_driven,omitempty"`
+	// Faults, when non-nil, injects link faults into the scenario: a per-arc
+	// transient fault probability, scheduled link outages, and/or a finite
+	// per-arc buffer capacity with drop accounting. All fault randomness is
+	// drawn from a dedicated RNG stream derived from Seed, so a scenario
+	// without a faults block is byte-identical to one run on a build that
+	// predates fault injection. See FaultSpec for the schema and Validate for
+	// the per-router restrictions. Results of faulty scenarios carry a
+	// FaultStats block.
+	Faults *FaultSpec `json:"faults,omitempty"`
+
 	// MaxBytes caps the slot-stepped kernel's estimated memory per
 	// replication, in bytes (0 = unlimited). Validation prices the kernel's
 	// arc-indexed arrays up front (slotsim.EstimateBytes) and rejects
@@ -334,6 +344,47 @@ type Scenario struct {
 	// replication shards complete. Calls are serialized. Not part of the
 	// JSON spec.
 	Progress func(done, total int) `json:"-"`
+}
+
+// FaultSpec is the "faults" block of a scenario: the fault model applied to
+// the network's arcs. At least one of its settings must be non-zero (an empty
+// block is a validation error, which keeps "no faults block" and "no faults"
+// synonymous). Every fault mechanism is deterministic given Scenario.Seed:
+// transient faults draw from a dedicated xrand stream consumed only at
+// transmission completions, and outage arc sets are resolved once during
+// validation. Both the event-driven and the slot-stepped kernel honour the
+// same fault model with byte-identical results.
+type FaultSpec struct {
+	// ArcFailProb is the probability, in [0, 1), that any single packet
+	// transmission over an arc fails; a failed transmission drops the packet
+	// (no retransmission). Deflection routing applies the same probability
+	// per hop move.
+	ArcFailProb float64 `json:"arc_fail_prob,omitempty"`
+	// BufferCapacity, when positive, bounds each arc's waiting queue (the
+	// packet in service is not counted); a packet arriving at a full queue is
+	// dropped. Zero means infinite buffers (the paper's model). Not
+	// applicable to deflection routing, which is bufferless by definition.
+	BufferCapacity int `json:"buffer_capacity,omitempty"`
+	// Outages schedules link outage windows. Windows must not overlap; an
+	// arc that is down finishes its in-flight transmission but starts no new
+	// one until the window ends. Not applicable to deflection routing.
+	Outages []Outage `json:"outages,omitempty"`
+}
+
+// Outage is one scheduled link outage window [From, Until). Exactly one of
+// Arcs and Fraction selects the affected arcs.
+type Outage struct {
+	// From is the (inclusive) start time of the window.
+	From float64 `json:"from"`
+	// Until is the (exclusive) end time of the window; it must exceed From.
+	Until float64 `json:"until"`
+	// Arcs lists the affected arc indices explicitly, strictly increasing,
+	// each in [0, number of arcs).
+	Arcs []int `json:"arcs,omitempty"`
+	// Fraction selects a pseudo-random subset of all arcs instead: a
+	// fraction in (0, 1], resolved deterministically from Scenario.Seed
+	// (at least one arc).
+	Fraction float64 `json:"fraction,omitempty"`
 }
 
 // Title returns the scenario's display name: Name when set, otherwise a

@@ -3,12 +3,14 @@ package sim
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/xrand"
@@ -170,10 +172,17 @@ func (v Value) text(field string) (string, error) {
 // Axis is one sweep axis: the scenario field it drives and the values the
 // field takes. Valid fields are d, p, lambda, load_factor (aliases load,
 // rho), tau, horizon, warmup_fraction, seed, replications, router,
-// discipline, slotted and topology.
+// discipline, slotted, topology and arc_fail_prob.
 type Axis struct {
 	Field  string  `json:"field"`
 	Values []Value `json:"values"`
+}
+
+// axisFields lists the canonical axis field names, sorted, for error messages.
+var axisFields = []string{
+	"arc_fail_prob", "d", "discipline", "horizon", "lambda", "load_factor",
+	"p", "replications", "router", "seed", "slotted", "tau", "topology",
+	"warmup_fraction",
 }
 
 // canonicalField maps accepted field spellings to the canonical name.
@@ -282,8 +291,29 @@ func applyAxis(sc *Scenario, field string, v Value) error {
 			return err
 		}
 		sc.Topology.Kind = TopologyKind(s)
+	case "arc_fail_prob":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		// The axis edits a copy of the base fault spec: sweep points share the
+		// base's *FaultSpec pointer, so mutating it in place would leak one
+		// point's rate into every other. An axis value of 0 with no other
+		// fault feature drops the block entirely, so the zero point of a fault
+		// sweep is a genuinely faultless run (fast kernels, byte-identical to
+		// the same scenario without a "faults" block).
+		var fs FaultSpec
+		if sc.Faults != nil {
+			fs = *sc.Faults
+		}
+		fs.ArcFailProb = f
+		if f == 0 && fs.BufferCapacity == 0 && len(fs.Outages) == 0 {
+			sc.Faults = nil
+		} else {
+			sc.Faults = &fs
+		}
 	default:
-		return fmt.Errorf("sim: unknown sweep axis field %q", field)
+		return fmt.Errorf("sim: unknown sweep axis field %q (valid: %s)", field, strings.Join(axisFields, ", "))
 	}
 	return nil
 }
@@ -325,6 +355,37 @@ type Sweep struct {
 	// Progress, when non-nil, receives (completedPoints, totalPoints)
 	// updates as points finish. Calls are serialized. Not part of the spec.
 	Progress func(done, total int) `json:"-"`
+	// PointTimeout, when positive, is a per-point wall-clock watchdog: a
+	// point whose run exceeds the deadline is aborted cooperatively and the
+	// sweep fails with a *PointTimeoutError naming it. It guards long
+	// unattended sweeps against a single pathological point (a typo'd
+	// horizon, an unstable load) hanging the whole run. Execution policy:
+	// not part of the JSON spec.
+	PointTimeout time.Duration `json:"-"`
+	// CheckpointPath, when non-empty, names a journal file recording every
+	// completed point's result. A sweep started with an existing journal for
+	// the same spec resumes: journaled points are not re-run, yet the sinks
+	// still receive every row in point order, so the resumed output is
+	// byte-identical to an uninterrupted run. See the checkpoint file format
+	// in checkpoint.go. Execution policy: not part of the JSON spec.
+	CheckpointPath string `json:"-"`
+}
+
+// PointTimeoutError reports a sweep point that exceeded Sweep.PointTimeout.
+// Callers detect it with errors.As to distinguish a watchdog abort from a
+// simulation error.
+type PointTimeoutError struct {
+	// Point is the 0-based sweep point index.
+	Point int
+	// Settings renders the point's axis assignments ("d=4, load_factor=0.9").
+	Settings string
+	// Timeout is the deadline the point exceeded.
+	Timeout time.Duration
+}
+
+// Error names the point, its axis assignments and the exceeded deadline.
+func (e *PointTimeoutError) Error() string {
+	return fmt.Sprintf("sim: sweep point %d (%s) exceeded the %v point watchdog deadline", e.Point, e.Settings, e.Timeout)
 }
 
 // Title returns the sweep's display name: Name when set, otherwise a
@@ -695,6 +756,12 @@ func (s *JSONLSink) WriteRow(r Row) error {
 // finish or abort, RunSweep returns ctx.Err(), and the sinks are left with a
 // clean prefix of the row stream — never a partial or out-of-order record. A
 // sink write error likewise stops the sweep and is returned.
+//
+// Robustness: Sweep.PointTimeout bounds each point's wall-clock time
+// (*PointTimeoutError on expiry), a panic inside a point surfaces as a typed
+// *engine.PanicError after a bounded retry instead of crashing the process,
+// and Sweep.CheckpointPath journals completed points so a killed sweep
+// resumes without re-running them — with byte-identical sink output.
 func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 	pts, err := sw.expand()
 	if err != nil {
@@ -713,8 +780,26 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 		done     = make([]bool, len(pts))
 		pointErr = make([]error, len(pts))
 		sinkErr  error
+		ckErr    error
 		finished int
 	)
+	var ck *checkpoint
+	if sw.CheckpointPath != "" {
+		restored, c, err := openCheckpoint(sw, len(pts))
+		if err != nil {
+			return nil, err
+		}
+		ck = c
+		defer ck.close()
+		for i, res := range restored {
+			if res == nil {
+				continue
+			}
+			rows[i].Result = res
+			done[i] = true
+			finished++
+		}
+	}
 	// flushLocked streams the longest completed prefix; mu must be held.
 	flushLocked := func() {
 		for next < len(rows) && done[next] && sinkErr == nil {
@@ -731,22 +816,51 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 			next++
 		}
 	}
+	// Restored rows stream before any point runs, so a resumed sweep feeds
+	// the sinks the exact row sequence of an uninterrupted one.
+	mu.Lock()
+	flushLocked()
+	mu.Unlock()
 	forErr := engine.ForEachCtx(runCtx, len(pts), sw.Parallelism, func(i int) {
+		mu.Lock()
+		already := done[i]
+		mu.Unlock()
+		if already {
+			return // restored from the checkpoint journal
+		}
 		sc := rows[i].Scenario
 		// One shared worker budget: the sweep pool provides the concurrency,
 		// so each point's replications run serially on their split seeds.
 		sc.Parallelism = 1
 		sc.Progress = nil
-		res, err := Run(runCtx, sc)
+		ptCtx, ptCancel := runCtx, context.CancelFunc(func() {})
+		if sw.PointTimeout > 0 {
+			ptCtx, ptCancel = context.WithTimeout(runCtx, sw.PointTimeout)
+		}
+		res, err := Run(ptCtx, sc)
+		ptCancel()
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
+			// A deadline hit on the point context while the sweep itself is
+			// still live is the watchdog firing, not a caller cancellation.
+			if errors.Is(err, context.DeadlineExceeded) && runCtx.Err() == nil {
+				err = &PointTimeoutError{Point: i, Settings: settingsString(rows[i].Settings), Timeout: sw.PointTimeout}
+			}
 			pointErr[i] = err
+			cancel()
 			return
 		}
 		rows[i].Result = res
 		done[i] = true
 		finished++
+		if ck != nil && ckErr == nil {
+			if err := ck.record(i, res); err != nil {
+				ckErr = err
+				cancel()
+				return
+			}
+		}
 		if sw.Progress != nil {
 			sw.Progress(finished, len(pts))
 		}
@@ -755,16 +869,30 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 	if sinkErr != nil {
 		return nil, fmt.Errorf("sim: sweep sink failed at point %d: %w", next, sinkErr)
 	}
+	if ckErr != nil {
+		return nil, fmt.Errorf("sim: sweep checkpoint %s: %w", sw.CheckpointPath, ckErr)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	for i, err := range pointErr {
+		if err == nil {
+			continue
+		}
+		// The first failing point cancels runCtx to stop the sweep early;
+		// sibling points then abort with context.Canceled. Those echoes are
+		// not the root cause — skip them and report the real failure.
+		if errors.Is(err, context.Canceled) {
+			continue
+		}
+		var pt *PointTimeoutError
+		if errors.As(err, &pt) {
+			return nil, err // already names the point and its settings
+		}
+		return nil, fmt.Errorf("sim: sweep point %d (%s): %w", i, settingsString(rows[i].Settings), err)
+	}
 	if forErr != nil {
 		return nil, forErr
-	}
-	for i, err := range pointErr {
-		if err != nil {
-			return nil, fmt.Errorf("sim: sweep point %d (%s): %w", i, settingsString(rows[i].Settings), err)
-		}
 	}
 	if sw.DiscardResults {
 		return nil, nil

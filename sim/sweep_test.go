@@ -3,10 +3,13 @@ package sim
 import (
 	"context"
 	"encoding/json"
+	"errors"
+	"os"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // smallSweep is a fast hypercube sweep the execution tests share.
@@ -423,6 +426,207 @@ func TestSweepSinkErrorStopsSweep(t *testing.T) {
 	_, err := RunSweep(context.Background(), sw, &failSink{trigger: 2})
 	if err == nil || !strings.Contains(err.Error(), "disk full") {
 		t.Fatalf("err = %v, want the sink failure", err)
+	}
+}
+
+func TestSweepArcFailProbAxis(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 200, Seed: 1},
+		Axes: []Axis{{Field: "arc_fail_prob", Values: Nums(0, 0.02, 0.1)}},
+	}
+	scs, err := sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].Faults != nil {
+		t.Fatalf("arc_fail_prob=0 with no other fault feature must stay faultless, got %+v", scs[0].Faults)
+	}
+	for i, want := range []float64{0.02, 0.1} {
+		if scs[i+1].Faults == nil || scs[i+1].Faults.ArcFailProb != want {
+			t.Fatalf("point %d: Faults = %+v, want arc_fail_prob %g", i+1, scs[i+1].Faults, want)
+		}
+	}
+
+	// A base with other fault features keeps them at rate 0, and the axis
+	// must never mutate the base's shared FaultSpec.
+	sw.Base.Faults = &FaultSpec{BufferCapacity: 2}
+	scs, err = sw.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scs[0].Faults == nil || scs[0].Faults.BufferCapacity != 2 || scs[0].Faults.ArcFailProb != 0 {
+		t.Fatalf("rate-0 point dropped the base buffer capacity: %+v", scs[0].Faults)
+	}
+	if scs[1].Faults == sw.Base.Faults || sw.Base.Faults.ArcFailProb != 0 {
+		t.Fatalf("axis mutated the shared base FaultSpec: %+v", sw.Base.Faults)
+	}
+	if scs[2].Faults.ArcFailProb != 0.1 || scs[2].Faults.BufferCapacity != 2 {
+		t.Fatalf("axis did not merge with base fault features: %+v", scs[2].Faults)
+	}
+
+	// Out-of-range rates fail scenario validation with the point named.
+	sw.Base.Faults = nil
+	sw.Axes = []Axis{{Field: "arc_fail_prob", Values: Nums(0.5, 1.5)}}
+	if err := sw.Validate(); err == nil || !strings.Contains(err.Error(), "sweep point 1") {
+		t.Fatalf("expected point-1 range error, got %v", err)
+	}
+}
+
+func TestSweepUnknownAxisNamesAlternatives(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 100},
+		Axes: []Axis{{Field: "fail_prob", Values: Nums(0.1)}},
+	}
+	err := sw.Validate()
+	if err == nil || !strings.Contains(err.Error(), `unknown sweep axis field "fail_prob"`) ||
+		!strings.Contains(err.Error(), "arc_fail_prob") || !strings.Contains(err.Error(), "load_factor") {
+		t.Fatalf("unknown-axis error must list the valid fields, got %v", err)
+	}
+}
+
+// TestSweepPointTimeoutTyped checks the per-point watchdog: a point that
+// outlives Sweep.PointTimeout aborts with a *PointTimeoutError naming the
+// point, instead of hanging the sweep.
+func TestSweepPointTimeoutTyped(t *testing.T) {
+	sw := Sweep{
+		// Far too much total work to finish inside the deadline, yet split
+		// into one-replication shards (<= 256 replications), so the
+		// cooperative abort fires after a single cheap replication.
+		Base: Scenario{Topology: Hypercube(4), P: 0.5, LoadFactor: 0.9, Horizon: 3000, Seed: 1, Replications: 256},
+		Axes: []Axis{{Field: "load_factor", Values: Nums(0.9, 0.5)}},
+	}
+	sw.Parallelism = 1
+	sw.PointTimeout = 20 * time.Millisecond
+	_, err := RunSweep(context.Background(), sw)
+	var pt *PointTimeoutError
+	if !errors.As(err, &pt) {
+		t.Fatalf("err = %v (%T), want *PointTimeoutError", err, err)
+	}
+	if pt.Point != 0 || pt.Timeout != sw.PointTimeout || !strings.Contains(pt.Settings, "load_factor=0.9") {
+		t.Fatalf("bad PointTimeoutError: %+v", pt)
+	}
+	if !strings.Contains(pt.Error(), "watchdog") {
+		t.Fatalf("error text %q does not mention the watchdog", pt.Error())
+	}
+}
+
+// checkpointSweep is the sweep the checkpoint tests share; the
+// arc_fail_prob axis makes the journal round-trip cover FaultStats too, and
+// replications cover the merged-tally encoding.
+func checkpointSweep() Sweep {
+	return Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.6, Horizon: 300, Seed: 9, Replications: 2},
+		Axes: []Axis{
+			{Field: "arc_fail_prob", Values: Nums(0, 0.05)},
+			{Field: "d", Values: Ints(3, 4)},
+		},
+	}
+}
+
+// TestSweepCheckpointResumeByteIdentical is the crash-recovery contract: a
+// sweep killed mid-run leaves a clean in-order prefix at its sinks, and
+// re-running with the same checkpoint journal (even with a torn tail
+// appended) skips the journaled points yet streams byte-identical output.
+func TestSweepCheckpointResumeByteIdentical(t *testing.T) {
+	wantCSV, wantJSONL := runToSinks(t, checkpointSweep())
+
+	path := t.TempDir() + "/sweep.ckpt"
+	sw := checkpointSweep()
+	sw.CheckpointPath = path
+	sw.Parallelism = 2
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelSink{cancel: cancel, trigger: 1}
+	if _, err := RunSweep(ctx, sw, sink); err != context.Canceled {
+		t.Fatalf("killed run: err = %v, want context.Canceled", err)
+	}
+	for i, p := range sink.rows {
+		if p != i {
+			t.Fatalf("killed run streamed %v, not a clean in-order prefix", sink.rows)
+		}
+	}
+
+	// Simulate a mid-write kill: a torn final line must be tolerated.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"point":3,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	sw = checkpointSweep()
+	sw.CheckpointPath = path
+	sw.Parallelism = 4
+	reran := 0
+	sw.Progress = func(done, total int) { reran++ }
+	var csv, jsonl strings.Builder
+	if _, err := RunSweep(context.Background(), sw, NewCSVSink(&csv), NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != wantCSV {
+		t.Fatalf("resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", csv.String(), wantCSV)
+	}
+	if jsonl.String() != wantJSONL {
+		t.Fatalf("resumed JSONL differs from uninterrupted run:\n%s\nvs\n%s", jsonl.String(), wantJSONL)
+	}
+	if reran >= 4 {
+		t.Fatalf("resume re-ran all %d points; the journal restored none", reran)
+	}
+
+	// After the resume the compacted journal holds the header plus every
+	// point, all parseable — the torn tail is gone.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 5 { // header + 4 points
+		t.Fatalf("journal has %d lines, want 5:\n%s", len(lines), data)
+	}
+	seen := map[int]bool{}
+	for _, line := range lines[1:] {
+		var e struct {
+			Point int `json:"point"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		seen[e.Point] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("journal covers points %v, want all 4", seen)
+	}
+
+	// A completed sweep resumes entirely from the journal: zero re-runs,
+	// same bytes.
+	sw.Progress = func(done, total int) { t.Errorf("fully-journaled sweep re-ran a point (%d/%d)", done, total) }
+	csv.Reset()
+	jsonl.Reset()
+	if _, err := RunSweep(context.Background(), sw, NewCSVSink(&csv), NewJSONLSink(&jsonl)); err != nil {
+		t.Fatal(err)
+	}
+	if csv.String() != wantCSV || jsonl.String() != wantJSONL {
+		t.Fatal("fully-journaled resume is not byte-identical")
+	}
+}
+
+// TestSweepCheckpointRejectsDifferentSweep checks the fingerprint guard: a
+// journal written by one sweep spec must refuse to resume another.
+func TestSweepCheckpointRejectsDifferentSweep(t *testing.T) {
+	path := t.TempDir() + "/sweep.ckpt"
+	sw := checkpointSweep()
+	sw.CheckpointPath = path
+	if _, err := RunSweep(context.Background(), sw); err != nil {
+		t.Fatal(err)
+	}
+	other := checkpointSweep()
+	other.Base.Seed = 10 // different spec, same shape
+	other.CheckpointPath = path
+	_, err := RunSweep(context.Background(), other)
+	if err == nil || !strings.Contains(err.Error(), "different sweep spec") {
+		t.Fatalf("err = %v, want the fingerprint mismatch", err)
 	}
 }
 

@@ -3,12 +3,14 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/butterfly"
 	"repro/internal/hypercube"
 	"repro/internal/network"
 	"repro/internal/slotsim"
 	"repro/internal/workload"
+	"repro/internal/xrand"
 )
 
 // hypercubeConfig is the normalized internal form of a hypercube scenario:
@@ -32,6 +34,7 @@ type hypercubeConfig struct {
 	SkipPerDimensionStats   bool
 	ForceEventDriven        bool
 	MaxBytes                int64
+	Faults                  *faultPlan
 }
 
 // deflectionConfig is the normalized internal form of a hot-potato scenario:
@@ -44,6 +47,7 @@ type deflectionConfig struct {
 	Slots          int
 	WarmupFraction float64
 	Seed           uint64
+	ArcFailProb    float64
 }
 
 // butterflyConfig is the normalized internal form of a butterfly scenario.
@@ -60,6 +64,19 @@ type butterflyConfig struct {
 	PopulationTraceInterval float64
 	ForceEventDriven        bool
 	MaxBytes                int64
+	Faults                  *faultPlan
+}
+
+// faultPlan is the normalized, kernel-ready form of a FaultSpec: the
+// probability and capacity range-checked, every outage arc set resolved to an
+// explicit sorted index list (fraction subsets drawn from the dedicated
+// outage RNG stream), windows sorted by start time with non-overlap verified.
+// A nil plan means no faults — normalize guarantees plan == nil exactly when
+// Scenario.Faults == nil, so faultless runs take the unchanged fast paths.
+type faultPlan struct {
+	arcFailProb float64
+	bufferCap   int
+	outages     []network.Outage
 }
 
 // normalized is the result of one validation/normalization pass: exactly one
@@ -68,6 +85,97 @@ type normalized struct {
 	hc *hypercubeConfig
 	bc *butterflyConfig
 	dc *deflectionConfig
+}
+
+// resolveFaults validates the scenario's faults block and resolves it into a
+// faultPlan over a topology with numArcs directed arcs. It returns (nil, nil)
+// when the scenario has no faults block.
+func (s *Scenario) resolveFaults(numArcs int) (*faultPlan, error) {
+	f := s.Faults
+	if f == nil {
+		return nil, nil
+	}
+	if f.ArcFailProb == 0 && f.BufferCapacity == 0 && len(f.Outages) == 0 {
+		return nil, fmt.Errorf("sim: faults block is empty; set arc_fail_prob, buffer_capacity or outages (or drop the block)")
+	}
+	if math.IsNaN(f.ArcFailProb) || f.ArcFailProb < 0 || f.ArcFailProb >= 1 {
+		return nil, fmt.Errorf("sim: arc_fail_prob = %v outside [0,1)", f.ArcFailProb)
+	}
+	if f.BufferCapacity < 0 {
+		return nil, fmt.Errorf("sim: negative buffer_capacity %d", f.BufferCapacity)
+	}
+	plan := &faultPlan{arcFailProb: f.ArcFailProb, bufferCap: f.BufferCapacity}
+	if len(f.Outages) == 0 {
+		return plan, nil
+	}
+	outages := make([]network.Outage, len(f.Outages))
+	for i, o := range f.Outages {
+		if math.IsNaN(o.From) || math.IsNaN(o.Until) || o.From < 0 || o.Until <= o.From {
+			return nil, fmt.Errorf("sim: outage %d: window [%v,%v) is invalid (need 0 <= from < until)", i, o.From, o.Until)
+		}
+		if (len(o.Arcs) == 0) == (o.Fraction == 0) {
+			return nil, fmt.Errorf("sim: outage %d: set exactly one of arcs and fraction", i)
+		}
+		var arcs []int32
+		if len(o.Arcs) > 0 {
+			arcs = make([]int32, len(o.Arcs))
+			prev := -1
+			for j, a := range o.Arcs {
+				if a < 0 || a >= numArcs {
+					return nil, fmt.Errorf("sim: outage %d: arc %d out of range [0,%d)", i, a, numArcs)
+				}
+				if a <= prev {
+					return nil, fmt.Errorf("sim: outage %d: arcs must be strictly increasing (%d after %d)", i, a, prev)
+				}
+				prev = a
+				arcs[j] = int32(a)
+			}
+		} else {
+			if math.IsNaN(o.Fraction) || o.Fraction < 0 || o.Fraction > 1 {
+				return nil, fmt.Errorf("sim: outage %d: fraction = %v outside (0,1]", i, o.Fraction)
+			}
+			arcs = sampleArcs(s.Seed, uint64(i), o.Fraction, numArcs)
+		}
+		outages[i] = network.Outage{From: o.From, Until: o.Until, Arcs: arcs}
+	}
+	sort.SliceStable(outages, func(a, b int) bool { return outages[a].From < outages[b].From })
+	for i := 1; i < len(outages); i++ {
+		if outages[i].From < outages[i-1].Until {
+			return nil, fmt.Errorf("sim: outage windows [%v,%v) and [%v,%v) overlap",
+				outages[i-1].From, outages[i-1].Until, outages[i].From, outages[i].Until)
+		}
+	}
+	plan.outages = outages
+	return plan, nil
+}
+
+// sampleArcs draws round(fraction*numArcs) distinct arc indices (at least
+// one) without replacement, deterministically from the scenario seed and the
+// outage's spec position, and returns them sorted ascending. Floyd's
+// algorithm keeps the draw O(k) in time and space even at million-arc scale.
+func sampleArcs(seed, outage uint64, fraction float64, numArcs int) []int32 {
+	k := int(math.Round(fraction * float64(numArcs)))
+	if k < 1 {
+		k = 1
+	}
+	if k > numArcs {
+		k = numArcs
+	}
+	rng := xrand.NewStream(seed, xrand.StreamOutage+outage)
+	chosen := make(map[int32]struct{}, k)
+	for i := numArcs - k; i < numArcs; i++ {
+		j := int32(rng.Intn(i + 1))
+		if _, taken := chosen[j]; taken {
+			j = int32(i)
+		}
+		chosen[j] = struct{}{}
+	}
+	arcs := make([]int32, 0, k)
+	for a := range chosen {
+		arcs = append(arcs, a)
+	}
+	sort.Slice(arcs, func(i, j int) bool { return arcs[i] < arcs[j] })
+	return arcs
 }
 
 // Validate checks the scenario for consistency without running it. It is the
@@ -175,6 +283,10 @@ func (s *Scenario) normalize() (normalized, error) {
 					s.Topology.D, formatBytes(est), formatBytes(s.MaxBytes))
 			}
 		}
+		plan, err := s.resolveFaults(2 * s.Topology.D * (1 << uint(s.Topology.D)))
+		if err != nil {
+			return none, err
+		}
 		return normalized{bc: &butterflyConfig{
 			D:                       s.Topology.D,
 			P:                       s.P,
@@ -188,6 +300,7 @@ func (s *Scenario) normalize() (normalized, error) {
 			PopulationTraceInterval: s.PopulationTraceInterval,
 			ForceEventDriven:        s.ForceEventDriven,
 			MaxBytes:                s.MaxBytes,
+			Faults:                  plan,
 		}}, nil
 	}
 
@@ -229,15 +342,27 @@ func (s *Scenario) normalize() (normalized, error) {
 			return none, fmt.Errorf("sim: deflection routing needs a horizon of at least one slot, got %v", s.Horizon)
 		case s.Horizon != math.Trunc(s.Horizon):
 			return none, fmt.Errorf("sim: deflection routing is slotted, so the horizon must be a whole number of slots, got %v", s.Horizon)
+		case s.Faults != nil && s.Faults.BufferCapacity != 0:
+			return none, fmt.Errorf("sim: deflection routing is bufferless, so buffer_capacity does not apply")
+		case s.Faults != nil && len(s.Faults.Outages) != 0:
+			return none, fmt.Errorf("sim: deflection routing does not support scheduled outages (only arc_fail_prob)")
 		}
-		return normalized{dc: &deflectionConfig{
+		plan, err := s.resolveFaults(s.Topology.D * (1 << uint(s.Topology.D)))
+		if err != nil {
+			return none, err
+		}
+		dc := &deflectionConfig{
 			D:              s.Topology.D,
 			P:              s.P,
 			Lambda:         lambda,
 			Slots:          int(s.Horizon),
 			WarmupFraction: warmup,
 			Seed:           s.Seed,
-		}}, nil
+		}
+		if plan != nil {
+			dc.ArcFailProb = plan.arcFailProb
+		}
+		return normalized{dc: dc}, nil
 	}
 	if s.CustomWeights != nil {
 		if len(s.CustomWeights) != 1<<uint(s.Topology.D) {
@@ -270,6 +395,10 @@ func (s *Scenario) normalize() (normalized, error) {
 				s.Topology.D, formatBytes(est), formatBytes(s.MaxBytes))
 		}
 	}
+	plan, err := s.resolveFaults(s.Topology.D * (1 << uint(s.Topology.D)))
+	if err != nil {
+		return none, err
+	}
 	return normalized{hc: &hypercubeConfig{
 		D:                       s.Topology.D,
 		P:                       s.P,
@@ -289,6 +418,7 @@ func (s *Scenario) normalize() (normalized, error) {
 		SkipPerDimensionStats:   s.SkipPerDimensionStats,
 		ForceEventDriven:        s.ForceEventDriven,
 		MaxBytes:                s.MaxBytes,
+		Faults:                  plan,
 	}}, nil
 }
 
