@@ -11,6 +11,9 @@
 // Invalid specs — unknown JSON fields (the offending key is named), bad
 // values, malformed JSON — exit non-zero with the validation error.
 //
+// Exit codes (shared with cmd/sweep, see internal/cli): 0 success, 1 runtime
+// failure, 2 usage error, 3 spec load/validation failure, 4 -timeout expiry.
+//
 // Examples:
 //
 //	run specs/sample.json
@@ -32,6 +35,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/sim"
 )
@@ -41,8 +45,7 @@ func main() {
 }
 
 // run is the testable entry point: it parses args, executes every spec, and
-// returns the process exit code (0 success, 1 runtime/spec error, 2 usage
-// error).
+// returns the process exit code (the cli.Exit* constants).
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -56,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout     = fs.Duration("timeout", 0, "abort the whole invocation after this wall-clock duration (0 = no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -67,19 +70,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if fs.NArg() == 0 {
 		fmt.Fprintf(stderr, "usage: run [flags] spec.json [spec2.json ...]\n")
 		fs.PrintDefaults()
-		return 2
+		return cli.ExitUsage
 	}
 
-	code := 0
-	fail := func(err error) {
+	fail := func(code int, err error) int {
 		fmt.Fprintf(stderr, "run: %v\n", err)
-		code = 1
+		return code
 	}
 
 	if *artifactDir != "" {
 		if err := os.MkdirAll(*artifactDir, 0o755); err != nil {
-			fail(err)
-			return code
+			return fail(cli.ExitRuntime, err)
 		}
 	}
 
@@ -87,8 +88,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, path := range fs.Args() {
 		scs, sw, err := harness.LoadSpec(path)
 		if err != nil {
-			fail(err)
-			return code
+			return fail(cli.ExitSpec, err)
 		}
 		if sw != nil {
 			// A sweep spec expands to its point scenarios; every point gets
@@ -96,8 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			// titles never collide, whatever the sweep or base was called.
 			scs, err = sw.Expand()
 			if err != nil {
-				fail(err)
-				return code
+				return fail(cli.ExitSpec, err)
 			}
 			name := sw.Name
 			if name == "" {
@@ -120,10 +119,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			continue
 		}
-		for _, sc := range scs {
+		for i, sc := range scs {
 			n++
 			sc.Parallelism = *parallelism
 			if *progress {
+				// Scenario-level progress first: with a multi-scenario or
+				// sweep spec, the replication lines alone don't say how far
+				// through the spec the invocation is.
+				fmt.Fprintf(stderr, "%s: scenario %d/%d: %s\n", path, i+1, len(scs), sc.Title())
 				title := sc.Title()
 				sc.Progress = func(done, total int) {
 					fmt.Fprintf(stderr, "%s: replication %d/%d done\n", title, done, total)
@@ -133,11 +136,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			res, err := sim.Run(ctx, sc)
 			if err != nil {
 				if errors.Is(err, context.DeadlineExceeded) {
-					fail(fmt.Errorf("%s: %s: timed out after %v (-timeout)", path, sc.Title(), *timeout))
-				} else {
-					fail(fmt.Errorf("%s: %w", path, err))
+					return fail(cli.ExitTimeout,
+						fmt.Errorf("%s: %s: timed out after %v (-timeout)", path, sc.Title(), *timeout))
 				}
-				return code
+				return fail(cli.RunCode(err), fmt.Errorf("%s: %w", path, err))
 			}
 			elapsed := time.Since(start)
 			table := harness.ScenarioTable(sc, res)
@@ -154,13 +156,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if *artifactDir != "" {
 				data, err := artifact.JSON()
 				if err != nil {
-					fail(err)
-					return code
+					return fail(cli.ExitRuntime, err)
 				}
 				file := filepath.Join(*artifactDir, id+".json")
 				if err := os.WriteFile(file, append(data, '\n'), 0o644); err != nil {
-					fail(err)
-					return code
+					return fail(cli.ExitRuntime, err)
 				}
 			}
 
@@ -168,8 +168,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			case *jsonOut:
 				data, err := artifact.JSON()
 				if err != nil {
-					fail(err)
-					return code
+					return fail(cli.ExitRuntime, err)
 				}
 				fmt.Fprintf(stdout, "%s\n", data)
 			case *csvOut:
@@ -183,5 +182,5 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
-	return code
+	return cli.ExitOK
 }

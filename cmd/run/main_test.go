@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 // write places a spec file in a temp dir and returns its path.
@@ -86,8 +88,9 @@ func TestRunRejectsBadSpecs(t *testing.T) {
 			path := write(t, "spec.json", tc.spec)
 			var stdout, stderr strings.Builder
 			code := run([]string{path}, &stdout, &stderr)
-			if code == 0 {
-				t.Fatalf("exit code 0 for invalid spec; stderr: %s", stderr.String())
+			if code != cli.ExitSpec {
+				t.Fatalf("exit code %d for invalid spec, want %d (ExitSpec); stderr: %s",
+					code, cli.ExitSpec, stderr.String())
 			}
 			if !strings.Contains(stderr.String(), tc.wantSub) {
 				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantSub)
@@ -107,8 +110,60 @@ func TestRunUsageErrors(t *testing.T) {
 	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("bad-flag exit code = %d, want 2", code)
 	}
-	if code := run([]string{"does-not-exist.json"}, &stdout, &stderr); code != 1 {
-		t.Fatalf("missing-file exit code = %d, want 1", code)
+	if code := run([]string{"does-not-exist.json"}, &stdout, &stderr); code != cli.ExitSpec {
+		t.Fatalf("missing-file exit code = %d, want %d (ExitSpec)", code, cli.ExitSpec)
+	}
+}
+
+// TestRunExitCodeTable pins the documented exit code for each failure class
+// (see internal/cli): usage, spec, timeout, runtime, success.
+func TestRunExitCodeTable(t *testing.T) {
+	good := write(t, "good.json",
+		`{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100, "seed": 1}`)
+	bad := write(t, "bad.json", `{"horizon": `)
+	// A path whose parent is a regular file makes the -artifacts MkdirAll
+	// fail after flag parsing and spec loading succeed: a runtime error.
+	blocked := filepath.Join(good, "artifacts")
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{good}, cli.ExitOK},
+		{"runtime failure", []string{"-artifacts", blocked, good}, cli.ExitRuntime},
+		{"usage error", []string{"-nonsense"}, cli.ExitUsage},
+		{"spec failure", []string{bad}, cli.ExitSpec},
+		{"timeout expiry", []string{"-timeout", "1ns", good}, cli.ExitTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Fatalf("run(%v) = %d, want %d; stderr: %s", tc.args, code, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunProgressScenarioLevel pins -progress on a sweep spec: besides the
+// per-replication lines, each expanded scenario announces its position in
+// the spec, so a long multi-point run shows where it is.
+func TestRunProgressScenarioLevel(t *testing.T) {
+	sweep := write(t, "sweep.json",
+		`{"name": "prog", "base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "horizon": 100, "seed": 1, "replications": 2},
+		  "axes": [{"field": "load_factor", "values": [0.3, 0.6]}]}`)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-progress", sweep}, &stdout, &stderr); code != cli.ExitOK {
+		t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+	}
+	errOut := stderr.String()
+	for _, want := range []string{
+		"scenario 1/2:", "scenario 2/2:", // scenario-level position
+		"replication 1/2 done", "replication 2/2 done", // replication-level detail
+	} {
+		if !strings.Contains(errOut, want) {
+			t.Fatalf("progress output missing %q:\n%s", want, errOut)
+		}
 	}
 }
 
@@ -170,8 +225,9 @@ func TestRunTimeoutFlag(t *testing.T) {
 	spec := write(t, "spec.json",
 		`{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 100, "seed": 1}`)
 	var stdout, stderr strings.Builder
-	if code := run([]string{"-timeout", "1ns", spec}, &stdout, &stderr); code != 1 {
-		t.Fatalf("expired -timeout exit code = %d, want 1; stderr: %s", code, stderr.String())
+	if code := run([]string{"-timeout", "1ns", spec}, &stdout, &stderr); code != cli.ExitTimeout {
+		t.Fatalf("expired -timeout exit code = %d, want %d (ExitTimeout); stderr: %s",
+			code, cli.ExitTimeout, stderr.String())
 	}
 	for _, want := range []string{"timed out after 1ns", "(-timeout)"} {
 		if !strings.Contains(stderr.String(), want) {
@@ -201,7 +257,7 @@ func TestRunValidateFlag(t *testing.T) {
 		  "axes": [{"field": "load_factor", "values": [-1]}]}`)
 	stdout.Reset()
 	stderr.Reset()
-	if code := run([]string{"-validate", bad}, &stdout, &stderr); code != 1 {
-		t.Fatalf("exit code %d for invalid spec, want 1", code)
+	if code := run([]string{"-validate", bad}, &stdout, &stderr); code != cli.ExitSpec {
+		t.Fatalf("exit code %d for invalid spec, want %d (ExitSpec)", code, cli.ExitSpec)
 	}
 }

@@ -21,6 +21,9 @@
 //	sweep -mode load -json -parallelism 4
 //	sweep -spec specs/sweep-load.json
 //	sweep -spec specs/sweep-smoke.json -json > rows.jsonl
+//
+// Exit codes (shared with cmd/run, see internal/cli): 0 success, 1 runtime
+// failure, 2 usage error, 3 spec load/validation failure, 4 -timeout expiry.
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/asciiplot"
+	"repro/internal/cli"
 	"repro/internal/harness"
 	"repro/internal/stats"
 	"repro/sim"
@@ -44,7 +48,7 @@ func main() {
 }
 
 // run is the testable entry point: it parses args, executes, and returns the
-// process exit code (0 success, 1 runtime/spec error, 2 usage error).
+// process exit code (the cli.Exit* constants).
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -64,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint  = fs.String("checkpoint", "", "journal completed points to this file and resume from it (-spec mode only)")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return cli.ExitUsage
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -90,12 +94,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(clash) > 0 {
 			fmt.Fprintf(stderr, "sweep: %s only apply to the built-in modes; a -spec run takes all parameters from the spec file\n",
 				strings.Join(clash, ", "))
-			return 2
+			return cli.ExitUsage
 		}
 		sw, err := harness.LoadSweep(*spec)
 		if err != nil {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
-			return 1
+			return cli.ExitSpec
 		}
 		sw.Parallelism = *parallelism
 		// -spec mode only streams to a sink; don't hold every Result until
@@ -115,14 +119,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			sink = sim.NewCSVSink(stdout)
 		}
 		if _, err := sim.RunSweep(ctx, *sw, sink); err != nil {
-			reportSweepErr(err, *timeout, stderr)
-			return 1
+			return reportSweepErr(err, *timeout, stderr)
 		}
-		return 0
+		return cli.ExitOK
 	}
 	if *checkpoint != "" {
 		fmt.Fprintf(stderr, "sweep: -checkpoint only applies to -spec runs\n")
-		return 2
+		return cli.ExitUsage
 	}
 
 	switch *mode {
@@ -132,30 +135,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return sweepDimension(ctx, *rho, *p, *horizon, *seed, *parallelism, *timeout, *csvOnly, *jsonOut, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "sweep: unknown mode %q\n", *mode)
-		return 2
+		return cli.ExitUsage
 	}
 }
 
-// reportSweepErr prints a sweep failure, translating a -timeout expiry into
-// a message that names the flag.
-func reportSweepErr(err error, timeout time.Duration, stderr io.Writer) {
+// reportSweepErr prints a sweep failure — translating a -timeout expiry into
+// a message that names the flag — and returns the matching exit code.
+func reportSweepErr(err error, timeout time.Duration, stderr io.Writer) int {
 	if errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(stderr, "sweep: timed out after %v (-timeout)\n", timeout)
-		return
+		return cli.ExitTimeout
 	}
 	fmt.Fprintf(stderr, "sweep: %v\n", err)
+	return cli.ExitRuntime
 }
 
 // runSweep executes the sweep and returns its rows in point order; a nil
-// slice means the error was already reported.
-func runSweep(ctx context.Context, sw sim.Sweep, parallelism int, timeout time.Duration, stderr io.Writer) []sim.Row {
+// slice means the error was already reported, with code as the exit code.
+func runSweep(ctx context.Context, sw sim.Sweep, parallelism int, timeout time.Duration, stderr io.Writer) ([]sim.Row, int) {
 	sw.Parallelism = parallelism
 	rows, err := sim.RunSweep(ctx, sw)
 	if err != nil {
-		reportSweepErr(err, timeout, stderr)
-		return nil
+		return nil, reportSweepErr(err, timeout, stderr)
 	}
-	return rows
+	return rows, cli.ExitOK
 }
 
 func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xLabel string, stdout, stderr io.Writer) int {
@@ -163,10 +166,10 @@ func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xL
 		data, err := table.JSON()
 		if err != nil {
 			fmt.Fprintf(stderr, "sweep: %v\n", err)
-			return 1
+			return cli.ExitRuntime
 		}
 		fmt.Fprintf(stdout, "%s\n", data)
-		return 0
+		return cli.ExitOK
 	}
 	fmt.Fprint(stdout, table.CSV())
 	if !csvOnly {
@@ -175,7 +178,7 @@ func emit(table *harness.Table, series []stats.Series, jsonOut, csvOnly bool, xL
 			Title: table.Title, Width: 70, Height: 18, XLabel: xLabel, YLabel: "mean delay",
 		}))
 	}
-	return 0
+	return cli.ExitOK
 }
 
 // loadSweep is the built-in "load" curve as a declarative sweep (the same
@@ -207,9 +210,9 @@ func sweepLoad(ctx context.Context, d int, p, horizon float64, seed uint64, para
 	measured.Name = "measured T"
 	lower.Name = "lower bound (Prop 13)"
 	upper.Name = "upper bound (Prop 12)"
-	rows := runSweep(ctx, loadSweep(d, p, horizon, seed), parallelism, timeout, stderr)
+	rows, code := runSweep(ctx, loadSweep(d, p, horizon, seed), parallelism, timeout, stderr)
 	if rows == nil {
-		return 1
+		return code
 	}
 	for _, row := range rows {
 		res := row.Result
@@ -230,9 +233,9 @@ func sweepDimension(ctx context.Context, rho, p, horizon float64, seed uint64, p
 	var measured, upper stats.Series
 	measured.Name = "measured T"
 	upper.Name = "upper bound (Prop 12)"
-	rows := runSweep(ctx, dimensionSweep(rho, p, horizon, seed), parallelism, timeout, stderr)
+	rows, code := runSweep(ctx, dimensionSweep(rho, p, horizon, seed), parallelism, timeout, stderr)
 	if rows == nil {
-		return 1
+		return code
 	}
 	for _, row := range rows {
 		res := row.Result

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 func write(t *testing.T, name, content string) string {
@@ -54,8 +56,9 @@ func TestSweepRejectsBadSpecs(t *testing.T) {
 			path := write(t, "sweep.json", tc.spec)
 			var stdout, stderr strings.Builder
 			code := run([]string{"-spec", path}, &stdout, &stderr)
-			if code == 0 {
-				t.Fatalf("exit code 0 for invalid spec; stderr: %s", stderr.String())
+			if code != cli.ExitSpec {
+				t.Fatalf("exit code %d for invalid spec, want %d (ExitSpec); stderr: %s",
+					code, cli.ExitSpec, stderr.String())
 			}
 			if !strings.Contains(stderr.String(), tc.wantSub) {
 				t.Fatalf("stderr %q does not contain %q", stderr.String(), tc.wantSub)
@@ -84,8 +87,36 @@ func TestSweepUsageErrors(t *testing.T) {
 	if code := run([]string{"-nonsense"}, &stdout, &stderr); code != 2 {
 		t.Fatalf("bad flag exit code = %d, want 2", code)
 	}
-	if code := run([]string{"-spec", "does-not-exist.json"}, &stdout, &stderr); code != 1 {
-		t.Fatalf("missing spec exit code = %d, want 1", code)
+	if code := run([]string{"-spec", "does-not-exist.json"}, &stdout, &stderr); code != cli.ExitSpec {
+		t.Fatalf("missing spec exit code = %d, want %d (ExitSpec)", code, cli.ExitSpec)
+	}
+}
+
+// TestSweepExitCodeTable pins the documented exit code for each failure
+// class (see internal/cli): usage, spec, timeout, runtime, success.
+func TestSweepExitCodeTable(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	bad := write(t, "bad.json", `{"axes": `)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"success", []string{"-spec", spec}, cli.ExitOK},
+		// A checkpoint journal in a nonexistent directory fails at open time,
+		// after the spec has validated: a runtime error.
+		{"runtime failure", []string{"-spec", spec, "-checkpoint", filepath.Join(t.TempDir(), "no", "dir", "x.ckpt")}, cli.ExitRuntime},
+		{"usage error", []string{"-mode", "sideways"}, cli.ExitUsage},
+		{"spec failure", []string{"-spec", bad}, cli.ExitSpec},
+		{"timeout expiry", []string{"-spec", spec, "-timeout", "1ns"}, cli.ExitTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Fatalf("run(%v) = %d, want %d; stderr: %s", tc.args, code, tc.want, stderr.String())
+			}
+		})
 	}
 }
 
@@ -131,8 +162,9 @@ func TestSweepSmokeSpecMatchesGolden(t *testing.T) {
 func TestSweepTimeoutFlag(t *testing.T) {
 	spec := filepath.Join("..", "..", "specs", "sweep-smoke.json")
 	var stdout, stderr strings.Builder
-	if code := run([]string{"-timeout", "1ns", "-spec", spec}, &stdout, &stderr); code != 1 {
-		t.Fatalf("expired -timeout exit code = %d, want 1; stderr: %s", code, stderr.String())
+	if code := run([]string{"-timeout", "1ns", "-spec", spec}, &stdout, &stderr); code != cli.ExitTimeout {
+		t.Fatalf("expired -timeout exit code = %d, want %d (ExitTimeout); stderr: %s",
+			code, cli.ExitTimeout, stderr.String())
 	}
 	for _, want := range []string{"timed out after 1ns", "(-timeout)"} {
 		if !strings.Contains(stderr.String(), want) {

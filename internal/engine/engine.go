@@ -83,6 +83,58 @@ func tryIndex(fn func(i int), i, attempt int) (pe *PanicError) {
 	return nil
 }
 
+// Pool is a shared worker-slot budget spanning concurrent engine calls. A
+// single ForEachCtx call bounds its own concurrency, but a process running
+// many sweeps or replicated scenarios at once (the simulation daemon serving
+// many clients) needs one global budget, or every concurrent job would bring
+// its own GOMAXPROCS workers and oversubscribe the machine. Every simulation
+// executed under a pool first acquires one of its slots and releases it when
+// done, so the total number of concurrently executing simulations never
+// exceeds the pool size no matter how many jobs share it.
+//
+// Slots are handed out in roughly FIFO order across all waiters, which gives
+// concurrent jobs a fair interleaving at simulation granularity. The pool
+// never affects results: it only decides when work runs, never what it
+// computes.
+type Pool struct {
+	slots chan struct{}
+}
+
+// NewPool returns a pool with the given number of worker slots (non-positive
+// = GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{slots: make(chan struct{}, workers)}
+	for i := 0; i < workers; i++ {
+		p.slots <- struct{}{}
+	}
+	return p
+}
+
+// Workers returns the pool's slot count.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// Acquire blocks until a slot is free (or ctx is done) and claims it. Every
+// successful Acquire must be paired with a Release.
+func (p *Pool) Acquire(ctx context.Context) error {
+	select {
+	case <-p.slots:
+		return nil
+	default:
+	}
+	select {
+	case <-p.slots:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Release returns a previously acquired slot to the pool.
+func (p *Pool) Release() { p.slots <- struct{}{} }
+
 // Task is one replication of an experiment. It receives the replication's
 // global index and its deterministic seed, runs whatever simulation the
 // experiment needs, and returns named scalar measurements. Tasks run
@@ -111,6 +163,10 @@ type Config struct {
 	BaseSeed uint64
 	// Progress, when non-nil, receives per-shard completion updates.
 	Progress Progress
+	// Pool, when non-nil, is the shared worker budget the run's shards draw
+	// their execution slots from; concurrent runs on one pool never exceed
+	// its total slot count. Like Parallelism it never affects results.
+	Pool *Pool
 }
 
 // Shard is one contiguous block of replication indices [Start, End) together
@@ -224,7 +280,7 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 	var progressMu sync.Mutex
 	doneShards, doneReps := 0, 0
 
-	err := ForEachCtx(ctx, len(shards), cfg.Parallelism, func(i int) {
+	err := ForEachCtxPool(ctx, cfg.Pool, len(shards), cfg.Parallelism, func(i int) {
 		sh := shards[i]
 		tallies := map[string]*stats.Tally{}
 		for rep := sh.Start; rep < sh.End; rep++ {
@@ -288,23 +344,57 @@ func ForEach(n, parallelism int, fn func(i int)) {
 // stops dispatch and is reported as a *PanicError (the process survives). A
 // nil return means fn ran for every index.
 func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
+	return ForEachCtxPool(ctx, nil, n, parallelism, fn)
+}
+
+// ForEachCtxPool is ForEachCtx drawing execution slots from a shared Pool:
+// each index acquires one pool slot for the duration of its fn call, so
+// concurrent ForEachCtxPool calls on the same pool never execute more than
+// the pool's worker count of simulations at once, however many callers there
+// are. A nil pool selects the un-pooled behaviour (each call brings its own
+// budget). parallelism bounds this call's in-flight indices on top of the
+// pool budget; non-positive selects the pool's worker count (or GOMAXPROCS
+// without a pool).
+func ForEachCtxPool(ctx context.Context, pool *Pool, n, parallelism int, fn func(i int)) error {
 	if n <= 0 {
 		return ctx.Err()
 	}
 	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+		if pool != nil {
+			parallelism = pool.Workers()
+		} else {
+			parallelism = runtime.GOMAXPROCS(0)
+		}
 	}
 	if parallelism > n {
 		parallelism = n
+	}
+	run := func(ctx context.Context, fn func(i int), i int) *PanicError {
+		if pool == nil {
+			return runIsolated(fn, i)
+		}
+		if err := pool.Acquire(ctx); err != nil {
+			// The context died while waiting for a slot; dispatch stops on
+			// its own, this index is simply skipped.
+			return nil
+		}
+		defer pool.Release()
+		return runIsolated(fn, i)
 	}
 	if parallelism == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if pe := runIsolated(fn, i); pe != nil {
+			if pe := run(ctx, fn, i); pe != nil {
 				return pe
 			}
+		}
+		if pool != nil {
+			// A slot acquire that lost to cancellation skips its index; the
+			// context error reports the incomplete pass (nil-return contract:
+			// fn ran for every index).
+			return ctx.Err()
 		}
 		return nil
 	}
@@ -321,7 +411,7 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int)) error {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				if pe := runIsolated(fn, i); pe != nil {
+				if pe := run(ctx, fn, i); pe != nil {
 					panicMu.Lock()
 					if panicErr == nil || pe.Index < panicErr.Index {
 						panicErr = pe
@@ -349,6 +439,11 @@ dispatch:
 	// when no panic occurred, err can only come from the parent context.
 	if panicErr != nil {
 		return panicErr
+	}
+	if err == nil && pool != nil {
+		// A worker whose slot acquire lost to cancellation skipped its index
+		// after dispatch already handed it out; report the incomplete pass.
+		err = ctx.Err()
 	}
 	return err
 }

@@ -21,6 +21,12 @@ func LoadScenarios(path string) ([]sim.Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
+	return loadScenariosData(path, data)
+}
+
+// loadScenariosData is LoadScenarios over already-read spec bytes (path is
+// used only for error messages).
+func loadScenariosData(path string, data []byte) ([]sim.Scenario, error) {
 	trimmed := bytes.TrimLeft(data, " \t\r\n")
 	var scs []sim.Scenario
 	if len(trimmed) > 0 && trimmed[0] == '[' {
@@ -99,14 +105,21 @@ func LoadSpec(path string) ([]sim.Scenario, *sim.Sweep, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	return LoadSpecData(path, data)
+}
+
+// LoadSpecData is LoadSpec over already-read spec bytes — the daemon feeds
+// request bodies through it so an HTTP-submitted spec passes exactly the
+// validation a spec file does. The name appears only in error messages.
+func LoadSpecData(name string, data []byte) ([]sim.Scenario, *sim.Sweep, error) {
 	if isSweepSpec(data) {
-		sw, err := loadSweepData(path, data)
+		sw, err := loadSweepData(name, data)
 		if err != nil {
 			return nil, nil, err
 		}
 		return nil, sw, nil
 	}
-	scs, err := LoadScenarios(path)
+	scs, err := loadScenariosData(name, data)
 	if err != nil {
 		return nil, nil, err
 	}

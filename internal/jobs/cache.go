@@ -1,0 +1,78 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/sim"
+)
+
+// lruCache is a bounded sim.ResultCache shared by every job in the daemon:
+// points are keyed by their scenario fingerprint (normalized spec, seed
+// included), so a client resubmitting a spec — or two clients sweeping
+// overlapping parameter grids — pays for each distinct point once. Results
+// are pure functions of the spec, so a hit streams bytes identical to a
+// fresh run.
+type lruCache struct {
+	mu      sync.Mutex
+	max     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	key string
+	res *sim.Result
+}
+
+// newLRUCache returns a cache bounded to max entries (max <= 0 returns nil:
+// caching disabled).
+func newLRUCache(max int) *lruCache {
+	if max <= 0 {
+		return nil
+	}
+	return &lruCache{max: max, order: list.New(), entries: map[string]*list.Element{}}
+}
+
+// Get implements sim.ResultCache.
+func (c *lruCache) Get(key string) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put implements sim.ResultCache.
+func (c *lruCache) Put(key string, res *sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).res = res
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+	if len(c.entries) > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// stats returns the hit/miss counters and current size (for /healthz).
+func (c *lruCache) stats() (hits, misses int64, size int) {
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.entries)
+}

@@ -1,0 +1,333 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/sim"
+)
+
+// testSpec is a small valid sweep spec; the seed varies the fingerprint so
+// tests can mint distinct jobs cheaply.
+func testSpec(seed int) []byte {
+	return []byte(fmt.Sprintf(`{
+		"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 200, "seed": %d},
+		"axes": [{"field": "load_factor", "values": [0.3, 0.6]}]
+	}`, seed))
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel() // forced drain: tests must not hang on stuck fakes
+		m.Drain(ctx)
+	})
+	return m
+}
+
+// waitState polls until the job reaches the wanted state.
+func waitState(t *testing.T, m *Manager, id, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := m.Status(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == want {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	st, _ := m.Status(id)
+	t.Fatalf("job %s never reached %q (last: %+v)", shortID(id), want, st)
+	return Status{}
+}
+
+// TestAdmissionBackpressure pins the overload contract: beyond MaxActiveJobs
+// jobs run, QueueLimit jobs queue; the next submission is rejected with
+// ErrQueueFull, and a client at its in-flight cap with ErrClientBusy.
+func TestAdmissionBackpressure(t *testing.T) {
+	m := newTestManager(t, Config{MaxActiveJobs: 1, QueueLimit: 2, PerClientCap: 10})
+	release := make(chan struct{})
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer close(release)
+
+	// 1 running + 2 queued = at capacity.
+	for i := 0; i < 3; i++ {
+		if _, created, err := m.Submit("alice", testSpec(i)); err != nil || !created {
+			t.Fatalf("submit %d: created=%v err=%v", i, created, err)
+		}
+	}
+	_, _, err := m.Submit("bob", testSpec(99))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th submission: err = %v, want ErrQueueFull", err)
+	}
+
+	// A second submission of a known spec attaches instead of queueing.
+	st, created, err := m.Submit("alice", testSpec(1))
+	if err != nil || created {
+		t.Fatalf("resubmission: created=%v err=%v", created, err)
+	}
+	if st.ID == "" {
+		t.Fatal("resubmission returned no job ID")
+	}
+
+	// Per-client cap: a tight cap rejects the client but not others.
+	m2 := newTestManager(t, Config{MaxActiveJobs: 1, QueueLimit: 10, PerClientCap: 2})
+	m2.runSweep = m.runSweep
+	for i := 0; i < 2; i++ {
+		if _, _, err := m2.Submit("carol", testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m2.Submit("carol", testSpec(2)); !errors.Is(err, ErrClientBusy) {
+		t.Fatalf("over-cap submission: err = %v, want ErrClientBusy", err)
+	}
+	if _, _, err := m2.Submit("dave", testSpec(3)); err != nil {
+		t.Fatalf("other client rejected: %v", err)
+	}
+}
+
+// TestFairShareOrder pins the round-robin order concretely: alice queues
+// a1,a2,a3, then bob queues b1; with one slot the clients alternate from the
+// moment both have queued work — a1, a2, b1, a3 — so bob's singleton job is
+// not stuck behind alice's whole burst.
+func TestFairShareOrder(t *testing.T) {
+	m := newTestManager(t, Config{MaxActiveJobs: 1, QueueLimit: 10, PerClientCap: 10})
+	var mu sync.Mutex
+	var order []uint64
+	started := make(chan struct{}, 16)
+	step := make(chan struct{})
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		mu.Lock()
+		order = append(order, sw.Base.Seed)
+		mu.Unlock()
+		started <- struct{}{}
+		select {
+		case <-step:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Seeds 1,2,3 from alice; 4 from bob.
+	for seed := 1; seed <= 3; seed++ {
+		if _, _, err := m.Submit("alice", testSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started // alice's first job is running; 2 queued
+	if _, _, err := m.Submit("bob", testSpec(4)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		step <- struct{}{} // finish one, start the next
+		<-started
+	}
+	step <- struct{}{} // finish the last
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if q, a := m.Counts(); q == 0 && a == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("jobs never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []uint64{1, 2, 4, 3}
+	if len(order) != 4 {
+		t.Fatalf("ran %d jobs, want 4 (%v)", len(order), order)
+	}
+	for i, s := range want {
+		if order[i] != s {
+			t.Fatalf("execution order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestRetryOnPanicError pins the bounded-retry contract: a run dying with an
+// engine.PanicError is retried with backoff up to MaxRetries times; a run
+// that then succeeds leaves the job done, with the attempts visible in the
+// status document. Non-panic errors are not retried.
+func TestRetryOnPanicError(t *testing.T) {
+	m := newTestManager(t, Config{MaxRetries: 2, RetryBackoff: time.Millisecond})
+	var calls int
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		calls++
+		if calls < 3 {
+			return nil, &engine.PanicError{Index: 1, Attempts: 3, Value: "boom"}
+		}
+		return nil, nil
+	}
+	st, _, err := m.Submit("alice", testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitState(t, m, st.ID, StateDone)
+	if st.Attempts != 3 {
+		t.Fatalf("job took %d attempts, want 3", st.Attempts)
+	}
+
+	// A non-panic failure is terminal on the first attempt.
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		return nil, errors.New("spec exploded")
+	}
+	st2, _, err := m.Submit("alice", testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 = waitState(t, m, st2.ID, StateFailed)
+	if st2.Attempts != 1 {
+		t.Fatalf("non-panic failure took %d attempts, want 1", st2.Attempts)
+	}
+	if st2.Error == "" {
+		t.Fatal("failed job reports no error")
+	}
+
+	// A persistent panic exhausts the budget and fails.
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		return nil, &engine.PanicError{Index: 0, Attempts: 3, Value: "always"}
+	}
+	st3, _, err := m.Submit("alice", testSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 = waitState(t, m, st3.ID, StateFailed)
+	if st3.Attempts != 3 {
+		t.Fatalf("persistent panic took %d attempts, want 3 (1 + MaxRetries)", st3.Attempts)
+	}
+}
+
+// TestCancel pins both cancellation paths: a queued job leaves the queue
+// without running; a running job's context is cancelled and it lands in
+// cancelled, not failed.
+func TestCancel(t *testing.T) {
+	m := newTestManager(t, Config{MaxActiveJobs: 1, QueueLimit: 10, PerClientCap: 10})
+	started := make(chan struct{}, 4)
+	var ran sync.Map
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		ran.Store(sw.Base.Seed, true)
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	stRun, _, err := m.Submit("alice", testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	stQueued, _, err := m.Submit("alice", testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := m.Cancel(stQueued.ID); err != nil {
+		t.Fatal(err)
+	}
+	st := waitState(t, m, stQueued.ID, StateCancelled)
+	if st.State != StateCancelled {
+		t.Fatalf("queued job state %q after cancel", st.State)
+	}
+
+	if _, err := m.Cancel(stRun.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, stRun.ID, StateCancelled)
+	if _, ok := ran.Load(uint64(2)); ok {
+		t.Fatal("cancelled queued job still ran")
+	}
+	if _, err := m.Cancel("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("cancelling unknown job: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestDrain pins graceful drain: admissions stop with ErrDraining, running
+// jobs finish, queued jobs stay persisted (recovered by the next manager on
+// the same state dir).
+func TestDrain(t *testing.T) {
+	dir := t.TempDir()
+	m, err := NewManager(Config{StateDir: dir, MaxActiveJobs: 1, QueueLimit: 10, PerClientCap: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	stRun, _, err := m.Submit("alice", testSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	stQueued, _, err := m.Submit("alice", testSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- m.Drain(context.Background()) }()
+	// Draining: new work is rejected, readiness reflects it.
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("manager never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := m.Submit("bob", testSpec(3)); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submission while draining: err = %v, want ErrDraining", err)
+	}
+	close(release) // let the running job finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st, _ := m.Status(stRun.ID); st.State != StateDone {
+		t.Fatalf("running job state %q after graceful drain, want done", st.State)
+	}
+	// The queued job never started and survives on disk: a new manager on
+	// the same state dir recovers it and runs it for real (the specs are
+	// tiny simulations; a fake cannot be installed before recovery starts).
+	m2 := newTestManager(t, Config{StateDir: dir, MaxActiveJobs: 1, QueueLimit: 10, PerClientCap: 10})
+	waitState(t, m2, stQueued.ID, StateDone)
+}
+
+// TestScenarioSeedTooLarge pins the exactness guard on the wrapping seed
+// axis.
+func TestScenarioSeedTooLarge(t *testing.T) {
+	m := newTestManager(t, Config{})
+	spec := []byte(`{"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 200, "seed": 9007199254740993}`)
+	if _, _, err := m.Submit("alice", spec); err == nil {
+		t.Fatal("2^53+1 seed admitted; the wrapping axis would round it")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"path/filepath"
 )
 
 // This file implements the sweep checkpoint journal behind
@@ -38,6 +39,81 @@ type ckHeader struct {
 type ckEntry struct {
 	Point  int             `json:"point"`
 	Result json.RawMessage `json:"result"`
+}
+
+// CheckpointMismatchError reports a checkpoint journal that was written by a
+// different sweep spec than the one trying to resume from it. It names both
+// fingerprints so the operator can tell whether the spec changed or the path
+// is simply being reused; nothing is discarded — the journal is left intact
+// and the caller picks a different path or deletes it deliberately.
+type CheckpointMismatchError struct {
+	// Path is the journal file.
+	Path string
+	// JournalSHA256 and JournalPoints identify the sweep the journal was
+	// written by.
+	JournalSHA256 string
+	JournalPoints int
+	// SpecSHA256 and SpecPoints identify the sweep that tried to resume.
+	SpecSHA256 string
+	SpecPoints int
+}
+
+// Error names the journal and both spec fingerprints.
+func (e *CheckpointMismatchError) Error() string {
+	return fmt.Sprintf("sim: sweep checkpoint %s was written by a different sweep spec: journal sha256 %s (%d points) vs spec sha256 %s (%d points); delete it or pick another path",
+		e.Path, e.JournalSHA256, e.JournalPoints, e.SpecSHA256, e.SpecPoints)
+}
+
+// CheckpointInfo summarises a checkpoint journal without resuming it.
+type CheckpointInfo struct {
+	// SweepSHA256 is the fingerprint of the sweep the journal belongs to
+	// (compare with Sweep.Fingerprint).
+	SweepSHA256 string
+	// Points is the sweep's expansion size recorded in the header.
+	Points int
+	// Completed is the number of distinct points with a valid journaled
+	// result (a torn tail from a mid-write kill is not counted).
+	Completed int
+}
+
+// Complete reports whether every point of the sweep is journaled: resuming a
+// complete journal replays the whole row stream without running a single
+// simulation.
+func (ci CheckpointInfo) Complete() bool { return ci.Completed == ci.Points }
+
+// ScanCheckpoint reads a checkpoint journal's header and counts its valid
+// completed points without restoring results or mutating the file. The
+// daemon uses it on restart to decide which recovered jobs still need work.
+// A missing file returns an error wrapping fs.ErrNotExist.
+func ScanCheckpoint(path string) (CheckpointInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CheckpointInfo{}, fmt.Errorf("sim: reading sweep checkpoint: %w", err)
+	}
+	lines := bytes.Split(data, []byte("\n"))
+	if len(bytes.TrimSpace(lines[0])) == 0 {
+		return CheckpointInfo{}, fmt.Errorf("sim: sweep checkpoint %s is empty", path)
+	}
+	var hdr ckHeader
+	if err := json.Unmarshal(lines[0], &hdr); err != nil {
+		return CheckpointInfo{}, fmt.Errorf("sim: sweep checkpoint %s: unreadable header: %w", path, err)
+	}
+	info := CheckpointInfo{SweepSHA256: hdr.SweepSHA256, Points: hdr.Points}
+	seen := make(map[int]bool)
+	for _, line := range lines[1:] {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e ckEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.Point < 0 || e.Point >= hdr.Points || len(e.Result) == 0 {
+			break // torn tail
+		}
+		if !seen[e.Point] {
+			seen[e.Point] = true
+			info.Completed++
+		}
+	}
+	return info, nil
 }
 
 // sweepFingerprint hashes the sweep's canonical JSON spec. Execution policy
@@ -85,8 +161,13 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 			return nil, nil, fmt.Errorf("sim: sweep checkpoint %s: unreadable header: %w", path, err)
 		}
 		if hdr.SweepSHA256 != fp || hdr.Points != n {
-			return nil, nil, fmt.Errorf("sim: sweep checkpoint %s was written by a different sweep spec (%d points, sha256 %.12s...); delete it or pick another path",
-				path, hdr.Points, hdr.SweepSHA256)
+			return nil, nil, &CheckpointMismatchError{
+				Path:          path,
+				JournalSHA256: hdr.SweepSHA256,
+				JournalPoints: hdr.Points,
+				SpecSHA256:    fp,
+				SpecPoints:    n,
+			}
 		}
 		for _, line := range lines[1:] {
 			if len(bytes.TrimSpace(line)) == 0 {
@@ -119,12 +200,18 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 		buf.WriteByte('\n')
 	}
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
 		return nil, nil, fmt.Errorf("sim: writing sweep checkpoint %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
 		return nil, nil, fmt.Errorf("sim: replacing sweep checkpoint %s: %w", path, err)
 	}
+	// Persist the rename itself: without the directory fsync a crash right
+	// after compaction could resurrect the pre-compaction file, torn tail
+	// included. Restore tolerates that (it re-compacts), so a directory that
+	// does not support fsync (some network mounts) only weakens durability,
+	// never correctness — the error is deliberately ignored.
+	syncDir(filepath.Dir(path))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("sim: opening sweep checkpoint %s for append: %w", path, err)
@@ -132,8 +219,39 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 	return restored, &checkpoint{path: path, f: f}, nil
 }
 
-// record appends one completed point. RunSweep serializes calls under its
-// row mutex, so the journal needs no locking of its own.
+// writeFileSync writes data and fsyncs the file before closing, so the
+// following rename never publishes a file whose contents are still only in
+// the page cache.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory, persisting renames inside it; best-effort.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	defer d.Close()
+	_ = d.Sync()
+}
+
+// record appends one completed point and fsyncs the journal, so a point that
+// was reported as checkpointed survives a power cut, not just a process kill.
+// RunSweep serializes calls under its row mutex, so the journal needs no
+// locking of its own.
 func (c *checkpoint) record(point int, res *Result) error {
 	resJSON, err := json.Marshal(res)
 	if err != nil {
@@ -143,8 +261,10 @@ func (c *checkpoint) record(point int, res *Result) error {
 	if err != nil {
 		return err
 	}
-	_, err = c.f.Write(append(line, '\n'))
-	return err
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	return c.f.Sync()
 }
 
 // close releases the journal file handle. The journal itself is left in

@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestCheckpointMismatchTyped pins the typed spec-hash guard: resuming a
+// journal written by a different sweep returns *CheckpointMismatchError
+// carrying both fingerprints, and the message names them both so the
+// operator can see which side changed. The journal itself is left intact.
+func TestCheckpointMismatchTyped(t *testing.T) {
+	path := t.TempDir() + "/sweep.ckpt"
+	first := checkpointSweep()
+	first.CheckpointPath = path
+	if _, err := RunSweep(context.Background(), first); err != nil {
+		t.Fatal(err)
+	}
+	firstFP, err := first.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := checkpointSweep()
+	second.Base.Seed = 10
+	second.CheckpointPath = path
+	secondFP, err := second.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunSweep(context.Background(), second)
+	var mm *CheckpointMismatchError
+	if !errors.As(err, &mm) {
+		t.Fatalf("err = %v, want *CheckpointMismatchError", err)
+	}
+	if mm.Path != path {
+		t.Fatalf("mismatch names path %q, want %q", mm.Path, path)
+	}
+	if mm.JournalSHA256 != firstFP || mm.SpecSHA256 != secondFP {
+		t.Fatalf("mismatch fingerprints = journal %s / spec %s, want %s / %s",
+			mm.JournalSHA256, mm.SpecSHA256, firstFP, secondFP)
+	}
+	if mm.JournalPoints != 4 || mm.SpecPoints != 4 {
+		t.Fatalf("mismatch point counts = %d / %d, want 4 / 4", mm.JournalPoints, mm.SpecPoints)
+	}
+	msg := err.Error()
+	for _, fp := range []string{firstFP, secondFP} {
+		if !strings.Contains(msg, fp) {
+			t.Fatalf("error message does not name fingerprint %s:\n%s", fp, msg)
+		}
+	}
+	// The journal survives the refusal: the original sweep still resumes it.
+	first.Progress = func(done, total int) { t.Errorf("intact journal re-ran a point (%d/%d)", done, total) }
+	if _, err := RunSweep(context.Background(), first); err != nil {
+		t.Fatalf("original sweep no longer resumes its journal: %v", err)
+	}
+}
+
+// TestScanCheckpoint pins the daemon's restart probe: ScanCheckpoint reports
+// the journal's fingerprint and completion without touching the file, counts
+// a torn tail as incomplete, and wraps fs.ErrNotExist for a missing journal.
+func TestScanCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+
+	if _, err := ScanCheckpoint(dir + "/absent.ckpt"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing journal: err = %v, want fs.ErrNotExist", err)
+	}
+
+	path := dir + "/sweep.ckpt"
+	sw := checkpointSweep()
+	sw.CheckpointPath = path
+	if _, err := RunSweep(context.Background(), sw); err != nil {
+		t.Fatal(err)
+	}
+	fp, err := sw.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := ScanCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SweepSHA256 != fp {
+		t.Fatalf("scanned fingerprint %s, want %s", info.SweepSHA256, fp)
+	}
+	if info.Points != 4 || info.Completed != 4 || !info.Complete() {
+		t.Fatalf("scan = %+v, want 4/4 complete", info)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A torn tail does not count as a completed point and does not break the
+	// scan of the valid prefix.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"point":2,"resu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	info, err = ScanCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Completed != 4 || !info.Complete() {
+		t.Fatalf("scan after torn tail = %+v, want still 4/4", info)
+	}
+
+	// The scan never mutates the journal (the torn tail is still there).
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) == string(before) {
+		t.Fatal("torn tail disappeared without a resume")
+	}
+
+	// A partial journal scans as incomplete.
+	lines := splitLines(before)
+	partial := append(append([]byte{}, lines[0]...), '\n')
+	partial = append(partial, lines[1]...)
+	partial = append(partial, '\n')
+	partialPath := dir + "/partial.ckpt"
+	if err := os.WriteFile(partialPath, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	info, err = ScanCheckpoint(partialPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != 4 || info.Completed != 1 || info.Complete() {
+		t.Fatalf("partial scan = %+v, want 1/4 incomplete", info)
+	}
+}
+
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines = append(lines, data[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		lines = append(lines, data[start:])
+	}
+	return lines
+}

@@ -1,0 +1,41 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// This file defines the spec fingerprints the result cache, the checkpoint
+// journal and the simulation daemon key their state by. A fingerprint is the
+// sha256 of a spec's canonical JSON encoding — the struct-tag encoding every
+// spec file round-trips through — so two specs that decode to the same
+// values share a fingerprint regardless of formatting or key order, and
+// execution policy (parallelism, sinks, pools, checkpoint paths; everything
+// tagged `json:"-"`) never participates.
+
+// Fingerprint returns the scenario's spec hash: the sha256, in hex, of its
+// canonical JSON encoding with the display Name cleared. Two scenarios that
+// differ only in labeling compute identical results, so they share a
+// fingerprint — this is the key the daemon's result cache deduplicates
+// repeated points by ((normalized spec, seed) is covered because Seed is
+// part of the encoding).
+func (s Scenario) Fingerprint() (string, error) {
+	s.Name = ""
+	spec, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("sim: fingerprinting scenario spec: %w", err)
+	}
+	sum := sha256.Sum256(spec)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Fingerprint returns the sweep's spec hash: the sha256, in hex, of its
+// canonical JSON encoding (Name included — the label is part of a sweep's
+// identity, and the checkpoint journal header has always bound to it). The
+// daemon derives job IDs and journal filenames from this hash, and a journal
+// written under one fingerprint refuses to resume any other sweep.
+func (sw Sweep) Fingerprint() (string, error) {
+	return sweepFingerprint(sw)
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestConcurrentSweepsSharedPoolByteIdentical is the daemon's scheduling
+// contract: two sweeps running concurrently on one shared engine pool stream
+// exactly the bytes each streams alone. One sweep has replicated points (its
+// leaf simulations fan out through the engine's sharded executor), the other
+// single-run points (its Run calls acquire pool slots directly), so both
+// leaf paths share the budget in the same test.
+func TestConcurrentSweepsSharedPoolByteIdentical(t *testing.T) {
+	swA := checkpointSweep() // Replications: 2 per point
+	swB := smallSweep()      // single-run points
+	_, wantA := runToSinks(t, swA)
+	_, wantB := runToSinks(t, swB)
+
+	pool := engine.NewPool(2)
+	swA, swB = checkpointSweep(), smallSweep()
+	swA.Pool = pool
+	swB.Pool = pool
+	var gotA, gotB strings.Builder
+	var wg sync.WaitGroup
+	var errA, errB error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, errA = RunSweep(context.Background(), swA, NewJSONLSink(&gotA))
+	}()
+	go func() {
+		defer wg.Done()
+		_, errB = RunSweep(context.Background(), swB, NewJSONLSink(&gotB))
+	}()
+	wg.Wait()
+	if errA != nil || errB != nil {
+		t.Fatalf("pooled sweeps failed: %v / %v", errA, errB)
+	}
+	if gotA.String() != wantA {
+		t.Fatalf("sweep A on the shared pool differs from its solo run:\n%s\nvs\n%s", gotA.String(), wantA)
+	}
+	if gotB.String() != wantB {
+		t.Fatalf("sweep B on the shared pool differs from its solo run:\n%s\nvs\n%s", gotB.String(), wantB)
+	}
+}
+
+// TestSweepPanicIsolatedFromSiblingSweep pins the fault boundary between
+// jobs: a point that persistently panics fails its own sweep with a typed
+// *engine.PanicError, while a sibling sweep on the same shared pool streams
+// byte-identical rows — the panic neither poisons the pool (the slot is
+// released on the panic path) nor perturbs the sibling's output.
+func TestSweepPanicIsolatedFromSiblingSweep(t *testing.T) {
+	const poisonSeed = 777
+	good := smallSweep()
+	_, wantGood := runToSinks(t, good)
+
+	runTestHook = func(sc Scenario) {
+		if sc.Seed == poisonSeed {
+			panic("poisoned point")
+		}
+	}
+	defer func() { runTestHook = nil }()
+
+	bad := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 200},
+		Axes: []Axis{{Field: "seed", Values: Ints(1, poisonSeed, 3)}},
+	}
+	pool := engine.NewPool(2)
+	bad.Pool = pool
+	good = smallSweep()
+	good.Pool = pool
+
+	var gotGood strings.Builder
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, badErr = RunSweep(context.Background(), bad)
+	}()
+	go func() {
+		defer wg.Done()
+		_, goodErr = RunSweep(context.Background(), good, NewJSONLSink(&gotGood))
+	}()
+	wg.Wait()
+
+	var pe *engine.PanicError
+	if !errors.As(badErr, &pe) {
+		t.Fatalf("poisoned sweep returned %v, want *engine.PanicError", badErr)
+	}
+	if goodErr != nil {
+		t.Fatalf("sibling sweep failed: %v", goodErr)
+	}
+	if gotGood.String() != wantGood {
+		t.Fatalf("sibling sweep rows perturbed by the panic:\n%s\nvs\n%s", gotGood.String(), wantGood)
+	}
+
+	// The pool must still have all its slots: a fresh sweep on it completes.
+	after := smallSweep()
+	after.Pool = pool
+	if _, err := RunSweep(context.Background(), after); err != nil {
+		t.Fatalf("pool unusable after the panic (leaked slot?): %v", err)
+	}
+}
+
+// countingCache is a ResultCache over a plain map, for cache-hit assertions.
+type countingCache struct {
+	mu   sync.Mutex
+	m    map[string]*Result
+	puts int
+}
+
+func (c *countingCache) Get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.m[key]
+	return res, ok
+}
+
+func (c *countingCache) Put(key string, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = map[string]*Result{}
+	}
+	c.m[key] = res
+	c.puts++
+}
+
+// TestSweepResultCacheSkipsRepeatedPoints pins the cache contract: points
+// whose scenarios share a fingerprint simulate once, and a second sweep over
+// the same spec with a warm cache runs zero simulations — yet both stream
+// byte-identical rows to the uncached run.
+func TestSweepResultCacheSkipsRepeatedPoints(t *testing.T) {
+	sw := Sweep{
+		Base: Scenario{Topology: Hypercube(3), P: 0.5, Horizon: 200, Seed: 1},
+		// Two identical load factors: points 0 and 1 share a fingerprint.
+		Axes: []Axis{{Field: "load_factor", Values: Nums(0.4, 0.4, 0.8)}},
+	}
+	_, want := runToSinks(t, sw)
+
+	var runs int
+	runTestHook = func(Scenario) { runs++ }
+	defer func() { runTestHook = nil }()
+
+	cache := &countingCache{}
+	sw.Cache = cache
+	sw.Parallelism = 1 // deterministic hit counting: no racing misses
+	var got strings.Builder
+	if _, err := RunSweep(context.Background(), sw, NewJSONLSink(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want {
+		t.Fatalf("cached sweep rows differ:\n%s\nvs\n%s", got.String(), want)
+	}
+	if runs != 2 {
+		t.Fatalf("cold-cache sweep ran %d simulations, want 2 (one per distinct point)", runs)
+	}
+	if cache.puts != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.puts)
+	}
+
+	runs = 0
+	got.Reset()
+	if _, err := RunSweep(context.Background(), sw, NewJSONLSink(&got)); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 0 {
+		t.Fatalf("warm-cache sweep ran %d simulations, want 0", runs)
+	}
+	if got.String() != want {
+		t.Fatalf("warm-cache sweep rows differ:\n%s\nvs\n%s", got.String(), want)
+	}
+}
+
+// TestScenarioFingerprintSemantics pins what the cache key covers: the label
+// is cosmetic (same results → same fingerprint), the seed is not.
+func TestScenarioFingerprintSemantics(t *testing.T) {
+	base := Scenario{Topology: Hypercube(3), P: 0.5, LoadFactor: 0.5, Horizon: 200, Seed: 1}
+	fp, err := base.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	named := base
+	named.Name = "relabeled"
+	named.Parallelism = 7 // execution policy: also excluded
+	if fp2, _ := named.Fingerprint(); fp2 != fp {
+		t.Fatalf("fingerprint changed with label/policy: %s vs %s", fp2, fp)
+	}
+	reseeded := base
+	reseeded.Seed = 2
+	if fp3, _ := reseeded.Fingerprint(); fp3 == fp {
+		t.Fatal("fingerprint ignored the seed")
+	}
+}

@@ -431,6 +431,12 @@ func (f *FaultStats) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// runTestHook, when non-nil, observes every validated scenario entering Run.
+// Tests use it to count executions (cache-hit assertions) and to inject
+// deterministic panics (pool-isolation assertions); it is never set in
+// production code.
+var runTestHook func(Scenario)
+
 // Run executes one scenario: validation and normalization first, then either
 // a single simulation or — when Scenario.Replications > 1 — that many
 // independent replications on the sharded parallel engine with
@@ -454,6 +460,9 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if runTestHook != nil {
+		runTestHook(sc)
 	}
 	if sc.Replications > 1 {
 		return runReplicated(ctx, &sc, n)
@@ -708,6 +717,7 @@ func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, er
 		Replications: sc.Replications,
 		Parallelism:  sc.Parallelism,
 		BaseSeed:     sc.Seed,
+		Pool:         sc.Pool,
 	}
 	if sc.Progress != nil {
 		progress := sc.Progress

@@ -62,6 +62,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/network"
 	"repro/internal/routing"
 )
@@ -344,6 +345,11 @@ type Scenario struct {
 	// replication shards complete. Calls are serialized. Not part of the
 	// JSON spec.
 	Progress func(done, total int) `json:"-"`
+	// Pool, when non-nil, draws replication workers from a shared
+	// engine.Pool instead of a private worker set, so concurrent scenarios
+	// (the daemon's jobs) share one bounded simulation budget. Execution
+	// policy: never affects results and is not part of the JSON spec.
+	Pool *engine.Pool `json:"-"`
 }
 
 // FaultSpec is the "faults" block of a scenario: the fault model applied to

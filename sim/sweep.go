@@ -369,6 +369,29 @@ type Sweep struct {
 	// byte-identical to an uninterrupted run. See the checkpoint file format
 	// in checkpoint.go. Execution policy: not part of the JSON spec.
 	CheckpointPath string `json:"-"`
+	// Pool, when non-nil, draws every simulation's execution slot from a
+	// shared engine pool instead of this sweep's private worker budget, so
+	// many sweeps running concurrently in one process (the daemon's jobs)
+	// never exceed the pool's total slot count. Replicated points fan their
+	// replications out across the same pool. Execution policy: never affects
+	// results, not part of the JSON spec.
+	Pool *engine.Pool `json:"-"`
+	// Cache, when non-nil, is consulted before running each point — keyed by
+	// the point scenario's Fingerprint — and filled after; a point whose
+	// exact spec (seed included) was computed before is free. Because results
+	// are pure functions of the spec, a hit streams bytes identical to a
+	// fresh run. Execution policy: not part of the JSON spec.
+	Cache ResultCache `json:"-"`
+}
+
+// ResultCache caches executed point results by scenario fingerprint (see
+// Scenario.Fingerprint). Implementations must be safe for concurrent use;
+// cached Results are shared and must be treated as immutable.
+type ResultCache interface {
+	// Get returns the cached result for the key, if any.
+	Get(key string) (*Result, bool)
+	// Put stores a computed result under the key.
+	Put(key string, res *Result)
 }
 
 // PointTimeoutError reports a sweep point that exceeded Sweep.PointTimeout.
@@ -821,7 +844,16 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 	mu.Lock()
 	flushLocked()
 	mu.Unlock()
-	forErr := engine.ForEachCtx(runCtx, len(pts), sw.Parallelism, func(i int) {
+	// The sweep's own point dispatch is never pool-gated (that would let a
+	// replicated point hold a slot while its replication shards wait for
+	// more, a deadlock); instead each point's leaf simulations draw from the
+	// pool — single runs around their Run call, replicated points through
+	// the engine's sharded executor.
+	dispatchPar := sw.Parallelism
+	if sw.Pool != nil && dispatchPar <= 0 {
+		dispatchPar = sw.Pool.Workers()
+	}
+	forErr := engine.ForEachCtx(runCtx, len(pts), dispatchPar, func(i int) {
 		mu.Lock()
 		already := done[i]
 		mu.Unlock()
@@ -830,15 +862,56 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 		}
 		sc := rows[i].Scenario
 		// One shared worker budget: the sweep pool provides the concurrency,
-		// so each point's replications run serially on their split seeds.
+		// so each point's replications run serially on their split seeds —
+		// unless a shared engine pool is attached, in which case replications
+		// fan out across it (the pool, not this sweep, is then the budget).
 		sc.Parallelism = 1
 		sc.Progress = nil
-		ptCtx, ptCancel := runCtx, context.CancelFunc(func() {})
-		if sw.PointTimeout > 0 {
-			ptCtx, ptCancel = context.WithTimeout(runCtx, sw.PointTimeout)
+		sc.Pool = nil
+		if sw.Pool != nil && sc.Replications > 1 {
+			sc.Pool = sw.Pool
+			sc.Parallelism = 0
 		}
-		res, err := Run(ptCtx, sc)
-		ptCancel()
+		var cacheKey string
+		if sw.Cache != nil {
+			if key, err := sc.Fingerprint(); err == nil {
+				cacheKey = key
+			}
+		}
+		var res *Result
+		var err error
+		if cacheKey != "" {
+			if cached, ok := sw.Cache.Get(cacheKey); ok {
+				res = cached
+			}
+		}
+		if res == nil {
+			ptCtx, ptCancel := runCtx, context.CancelFunc(func() {})
+			if sw.PointTimeout > 0 {
+				ptCtx, ptCancel = context.WithTimeout(runCtx, sw.PointTimeout)
+			}
+			if sw.Pool != nil && sc.Pool == nil {
+				// Single-run point: the Run call itself is the leaf. The
+				// release is deferred because Run may panic (the engine's
+				// isolation recovers it above this frame) and a leaked slot
+				// would starve every sibling sweep on the shared pool.
+				err = func() error {
+					if aerr := sw.Pool.Acquire(ptCtx); aerr != nil {
+						return aerr
+					}
+					defer sw.Pool.Release()
+					var rerr error
+					res, rerr = Run(ptCtx, sc)
+					return rerr
+				}()
+			} else {
+				res, err = Run(ptCtx, sc)
+			}
+			ptCancel()
+			if err == nil && cacheKey != "" {
+				sw.Cache.Put(cacheKey, res)
+			}
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
