@@ -1,0 +1,120 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/jobs"
+)
+
+// newWorker starts an in-process simd-equivalent worker and returns its base
+// URL.
+func newWorker(t *testing.T) string {
+	t.Helper()
+	m, err := jobs.NewManager(jobs.Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(m.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return srv.URL
+}
+
+// golden reads a checked-in golden file from the repository's specs dir.
+func golden(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestExitCodes pins the cli exit-code contract for every failure class.
+func TestExitCodes(t *testing.T) {
+	smoke := filepath.Join("..", "..", "specs", "sweep-smoke.json")
+	rangedSpec := filepath.Join(t.TempDir(), "ranged.json")
+	if err := os.WriteFile(rangedSpec, []byte(`{
+		"base": {"topology": {"kind": "hypercube", "d": 3}, "p": 0.5, "load_factor": 0.5, "horizon": 200, "seed": 1},
+		"axes": [{"field": "load_factor", "values": [0.3, 0.6]}],
+		"range": {"start": 0, "count": 1}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A dead worker URL: allocate a listener, then close it.
+	dead := httptest.NewServer(nil)
+	dead.Close()
+
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"no flags", nil, cli.ExitUsage},
+		{"unknown flag", []string{"-nope"}, cli.ExitUsage},
+		{"missing workers", []string{"-spec", smoke}, cli.ExitUsage},
+		{"missing spec", []string{"-workers", "http://localhost:1"}, cli.ExitUsage},
+		{"unreadable spec", []string{"-spec", "no-such-file.json", "-workers", dead.URL}, cli.ExitSpec},
+		{"ranged spec", []string{"-spec", rangedSpec, "-workers", dead.URL}, cli.ExitSpec},
+		{"no reachable worker", []string{"-spec", smoke, "-workers", dead.URL, "-shard-attempts", "1", "-backoff", "1ms"}, cli.ExitRuntime},
+		{"timeout", []string{"-spec", smoke, "-workers", dead.URL, "-backoff", "10s", "-timeout", "150ms"}, cli.ExitTimeout},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			if code := run(tc.args, &stdout, &stderr); code != tc.want {
+				t.Fatalf("exit code = %d, want %d; stderr: %s", code, tc.want, stderr.String())
+			}
+		})
+	}
+}
+
+// TestMergedOutputMatchesGoldens runs simc against real in-process workers
+// for both committed specs and both sink formats: the merged output must be
+// byte-identical to the committed single-machine goldens.
+func TestMergedOutputMatchesGoldens(t *testing.T) {
+	workers := newWorker(t) + "," + newWorker(t)
+	for _, tc := range []struct {
+		spec, golden string
+		json         bool
+	}{
+		{"sweep-smoke", "golden/sweep-smoke.jsonl", true},
+		{"sweep-smoke", "golden/sweep-smoke.csv", false},
+		{"fault-sweep", "golden/fault-sweep.jsonl", true},
+		{"fault-sweep", "golden/fault-sweep.csv", false},
+	} {
+		name := tc.spec + "/csv"
+		if tc.json {
+			name = tc.spec + "/jsonl"
+		}
+		t.Run(name, func(t *testing.T) {
+			args := []string{
+				"-spec", filepath.Join("..", "..", "specs", tc.spec+".json"),
+				"-workers", workers,
+				"-state", t.TempDir(),
+				"-backoff", "5ms",
+			}
+			if tc.json {
+				args = append(args, "-json")
+			}
+			var stdout, stderr strings.Builder
+			if code := run(args, &stdout, &stderr); code != cli.ExitOK {
+				t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+			}
+			if got, want := stdout.String(), golden(t, tc.golden); got != want {
+				t.Fatalf("merged output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s", tc.golden, got, want)
+			}
+		})
+	}
+}

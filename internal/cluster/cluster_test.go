@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/jobs"
+	"repro/sim"
+)
+
+// newWorker starts an in-process simd-equivalent: a real jobs.Manager behind
+// httptest, running real simulations. mid optionally wraps the handler.
+func newWorker(t *testing.T, mid func(http.Handler) http.Handler) *httptest.Server {
+	t.Helper()
+	m, err := jobs.NewManager(jobs.Config{StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := http.Handler(m.Handler())
+	if mid != nil {
+		h = mid(h)
+	}
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Drain(ctx)
+	})
+	return srv
+}
+
+// clusterSweep is the small real sweep most tests shard: 6 points with split
+// seeds, so any absolute-vs-local index slip changes bytes.
+func clusterSweep() sim.Sweep {
+	return sim.Sweep{
+		Name: "cluster",
+		Base: sim.Scenario{Topology: sim.Hypercube(3), P: 0.5, Horizon: 200, Seed: 7},
+		Axes: []sim.Axis{
+			{Field: "router", Values: sim.Strs("greedy", "deflection")},
+			{Field: "load_factor", Values: sim.Nums(0.3, 0.6, 0.9)},
+		},
+		SplitSeeds: true,
+	}
+}
+
+// wantJSONL runs the sweep in-process, single-machine — the bytes every
+// cluster shape must reproduce.
+func wantJSONL(t *testing.T, sw sim.Sweep) string {
+	t.Helper()
+	var out strings.Builder
+	if _, err := sim.RunSweep(context.Background(), sw, sim.NewJSONLSink(&out)); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+// runCluster builds a coordinator over the servers and runs the sweep to a
+// JSONL string.
+func runCluster(t *testing.T, cfg Config, sw sim.Sweep) (string, error) {
+	t.Helper()
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 5 * time.Millisecond
+	}
+	cfg.Logf = t.Logf
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err = c.Run(context.Background(), sw, sim.NewJSONLSink(&out))
+	return out.String(), err
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"no workers", Config{}, "at least one"},
+		{"empty worker URL", Config{Workers: []string{"http://a", ""}}, "empty base URL"},
+		{"negative shards", Config{Workers: []string{"http://a"}, Shards: -1}, "non-negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.cfg); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestClusterShapesByteIdentical is the core contract: for 1, 2 and 3
+// workers (one shard each), the merged stream is byte-identical to the
+// single-machine run.
+func TestClusterShapesByteIdentical(t *testing.T) {
+	sw := clusterSweep()
+	want := wantJSONL(t, sw)
+	for _, workers := range []int{1, 2, 3} {
+		urls := make([]string, workers)
+		for i := range urls {
+			urls[i] = newWorker(t, nil).URL
+		}
+		got, err := runCluster(t, Config{Workers: urls}, sw)
+		if err != nil {
+			t.Fatalf("%d workers: %v", workers, err)
+		}
+		if got != want {
+			t.Fatalf("%d workers: merged stream differs from single-machine run:\n%svs\n%s", workers, got, want)
+		}
+	}
+}
+
+// TestClusterRepoSpecsByteIdentical pins the acceptance criteria against the
+// committed specs and goldens: sweep-smoke and fault-sweep, cluster shapes
+// 1/2/3, merged JSONL byte-identical to specs/golden.
+func TestClusterRepoSpecsByteIdentical(t *testing.T) {
+	for _, spec := range []string{"sweep-smoke", "fault-sweep"} {
+		sw, err := harness.LoadSweep(filepath.Join("..", "..", "specs", spec+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenBytes, err := os.ReadFile(filepath.Join("..", "..", "specs", "golden", spec+".jsonl"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 3} {
+			urls := make([]string, workers)
+			for i := range urls {
+				urls[i] = newWorker(t, nil).URL
+			}
+			got, err := runCluster(t, Config{Workers: urls}, *sw)
+			if err != nil {
+				t.Fatalf("%s on %d workers: %v", spec, workers, err)
+			}
+			if got != string(goldenBytes) {
+				t.Fatalf("%s on %d workers differs from the committed golden", spec, workers)
+			}
+		}
+	}
+}
+
+// abortAfter cuts the response off (connection reset) after limit writes —
+// the in-process stand-in for a worker SIGKILL'd mid-stream.
+type abortAfter struct {
+	http.ResponseWriter
+	writes, limit int
+}
+
+func (w *abortAfter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.limit {
+		panic(http.ErrAbortHandler)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *abortAfter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestClusterWorkerDiesMidShard kills the first row stream after one row:
+// the shard's incomplete suffix is re-dispatched (to the other worker) and
+// the merged output stays byte-identical.
+func TestClusterWorkerDiesMidShard(t *testing.T) {
+	sw := clusterSweep()
+	want := wantJSONL(t, sw)
+	var cut atomic.Bool
+	abortFirstStream := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if strings.HasSuffix(r.URL.Path, "/rows") && cut.CompareAndSwap(false, true) {
+				next.ServeHTTP(&abortAfter{ResponseWriter: w, limit: 1}, r)
+				return
+			}
+			next.ServeHTTP(w, r)
+		})
+	}
+	w1 := newWorker(t, abortFirstStream)
+	w2 := newWorker(t, abortFirstStream) // one shared cut: exactly one stream dies
+	got, err := runCluster(t, Config{Workers: []string{w1.URL, w2.URL}}, sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cut.Load() {
+		t.Fatal("the abort middleware never fired; the test exercised nothing")
+	}
+	if got != want {
+		t.Fatalf("merged stream after mid-shard death differs:\n%svs\n%s", got, want)
+	}
+}
+
+// failSink errors after passing through n rows — the hook the crash-resume
+// tests use to stop a coordinator run partway with points already journaled.
+type failSink struct {
+	inner sim.RowSink
+	n     int
+}
+
+func (s *failSink) WriteRow(r sim.Row) error {
+	if s.n <= 0 {
+		return errors.New("sink full")
+	}
+	s.n--
+	return s.inner.WriteRow(r)
+}
+
+// TestClusterCoordinatorCrashResume aborts a journaled coordinator run
+// partway (a stand-in for a crash), then resumes it: the second run completes
+// byte-identically, and once the journal is complete a third run needs no
+// reachable worker at all.
+func TestClusterCoordinatorCrashResume(t *testing.T) {
+	sw := clusterSweep()
+	want := wantJSONL(t, sw)
+	state := t.TempDir()
+	w := newWorker(t, nil)
+	cfg := Config{Workers: []string{w.URL}, StateDir: state, RetryBackoff: 5 * time.Millisecond, Logf: t.Logf}
+
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first strings.Builder
+	if err := c.Run(context.Background(), sw, &failSink{inner: sim.NewJSONLSink(&first), n: 2}); err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("aborted run err = %v, want the sink failure", err)
+	}
+
+	var second strings.Builder
+	if err := c.Run(context.Background(), sw, sim.NewJSONLSink(&second)); err != nil {
+		t.Fatal(err)
+	}
+	if second.String() != want {
+		t.Fatalf("resumed run differs from single-machine stream:\n%svs\n%s", second.String(), want)
+	}
+
+	// Journal now complete: replay needs no worker. Point the coordinator at
+	// a dead URL to prove it.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	c2, err := New(Config{Workers: []string{dead.URL}, StateDir: state, ShardAttempts: 1, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var third strings.Builder
+	if err := c2.Run(context.Background(), sw, sim.NewJSONLSink(&third)); err != nil {
+		t.Fatal(err)
+	}
+	if third.String() != want {
+		t.Fatalf("journal replay differs:\n%svs\n%s", third.String(), want)
+	}
+}
+
+// TestClusterJournalInteropWithRunSweep hands a partial coordinator journal
+// to single-machine sim.RunSweep: because the coordinator journals under the
+// parent spec in the sim checkpoint format, either side can finish what the
+// other started, byte-identically.
+func TestClusterJournalInteropWithRunSweep(t *testing.T) {
+	sw := clusterSweep()
+	want := wantJSONL(t, sw)
+	state := t.TempDir()
+	w := newWorker(t, nil)
+	c, err := New(Config{Workers: []string{w.URL}, StateDir: state, RetryBackoff: 5 * time.Millisecond, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var discard strings.Builder
+	if err := c.Run(context.Background(), sw, &failSink{inner: sim.NewJSONLSink(&discard), n: 1}); err == nil {
+		t.Fatal("aborted run unexpectedly succeeded")
+	}
+
+	fp, err := sw.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resume := sw
+	resume.CheckpointPath = filepath.Join(state, fp+".ckpt")
+	var out strings.Builder
+	if _, err := sim.RunSweep(context.Background(), resume, sim.NewJSONLSink(&out)); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != want {
+		t.Fatalf("RunSweep resume of a coordinator journal differs:\n%svs\n%s", out.String(), want)
+	}
+}
+
+// TestClusterRejectsRangedSpec: shard ranges are coordinator-derived; an
+// input spec that already carries one is refused.
+func TestClusterRejectsRangedSpec(t *testing.T) {
+	w := newWorker(t, nil)
+	sw := clusterSweep()
+	sw.Range = &sim.PointRange{Start: 0, Count: 2}
+	if _, err := runCluster(t, Config{Workers: []string{w.URL}}, sw); err == nil || !strings.Contains(err.Error(), "must not carry a range") {
+		t.Fatalf("err = %v, want the range rejection", err)
+	}
+}
+
+// TestClusterAllWorkersDown: with no reachable worker, the run fails after
+// the bounded attempts instead of hanging.
+func TestClusterAllWorkersDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	sw := clusterSweep()
+	_, err := runCluster(t, Config{Workers: []string{dead.URL}, ShardAttempts: 2, RetryBackoff: time.Millisecond, ProbeTimeout: 200 * time.Millisecond}, sw)
+	if err == nil || !strings.Contains(err.Error(), "no reachable worker") {
+		t.Fatalf("err = %v, want the no-reachable-worker failure", err)
+	}
+}
+
+// TestMergeByteVerification drives runState.merge directly: a worker line
+// whose bytes differ from the coordinator's canonical rendering — even by
+// insignificant JSON whitespace — is a fatal RowMismatchError, and duplicate
+// deliveries are verified then dropped.
+func TestMergeByteVerification(t *testing.T) {
+	sw := clusterSweep()
+	rows, err := sim.RunSweep(context.Background(), sw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skel, err := sw.ExpandRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	st := &runState{sw: sw, rows: skel, sinks: []sim.RowSink{sim.NewJSONLSink(&out)}}
+
+	line, err := json.Marshal(rows[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	line = append(line, '\n')
+
+	// Whitespace-perturbed line: still parses, not canonical.
+	tampered := []byte(strings.Replace(string(line), `{"point":0`, `{ "point":0`, 1))
+	err = st.merge("w", 0, rows[0].Result, tampered)
+	var mm *RowMismatchError
+	if !errors.As(err, &mm) || mm.Point != 0 {
+		t.Fatalf("tampered line err = %v, want a RowMismatchError for point 0", err)
+	}
+	var fe *fatalError
+	if !errors.As(err, &fe) {
+		t.Fatalf("mismatch must be fatal, got %v", err)
+	}
+	if st.done != 0 || out.Len() != 0 {
+		t.Fatalf("tampered line was merged: done=%d out=%q", st.done, out.String())
+	}
+
+	// The genuine line merges and flushes.
+	if err := st.merge("w", 0, rows[0].Result, line); err != nil {
+		t.Fatal(err)
+	}
+	if st.done != 1 || out.String() != string(line) {
+		t.Fatalf("merge result: done=%d out=%q", st.done, out.String())
+	}
+	// A duplicate delivery verifies and drops.
+	if err := st.merge("w", 0, rows[0].Result, line); err != nil {
+		t.Fatal(err)
+	}
+	if st.done != 1 || out.String() != string(line) {
+		t.Fatalf("duplicate delivery was double-counted: done=%d", st.done)
+	}
+}

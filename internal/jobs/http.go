@@ -232,11 +232,15 @@ func (m *Manager) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, st)
 }
 
-// health is the /healthz document.
+// health is the /healthz document. InFlight (queued + active jobs) and
+// Queued are the load gauges the cluster coordinator ranks workers by for
+// least-loaded shard placement.
 type health struct {
 	Status      string `json:"status"`
 	Queued      int    `json:"queued"`
 	Active      int    `json:"active"`
+	InFlight    int    `json:"in_flight"`
+	PoolWorkers int    `json:"pool_workers"`
 	Draining    bool   `json:"draining"`
 	CacheHits   int64  `json:"cache_hits"`
 	CacheMisses int64  `json:"cache_misses"`
@@ -247,7 +251,9 @@ func (m *Manager) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	queued, active := m.Counts()
 	hits, misses, size := m.CacheStats()
 	writeJSON(w, http.StatusOK, health{
-		Status: "ok", Queued: queued, Active: active, Draining: m.Draining(),
+		Status: "ok", Queued: queued, Active: active,
+		InFlight: queued + active, PoolWorkers: m.PoolWorkers(),
+		Draining:  m.Draining(),
 		CacheHits: hits, CacheMisses: misses, CacheSize: size,
 	})
 }

@@ -156,11 +156,12 @@ type job struct {
 	points    int
 	submitted int64 // unix seconds
 
-	state     string
-	completed int      // points finished (journal-backed)
-	attempts  int      // run attempts consumed
-	rows      [][]byte // serialized JSONL row lines, strictly point-ordered
-	err       error
+	state          string
+	completed      int      // points finished (journal-backed)
+	attempts       int      // run attempts consumed
+	recordsSkipped int      // unreadable journal records dropped on replay
+	rows           [][]byte // serialized JSONL row lines, strictly point-ordered
+	err            error
 
 	cancel    context.CancelFunc // set while running
 	cancelled bool               // true after an explicit cancel request
@@ -178,8 +179,17 @@ type Status struct {
 	Completed int    `json:"completed"`
 	Rows      int    `json:"rows"`
 	Attempts  int    `json:"attempts,omitempty"`
-	Error     string `json:"error,omitempty"`
-	Submitted int64  `json:"submitted_unix,omitempty"`
+	// Range is present on shard jobs: the sweep is restricted to this
+	// absolute point range of its parent expansion (Points counts only the
+	// range). The cluster coordinator submits such jobs.
+	Range *sim.PointRange `json:"range,omitempty"`
+	// RecordsSkipped counts unreadable journal records dropped during this
+	// job's journal replay — a torn tail from a mid-write kill. The affected
+	// points simply re-ran; a non-zero value after a clean shutdown points at
+	// journal corruption.
+	RecordsSkipped int    `json:"records_skipped,omitempty"`
+	Error          string `json:"error,omitempty"`
+	Submitted      int64  `json:"submitted_unix,omitempty"`
 }
 
 // record is the on-disk form of a job (jobs/<id>.json), written atomically
@@ -530,11 +540,17 @@ func (s *jobSink) WriteRow(r sim.Row) error {
 	}
 	s.m.mu.Lock()
 	defer s.m.mu.Unlock()
-	if r.Point < len(s.j.rows) {
+	// Row.Point is absolute to the parent expansion; a shard job's buffer
+	// index is local to its range.
+	idx := r.Point
+	if s.j.sweep.Range != nil {
+		idx -= s.j.sweep.Range.Start
+	}
+	if idx < len(s.j.rows) {
 		return nil // re-streamed by a retry's journal replay
 	}
-	if r.Point != len(s.j.rows) {
-		return fmt.Errorf("jobs: row stream out of order: got point %d, want %d", r.Point, len(s.j.rows))
+	if idx != len(s.j.rows) {
+		return fmt.Errorf("jobs: row stream out of order: got point %d, want %d", idx, len(s.j.rows))
 	}
 	s.j.rows = append(s.j.rows, append(line, '\n'))
 	s.m.changedLocked(s.j)
@@ -564,6 +580,18 @@ func (m *Manager) runJob(ctx context.Context, j *job) {
 		jctx, jcancel = context.WithTimeout(ctx, m.cfg.JobTimeout)
 	}
 	defer jcancel()
+
+	// Count what the journal replay is about to drop (a torn tail from a
+	// mid-write kill) before RunSweep's open compacts it away, so the job
+	// status can surface it instead of only logging.
+	if info, err := sim.ScanCheckpoint(sw.CheckpointPath); err == nil && info.RecordsSkipped > 0 {
+		m.mu.Lock()
+		j.recordsSkipped = info.RecordsSkipped
+		m.changedLocked(j)
+		m.mu.Unlock()
+		m.cfg.Logf("jobs: job %s journal dropped %d unreadable records; those points re-run",
+			shortID(j.id), info.RecordsSkipped)
+	}
 
 	sink := &jobSink{m: m, j: j}
 	var err error
@@ -695,15 +723,20 @@ func (m *Manager) List() []Status {
 
 func (m *Manager) statusLocked(j *job) Status {
 	st := Status{
-		ID:        j.id,
-		Name:      j.name,
-		Client:    j.client,
-		State:     j.state,
-		Points:    j.points,
-		Completed: j.completed,
-		Rows:      len(j.rows),
-		Attempts:  j.attempts,
-		Submitted: j.submitted,
+		ID:             j.id,
+		Name:           j.name,
+		Client:         j.client,
+		State:          j.state,
+		Points:         j.points,
+		Completed:      j.completed,
+		Rows:           len(j.rows),
+		Attempts:       j.attempts,
+		RecordsSkipped: j.recordsSkipped,
+		Submitted:      j.submitted,
+	}
+	if j.sweep.Range != nil {
+		r := *j.sweep.Range
+		st.Range = &r
 	}
 	if j.err != nil {
 		st.Error = j.err.Error()
@@ -741,6 +774,12 @@ func (m *Manager) Counts() (queued, active int) {
 // CacheStats returns the shared result cache's hit/miss counters and size.
 func (m *Manager) CacheStats() (hits, misses int64, size int) {
 	return m.cache.stats()
+}
+
+// PoolWorkers reports the shared engine pool's slot count (for health
+// reporting: it bounds how many simulations run concurrently).
+func (m *Manager) PoolWorkers() int {
+	return m.cfg.Pool.Workers()
 }
 
 // Drain stops admitting and starting jobs, then waits for running jobs to

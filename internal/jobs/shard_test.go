@@ -1,0 +1,203 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/sim"
+)
+
+// e2eShardSpec derives the shard spec the coordinator would submit: e2eSpec
+// restricted to the absolute point range [start, start+count).
+func e2eShardSpec(t *testing.T, start, count int) string {
+	t.Helper()
+	var raw map[string]any
+	if err := json.Unmarshal([]byte(e2eSpec), &raw); err != nil {
+		t.Fatal(err)
+	}
+	raw["range"] = map[string]int{"start": start, "count": count}
+	out, err := json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestShardJobRows submits a ranged (shard) sweep over HTTP and checks that
+// the daemon runs exactly the range: the status carries the range, Points
+// counts only the shard, and the streamed rows are the byte-exact slice of
+// the full sweep's JSONL stream — absolute point indices preserved.
+func TestShardJobRows(t *testing.T) {
+	want := e2eWantJSONL(t)
+	wantLines := strings.SplitAfter(strings.TrimSuffix(want, "\n"), "\n")
+	m := newTestManager(t, Config{})
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	spec := e2eShardSpec(t, 1, 2)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %+v", resp.StatusCode, st)
+	}
+	if st.Points != 2 || st.Range == nil || st.Range.Start != 1 || st.Range.Count != 2 {
+		t.Fatalf("shard status = %+v, want 2 points over range [1,3)", st)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID + "/rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(rows), strings.Join(wantLines[1:3], ""); got != want {
+		t.Fatalf("shard rows differ from the full stream's [1,3) slice:\n%svs\n%s", got, want)
+	}
+
+	// The shard job's identity is distinct from the parent's: submitting the
+	// full sweep creates a new job.
+	resp, err = http.Post(srv.URL+"/v1/jobs", "application/json", strings.NewReader(e2eSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full Status
+	if err := json.NewDecoder(resp.Body).Decode(&full); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || full.ID == st.ID {
+		t.Fatalf("full-sweep submit = %d id %s, want 202 with a distinct id (shard id %s)", resp.StatusCode, full.ID, st.ID)
+	}
+}
+
+// TestJobRecordsSkippedOverHTTP exercises the torn-tail path end to end: a
+// finished job's journal gains a torn tail (the daemon was killed mid-write),
+// the next boot recovers the job, and the HTTP status document surfaces the
+// dropped-record count while the rows still come back byte-identical.
+func TestJobRecordsSkippedOverHTTP(t *testing.T) {
+	want := e2eWantJSONL(t)
+	state := t.TempDir()
+	m := newTestManager(t, Config{StateDir: state})
+	st, _, err := m.Submit("alice", []byte(e2eSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateDone)
+	if done, err := m.Status(st.ID); err != nil || done.RecordsSkipped != 0 {
+		t.Fatalf("clean run status = %+v, %v", done, err)
+	}
+	if err := m.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// A kill mid-append leaves a torn final line.
+	f, err := os.OpenFile(m.journalPath(st.ID), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"point":0,"res`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	m2 := newTestManager(t, Config{StateDir: state})
+	srv := httptest.NewServer(m2.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + st.ID + "/rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rows) != want {
+		t.Fatalf("rows after torn-tail recovery differ:\n%svs\n%s", rows, want)
+	}
+	resp, err = http.Get(srv.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after Status
+	if err := json.NewDecoder(resp.Body).Decode(&after); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if after.State != StateDone || after.RecordsSkipped != 1 {
+		t.Fatalf("status after torn-tail recovery = %+v, want done with records_skipped 1", after)
+	}
+}
+
+// TestHealthzGauges checks the load gauges the coordinator ranks workers by:
+// in_flight counts queued+active jobs, pool_workers the engine pool slots.
+func TestHealthzGauges(t *testing.T) {
+	m := newTestManager(t, Config{MaxActiveJobs: 1})
+	release := make(chan struct{})
+	m.runSweep = func(ctx context.Context, sw sim.Sweep, sinks ...sim.RowSink) ([]sim.Row, error) {
+		select {
+		case <-release:
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	defer close(release)
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	readHealth := func() map[string]any {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var doc map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		return doc
+	}
+
+	idle := readHealth()
+	if idle["in_flight"].(float64) != 0 || idle["pool_workers"].(float64) < 1 {
+		t.Fatalf("idle health = %+v", idle)
+	}
+
+	// Two jobs on a one-slot scheduler: one active, one queued → in_flight 2.
+	for i := 0; i < 2; i++ {
+		if _, _, err := m.Submit("alice", testSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		doc := readHealth()
+		if doc["in_flight"].(float64) == 2 && doc["queued"].(float64) == 1 && doc["active"].(float64) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("health never reached in_flight 2: %+v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

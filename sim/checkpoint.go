@@ -74,6 +74,12 @@ type CheckpointInfo struct {
 	// Completed is the number of distinct points with a valid journaled
 	// result (a torn tail from a mid-write kill is not counted).
 	Completed int
+	// RecordsSkipped counts the journal lines dropped during replay: the
+	// first line that fails to parse (a torn tail from a mid-write kill, or
+	// corruption) and everything after it. Skipped records are discarded by
+	// the next resume's compaction and their points re-run; a non-zero count
+	// after a clean shutdown indicates journal corruption worth surfacing.
+	RecordsSkipped int
 }
 
 // Complete reports whether every point of the sweep is journaled: resuming a
@@ -100,13 +106,15 @@ func ScanCheckpoint(path string) (CheckpointInfo, error) {
 	}
 	info := CheckpointInfo{SweepSHA256: hdr.SweepSHA256, Points: hdr.Points}
 	seen := make(map[int]bool)
-	for _, line := range lines[1:] {
+	body := lines[1:]
+	for li, line := range body {
 		if len(bytes.TrimSpace(line)) == 0 {
 			continue
 		}
 		var e ckEntry
 		if err := json.Unmarshal(line, &e); err != nil || e.Point < 0 || e.Point >= hdr.Points || len(e.Result) == 0 {
-			break // torn tail
+			info.RecordsSkipped = countRecords(body[li:]) // torn tail
+			break
 		}
 		if !seen[e.Point] {
 			seen[e.Point] = true
@@ -114,6 +122,18 @@ func ScanCheckpoint(path string) (CheckpointInfo, error) {
 		}
 	}
 	return info, nil
+}
+
+// countRecords counts the non-blank lines of a journal suffix — the records
+// a replay that broke at its first line will drop.
+func countRecords(lines [][]byte) int {
+	n := 0
+	for _, line := range lines {
+		if len(bytes.TrimSpace(line)) > 0 {
+			n++
+		}
+	}
+	return n
 }
 
 // sweepFingerprint hashes the sweep's canonical JSON spec. Execution policy
@@ -135,33 +155,35 @@ type checkpoint struct {
 	f    *os.File
 }
 
-// openCheckpoint creates the journal (or resumes an existing one) for a sweep
-// expanding to n points. It returns the restored results indexed by point
-// (nil entries were never journaled) and the journal opened for appending.
-func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
+// openCheckpoint creates the journal at path (or resumes an existing one)
+// for a sweep expanding to n points. It returns the restored results indexed
+// by point (nil entries were never journaled; for a ranged sweep indices are
+// local to the range), the number of unreadable records skipped and dropped
+// by compaction, and the journal opened for appending.
+func openCheckpoint(sw Sweep, path string, n int) ([]*Result, int, *checkpoint, error) {
 	fp, err := sweepFingerprint(sw)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
-	path := sw.CheckpointPath
 	restored := make([]*Result, n)
 	data, err := os.ReadFile(path)
 	switch {
 	case errors.Is(err, fs.ErrNotExist), err == nil && len(bytes.TrimSpace(data)) == 0:
 		data = nil
 	case err != nil:
-		return nil, nil, fmt.Errorf("sim: reading sweep checkpoint %s: %w", path, err)
+		return nil, 0, nil, fmt.Errorf("sim: reading sweep checkpoint %s: %w", path, err)
 	}
 
+	skipped := 0
 	var keep [][]byte // valid journal lines, verbatim, for the compacted rewrite
 	if data != nil {
 		lines := bytes.Split(data, []byte("\n"))
 		var hdr ckHeader
 		if err := json.Unmarshal(lines[0], &hdr); err != nil {
-			return nil, nil, fmt.Errorf("sim: sweep checkpoint %s: unreadable header: %w", path, err)
+			return nil, 0, nil, fmt.Errorf("sim: sweep checkpoint %s: unreadable header: %w", path, err)
 		}
 		if hdr.SweepSHA256 != fp || hdr.Points != n {
-			return nil, nil, &CheckpointMismatchError{
+			return nil, 0, nil, &CheckpointMismatchError{
 				Path:          path,
 				JournalSHA256: hdr.SweepSHA256,
 				JournalPoints: hdr.Points,
@@ -169,16 +191,19 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 				SpecPoints:    n,
 			}
 		}
-		for _, line := range lines[1:] {
+		body := lines[1:]
+		for li, line := range body {
 			if len(bytes.TrimSpace(line)) == 0 {
 				continue
 			}
 			var e ckEntry
 			if err := json.Unmarshal(line, &e); err != nil || e.Point < 0 || e.Point >= n || len(e.Result) == 0 {
+				skipped = countRecords(body[li:])
 				break // torn tail from a mid-write kill: re-run from here
 			}
 			res := new(Result)
 			if err := json.Unmarshal(e.Result, res); err != nil {
+				skipped = countRecords(body[li:])
 				break
 			}
 			restored[e.Point] = res
@@ -191,7 +216,7 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 	var buf bytes.Buffer
 	hdrLine, err := json.Marshal(ckHeader{SweepSHA256: fp, Points: n})
 	if err != nil {
-		return nil, nil, fmt.Errorf("sim: sweep checkpoint %s: %w", path, err)
+		return nil, 0, nil, fmt.Errorf("sim: sweep checkpoint %s: %w", path, err)
 	}
 	buf.Write(hdrLine)
 	buf.WriteByte('\n')
@@ -201,10 +226,10 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 	}
 	tmp := path + ".tmp"
 	if err := writeFileSync(tmp, buf.Bytes()); err != nil {
-		return nil, nil, fmt.Errorf("sim: writing sweep checkpoint %s: %w", tmp, err)
+		return nil, 0, nil, fmt.Errorf("sim: writing sweep checkpoint %s: %w", tmp, err)
 	}
 	if err := os.Rename(tmp, path); err != nil {
-		return nil, nil, fmt.Errorf("sim: replacing sweep checkpoint %s: %w", path, err)
+		return nil, 0, nil, fmt.Errorf("sim: replacing sweep checkpoint %s: %w", path, err)
 	}
 	// Persist the rename itself: without the directory fsync a crash right
 	// after compaction could resurrect the pre-compaction file, torn tail
@@ -214,9 +239,9 @@ func openCheckpoint(sw Sweep, n int) ([]*Result, *checkpoint, error) {
 	syncDir(filepath.Dir(path))
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sim: opening sweep checkpoint %s for append: %w", path, err)
+		return nil, 0, nil, fmt.Errorf("sim: opening sweep checkpoint %s for append: %w", path, err)
 	}
-	return restored, &checkpoint{path: path, f: f}, nil
+	return restored, skipped, &checkpoint{path: path, f: f}, nil
 }
 
 // writeFileSync writes data and fsyncs the file before closing, so the

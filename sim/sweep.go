@@ -318,6 +318,16 @@ func applyAxis(sc *Scenario, field string, v Value) error {
 	return nil
 }
 
+// PointRange restricts a sweep to a contiguous block of its expansion:
+// Count points starting at 0-based expansion index Start. See Sweep.Range.
+type PointRange struct {
+	Start int `json:"start"`
+	Count int `json:"count"`
+}
+
+// End returns the exclusive end index of the range.
+func (r PointRange) End() int { return r.Start + r.Count }
+
 // Sweep is a declarative family of scenarios: a base Scenario plus named
 // axes over its scalar fields. Like Scenario it round-trips through JSON, so
 // sweeps can live in spec files and run through cmd/sweep -spec (or expand
@@ -340,6 +350,17 @@ type Sweep struct {
 	// point — common-random-numbers across points, and what the classic
 	// delay-versus-load curves use. Incompatible with a "seed" axis.
 	SplitSeeds bool `json:"split_seeds,omitempty"`
+	// Range, when non-nil, restricts execution to Count points starting at
+	// expansion index Start. Every point keeps its absolute expansion index
+	// (Row.Point, seed splitting, axis assignments), so each emitted row is
+	// byte-identical to the same point of the unrestricted sweep and a set
+	// of contiguous ranges covering the whole expansion concatenates to the
+	// full row stream. Part of the JSON spec ("range"): a ranged sweep is a
+	// different spec — and a different fingerprint — than its parent, which
+	// is how the cluster coordinator (internal/cluster) gives each shard its
+	// own job identity while deriving it deterministically from the parent
+	// spec plus the shard's range.
+	Range *PointRange `json:"range,omitempty"`
 
 	// Parallelism bounds the number of concurrently executing points; the
 	// pool is shared with each point's replications (points force their
@@ -509,11 +530,24 @@ type point struct {
 	settings []AxisSetting
 }
 
-// expand validates and materializes the sweep.
+// expand validates and materializes the sweep: the full expansion, then the
+// Range restriction. Out-of-range points are still validated — a ranged
+// sweep is legal exactly when its parent is, so a bad spec fails the same
+// way on every shard of a cluster run.
 func (sw Sweep) expand() ([]point, error) {
 	total, err := sw.points()
 	if err != nil {
 		return nil, err
+	}
+	if r := sw.Range; r != nil {
+		switch {
+		case r.Start < 0:
+			return nil, fmt.Errorf("sim: sweep range start %d must be non-negative", r.Start)
+		case r.Count < 1:
+			return nil, fmt.Errorf("sim: sweep range count %d must be at least 1", r.Count)
+		case r.Start+r.Count > total:
+			return nil, fmt.Errorf("sim: sweep range [%d, %d) exceeds the %d-point expansion", r.Start, r.Start+r.Count, total)
+		}
 	}
 	seen := map[string]bool{}
 	for i, ax := range sw.Axes {
@@ -555,7 +589,38 @@ func (sw Sweep) expand() ([]point, error) {
 		}
 		pts[i] = point{sc: sc, settings: settings}
 	}
+	if r := sw.Range; r != nil {
+		pts = pts[r.Start:r.End()]
+	}
 	return pts, nil
+}
+
+// offset is the absolute expansion index of the sweep's first executed
+// point: Range.Start for a ranged sweep, 0 otherwise.
+func (sw Sweep) offset() int {
+	if sw.Range != nil {
+		return sw.Range.Start
+	}
+	return 0
+}
+
+// ExpandRows materializes the sweep as skeleton rows — Point (the absolute
+// expansion index, Range-aware), Settings and Scenario filled in, Result
+// nil — in point order. This is exactly the row sequence RunSweep streams;
+// it is exported so callers that obtain Results elsewhere (the cluster
+// coordinator merging worker streams, journal replay) can render rows
+// byte-identical to a local run.
+func (sw Sweep) ExpandRows() ([]Row, error) {
+	pts, err := sw.expand()
+	if err != nil {
+		return nil, err
+	}
+	offset := sw.offset()
+	rows := make([]Row, len(pts))
+	for i, pt := range pts {
+		rows[i] = Row{Point: offset + i, Settings: pt.settings, Scenario: pt.sc}
+	}
+	return rows, nil
 }
 
 // Row is one executed sweep point: its index, the axis assignments that
@@ -793,9 +858,10 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	offset := sw.offset()
 	rows := make([]Row, len(pts))
 	for i, pt := range pts {
-		rows[i] = Row{Point: i, Settings: pt.settings, Scenario: pt.sc}
+		rows[i] = Row{Point: offset + i, Settings: pt.settings, Scenario: pt.sc}
 	}
 	var (
 		mu       sync.Mutex
@@ -808,7 +874,7 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 	)
 	var ck *checkpoint
 	if sw.CheckpointPath != "" {
-		restored, c, err := openCheckpoint(sw, len(pts))
+		restored, _, c, err := openCheckpoint(sw, sw.CheckpointPath, len(pts))
 		if err != nil {
 			return nil, err
 		}
@@ -918,7 +984,7 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 			// A deadline hit on the point context while the sweep itself is
 			// still live is the watchdog firing, not a caller cancellation.
 			if errors.Is(err, context.DeadlineExceeded) && runCtx.Err() == nil {
-				err = &PointTimeoutError{Point: i, Settings: settingsString(rows[i].Settings), Timeout: sw.PointTimeout}
+				err = &PointTimeoutError{Point: rows[i].Point, Settings: settingsString(rows[i].Settings), Timeout: sw.PointTimeout}
 			}
 			pointErr[i] = err
 			cancel()
@@ -962,7 +1028,7 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 		if errors.As(err, &pt) {
 			return nil, err // already names the point and its settings
 		}
-		return nil, fmt.Errorf("sim: sweep point %d (%s): %w", i, settingsString(rows[i].Settings), err)
+		return nil, fmt.Errorf("sim: sweep point %d (%s): %w", rows[i].Point, settingsString(rows[i].Settings), err)
 	}
 	if forErr != nil {
 		return nil, forErr
