@@ -1,4 +1,4 @@
-// Benchmarks that regenerate every experiment of the reproduction (E1..E21)
+// Benchmarks that regenerate every experiment of the reproduction (E1..E22)
 // and the design ablations (A1..A3), one benchmark per experiment, matching
 // the registry in internal/harness (see README.md for the index). Each
 // benchmark iteration runs the experiment in Quick mode (shortened
@@ -121,6 +121,12 @@ func BenchmarkE20MillionInputButterfly(b *testing.B) { runExperiment(b, "E20") }
 // delay under transient link faults, greedy versus deflection — the workload
 // that exercises the fault path of both kernels, guarded by the CI perf gate.
 func BenchmarkE21FaultInjection(b *testing.B) { runExperiment(b, "E21") }
+
+// BenchmarkE22TailQuantiles regenerates E22: tail delay quantiles versus load
+// from the mergeable delay sketch, cross-checked against exact order
+// statistics — the workload that exercises the sketch path of the collector,
+// guarded by the CI perf gate.
+func BenchmarkE22TailQuantiles(b *testing.B) { runExperiment(b, "E22") }
 
 // BenchmarkAblationDimensionOrder regenerates A1: canonical versus random
 // dimension order.

@@ -157,6 +157,41 @@ func TestSweepSmokeSpecMatchesGolden(t *testing.T) {
 	}
 }
 
+// TestQuantileSmokeSpecMatchesGolden executes the checked-in tail-quantile
+// smoke sweep — sequential stopping plus the mergeable delay sketch — and
+// diffs both sink formats against their goldens, then reruns the spec and
+// diffs the two runs against each other: the same double check the CI
+// quantile-smoke job performs. Stopping decisions and sketch bytes are pure
+// functions of the spec, so all four outputs must be identical.
+func TestQuantileSmokeSpecMatchesGolden(t *testing.T) {
+	spec := filepath.Join("..", "..", "specs", "quantile-smoke.json")
+	for _, tc := range []struct {
+		name   string
+		args   []string
+		golden string
+	}{
+		{"csv", []string{"-spec", spec}, "golden/quantile-smoke.csv"},
+		{"jsonl", []string{"-spec", spec, "-json"}, "golden/quantile-smoke.jsonl"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var first, second, stderr strings.Builder
+			if code := run(tc.args, &first, &stderr); code != 0 {
+				t.Fatalf("exit code %d, stderr: %s", code, stderr.String())
+			}
+			if got, want := first.String(), golden(t, tc.golden); got != want {
+				t.Fatalf("sweep output differs from golden %s:\n--- got ---\n%s\n--- want ---\n%s",
+					tc.golden, got, want)
+			}
+			if code := run(tc.args, &second, &stderr); code != 0 {
+				t.Fatalf("rerun exit code %d, stderr: %s", code, stderr.String())
+			}
+			if first.String() != second.String() {
+				t.Fatalf("rerun differs from first run:\n%s\nvs\n%s", second.String(), first.String())
+			}
+		})
+	}
+}
+
 // TestSweepTimeoutFlag pins the -timeout UX for -spec runs: an expired
 // deadline exits 1 with a message naming the flag.
 func TestSweepTimeoutFlag(t *testing.T) {

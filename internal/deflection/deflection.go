@@ -45,6 +45,11 @@ type Config struct {
 	// (xrand.StreamFault of Seed). Zero disables the draw. Deflection routing
 	// is bufferless, so this is the only fault mode that applies to it.
 	ArcFailProb float64
+	// Sketch, when non-nil, receives every measured delay so callers can
+	// report tail quantiles with a guaranteed relative error. The sketch
+	// must be configured (NewDDSketch); Run feeds it exactly the delays
+	// behind MeanDelay, in delivery order.
+	Sketch *stats.DDSketch
 }
 
 func (c *Config) normalize() error {
@@ -157,6 +162,9 @@ func Run(cfg Config) (*Result, error) {
 					// Zero-distance packets are delivered immediately.
 					if slot >= warmupSlot {
 						delay.Add(0)
+						if cfg.Sketch != nil {
+							cfg.Sketch.Add(0)
+						}
 						hops.Add(0)
 						shortest.Add(0)
 						deflections.Add(0)
@@ -218,7 +226,7 @@ func Run(cfg Config) (*Result, error) {
 				for m := 1; m <= d; m++ {
 					if diff&(1<<uint(m-1)) != 0 && !dimUsed[m] {
 						dimUsed[m] = true
-						moveOne(cube, x, m, p, false, next, &delivered, &dropped, &delay, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
+						moveOne(cube, x, m, p, false, next, &delivered, &dropped, &delay, cfg.Sketch, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
 						assigned = true
 						break
 					}
@@ -233,7 +241,7 @@ func Run(cfg Config) (*Result, error) {
 				for m := 1; m <= d; m++ {
 					if !dimUsed[m] {
 						dimUsed[m] = true
-						moveOne(cube, x, m, p, true, next, &delivered, &dropped, &delay, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
+						moveOne(cube, x, m, p, true, next, &delivered, &dropped, &delay, cfg.Sketch, &hops, &shortest, &deflections, slot, warmupSlot, cfg.ArcFailProb, faultRNG)
 						placed = true
 						break
 					}
@@ -271,7 +279,8 @@ func Run(cfg Config) (*Result, error) {
 // the fault stream and may drop the packet — including on its final hop,
 // matching the store-and-forward kernels' per-completion fault semantics.
 func moveOne(cube *hypercube.Cube, x, m int, p *packet, deflected bool, next [][]*packet,
-	delivered, dropped *int64, delay, hops, shortest, deflections *stats.Tally, slot, warmupSlot int,
+	delivered, dropped *int64, delay *stats.Tally, sketch *stats.DDSketch,
+	hops, shortest, deflections *stats.Tally, slot, warmupSlot int,
 	failProb float64, faultRNG *xrand.Rand) {
 	to := cube.Flip(hypercube.Node(x), hypercube.Dimension(m))
 	p.hops++
@@ -287,6 +296,9 @@ func moveOne(cube *hypercube.Cube, x, m int, p *packet, deflected bool, next [][
 	if to == p.dest {
 		if p.genSlot >= warmupSlot {
 			delay.Add(float64(slot + 1 - p.genSlot))
+			if sketch != nil {
+				sketch.Add(float64(slot + 1 - p.genSlot))
+			}
 			hops.Add(float64(p.hops))
 			// Every deflection moves the packet one step away from its
 			// destination and must be undone by an extra profitable step, so

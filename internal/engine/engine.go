@@ -141,6 +141,16 @@ func (p *Pool) Release() { p.slots <- struct{}{} }
 // concurrently and must not share mutable state.
 type Task func(rep int, seed uint64) map[string]float64
 
+// SketchTask is a Task that additionally returns named quantile sketches for
+// the replication. The engine merges sketches exactly as it merges tallies:
+// shard-locally in replication order, then across shards in shard-index
+// order. Because DDSketch.Merge is exact (integer bucket counts), the merged
+// sketch is bit-identical at any parallelism. Returned sketches are retained
+// and merged by the engine after the task returns, so a task drawing from a
+// pooled runner must Clone the sketch out before releasing the runner. A nil
+// sketch map (or nil entries) is allowed and contributes nothing.
+type SketchTask func(rep int, seed uint64) (map[string]float64, map[string]*stats.DDSketch)
+
 // Progress observes shard completion. It is called once per completed shard,
 // serialized by the engine (implementations need no locking), with the number
 // of shards and replications finished so far out of the totals.
@@ -193,6 +203,9 @@ type Result struct {
 	// Metrics maps each measurement name returned by the task to its merged
 	// streaming tally.
 	Metrics map[string]*stats.Tally
+	// Sketches maps each sketch name returned by a SketchTask to the merged
+	// sketch over all replications (empty for plain Tasks).
+	Sketches map[string]*stats.DDSketch
 }
 
 // Keys returns the metric names in sorted order, for deterministic iteration.
@@ -261,11 +274,22 @@ func Run(cfg Config, task Task) *Result {
 // never compromises determinism — a run either completes with the exact
 // result Run would produce, or reports the context error.
 func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
+	return RunSketchCtx(ctx, cfg, func(rep int, seed uint64) (map[string]float64, map[string]*stats.DDSketch) {
+		return task(rep, seed), nil
+	})
+}
+
+// RunSketchCtx is RunCtx for tasks that also produce quantile sketches. The
+// sketch merge follows the tally merge exactly — shard-local in replication
+// order, then shard-index order after the barrier — and DDSketch.Merge is
+// exact, so the merged sketches are bit-identical at any parallelism.
+func RunSketchCtx(ctx context.Context, cfg Config, task SketchTask) (*Result, error) {
 	shards := Shards(cfg)
 	res := &Result{
 		Replications: cfg.Replications,
 		Shards:       len(shards),
 		Metrics:      map[string]*stats.Tally{},
+		Sketches:     map[string]*stats.DDSketch{},
 	}
 	if len(shards) == 0 {
 		res.Replications = 0
@@ -273,7 +297,8 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 	}
 
 	type shardResult struct {
-		tallies map[string]*stats.Tally
+		tallies  map[string]*stats.Tally
+		sketches map[string]*stats.DDSketch
 	}
 	results := make([]shardResult, len(shards))
 
@@ -283,8 +308,10 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 	err := ForEachCtxPool(ctx, cfg.Pool, len(shards), cfg.Parallelism, func(i int) {
 		sh := shards[i]
 		tallies := map[string]*stats.Tally{}
+		var sketches map[string]*stats.DDSketch
 		for rep := sh.Start; rep < sh.End; rep++ {
-			for k, v := range task(rep, sh.RepSeed(rep)) {
+			metrics, reps := task(rep, sh.RepSeed(rep))
+			for k, v := range metrics {
 				t, ok := tallies[k]
 				if !ok {
 					t = &stats.Tally{}
@@ -292,8 +319,22 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 				}
 				t.Add(v)
 			}
+			for k, s := range reps {
+				if s == nil {
+					continue
+				}
+				if sketches == nil {
+					sketches = map[string]*stats.DDSketch{}
+				}
+				dst, ok := sketches[k]
+				if !ok {
+					dst = &stats.DDSketch{}
+					sketches[k] = dst
+				}
+				dst.Merge(s)
+			}
 		}
-		results[i] = shardResult{tallies: tallies}
+		results[i] = shardResult{tallies: tallies, sketches: sketches}
 		if cfg.Progress != nil {
 			progressMu.Lock()
 			doneShards++
@@ -316,6 +357,14 @@ func RunCtx(ctx context.Context, cfg Config, task Task) (*Result, error) {
 				res.Metrics[k] = dst
 			}
 			dst.Merge(t)
+		}
+		for k, s := range results[i].sketches {
+			dst, ok := res.Sketches[k]
+			if !ok {
+				dst = &stats.DDSketch{}
+				res.Sketches[k] = dst
+			}
+			dst.Merge(s)
 		}
 	}
 	return res, nil

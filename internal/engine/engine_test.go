@@ -406,3 +406,70 @@ func TestForEachCtxSerialAndParallel(t *testing.T) {
 		}
 	}
 }
+
+// noisySketchTask extends noisyTask with a delay sketch whose contents are a
+// pure function of the replication seed.
+func noisySketchTask(rep int, seed uint64) (map[string]float64, map[string]*stats.DDSketch) {
+	r := xrand.New(seed)
+	s := stats.NewDDSketch(0.02)
+	n := 50 + int(seed%50)
+	for i := 0; i < n; i++ {
+		s.Add(r.Exp(0.5))
+	}
+	if seed%13 == 0 {
+		s.Add(0) // exercise the zero bucket in the merged state
+	}
+	return noisyTask(rep, seed), map[string]*stats.DDSketch{"delay": s}
+}
+
+// TestRunSketchDeterminismAcrossParallelism extends the engine's core
+// guarantee to sketches: the merged sketch encoding must be byte-identical
+// whether shards run serially or on every core, and must equal a plain serial
+// merge over the same (rep, seed) pairs.
+func TestRunSketchDeterminismAcrossParallelism(t *testing.T) {
+	cfg := Config{Replications: 63, ShardSize: 5, BaseSeed: 1234}
+
+	// Serial reference: one sketch fed by every replication in index order.
+	ref := &stats.DDSketch{}
+	for _, sh := range Shards(cfg) {
+		for rep := sh.Start; rep < sh.End; rep++ {
+			_, sk := noisySketchTask(rep, sh.RepSeed(rep))
+			ref.Merge(sk["delay"])
+		}
+	}
+	want := ref.AppendBinary(nil)
+
+	var wantFP string
+	for _, par := range []int{1, 4, runtime.GOMAXPROCS(0)} {
+		cfg.Parallelism = par
+		res, err := RunSketchCtx(context.Background(), cfg, noisySketchTask)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Sketches["delay"].AppendBinary(nil)
+		if string(got) != string(want) {
+			t.Fatalf("parallelism %d: merged sketch differs from serial reference", par)
+		}
+		if res.Sketches["delay"].Count() != ref.Count() {
+			t.Fatalf("parallelism %d: count %d, want %d", par, res.Sketches["delay"].Count(), ref.Count())
+		}
+		fp := fingerprint(res)
+		if wantFP == "" {
+			wantFP = fp
+		} else if fp != wantFP {
+			t.Fatalf("parallelism %d changed the tallies", par)
+		}
+	}
+}
+
+// TestRunCtxSketchlessHasEmptySketches pins that plain Tasks produce an empty
+// (non-nil) Sketches map.
+func TestRunCtxSketchlessHasEmptySketches(t *testing.T) {
+	res, err := RunCtx(context.Background(), Config{Replications: 4, BaseSeed: 7}, noisyTask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sketches == nil || len(res.Sketches) != 0 {
+		t.Fatalf("Sketches = %v, want empty map", res.Sketches)
+	}
+}

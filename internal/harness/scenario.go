@@ -274,6 +274,12 @@ func ScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 		table.AddRow("delay P95", F(res.DelayP95))
 		table.AddRow("delay P99", F(res.DelayP99))
 	}
+	if t := res.Tail; t != nil {
+		table.AddRow("tail P50 (sketch)", F(t.P50))
+		table.AddRow("tail P90 (sketch)", F(t.P90))
+		table.AddRow("tail P99 (sketch)", F(t.P99))
+		table.AddRow("tail P99.9 (sketch)", F(t.P999))
+	}
 	if h := res.Hypercube; h != nil {
 		for j, u := range h.PerDimensionUtilization {
 			table.AddRow(fmt.Sprintf("dimension %d arc utilisation", j+1), F(u))
@@ -296,7 +302,11 @@ func ScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 // replicatedScenarioTable renders the merged tallies of a replicated
 // scenario as mean ± CI rows.
 func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
-	table := NewTable(fmt.Sprintf("%s reps=%d", sc.Title(), sc.Replications),
+	reps := sc.Replications
+	if res.Precision != nil {
+		reps = res.Precision.Replications
+	}
+	table := NewTable(fmt.Sprintf("%s reps=%d", sc.Title(), reps),
 		"quantity", "mean", "ci95", "min", "max")
 	table.AddRow("topology", res.Topology.String(), "", "", "")
 	table.AddRow("kernel", res.Kernel, "", "", "")
@@ -316,6 +326,13 @@ func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 			metric{"delay P95", sim.MetricDelayP95},
 			metric{"delay P99", sim.MetricDelayP99})
 	}
+	if sc.TailQuantiles {
+		metrics = append(metrics,
+			metric{"tail P50 (per-rep sketch)", sim.MetricTailP50},
+			metric{"tail P90 (per-rep sketch)", sim.MetricTailP90},
+			metric{"tail P99 (per-rep sketch)", sim.MetricTailP99},
+			metric{"tail P99.9 (per-rep sketch)", sim.MetricTailP999})
+	}
 	if res.Butterfly != nil {
 		metrics = append(metrics,
 			metric{"straight-arc utilisation", sim.MetricStraightUtilization},
@@ -333,9 +350,20 @@ func replicatedScenarioTable(sc sim.Scenario, res *sim.Result) *Table {
 		r := res.Replicated[mt.key]
 		table.AddRow(mt.name, F(r.Mean), F(r.CI95), F(r.Min), F(r.Max))
 	}
+	if t := res.Tail; t != nil {
+		table.AddRow("pooled tail P50 (merged sketch)", F(t.P50), "", "", "")
+		table.AddRow("pooled tail P90 (merged sketch)", F(t.P90), "", "", "")
+		table.AddRow("pooled tail P99 (merged sketch)", F(t.P99), "", "", "")
+		table.AddRow("pooled tail P99.9 (merged sketch)", F(t.P999), "", "", "")
+	}
 	addBoundRows(table, res, func(name string, v float64) []string { return []string{name, F(v), "", "", ""} })
-	table.AddNote("%d independent replications with deterministically split seeds (base %d).",
-		sc.Replications, sc.Seed)
+	if p := res.Precision; p != nil {
+		table.AddNote("sequential stopping ran %d replications in %d batches (targets met: %v) with deterministically split seeds (base %d).",
+			p.Replications, p.Batches, p.TargetMet, sc.Seed)
+	} else {
+		table.AddNote("%d independent replications with deterministically split seeds (base %d).",
+			sc.Replications, sc.Seed)
+	}
 	return table
 }
 

@@ -35,6 +35,9 @@ type Collector struct {
 	sampleDelays bool
 	delaySample  stats.Quantiles
 
+	sketchOn bool
+	sketch   stats.DDSketch
+
 	population stats.TimeWeighted
 	groupPop   []stats.TimeWeighted
 	groupWait  []stats.Tally
@@ -74,6 +77,7 @@ func (c *Collector) Reset(numGroups int) {
 	c.hopCount = stats.Tally{}
 	c.sampleDelays = false
 	c.delaySample.Reset()
+	c.sketchOn = false
 	c.population.Reset(0, 0)
 	if cap(c.groupPop) < numGroups {
 		c.groupPop = make([]stats.TimeWeighted, numGroups)
@@ -100,6 +104,16 @@ func (c *Collector) Reset(numGroups int) {
 func (c *Collector) EnableDelaySample() {
 	c.sampleDelays = true
 	c.delaySample.Reset()
+}
+
+// EnableDelaySketch feeds every measured delay into a mergeable DDSketch
+// with relative-error bound alpha, so tail quantiles can be reported with
+// bounded memory (O(log(max delay)/alpha) buckets instead of one float per
+// delivered packet). The sketch and the exact sample are independent
+// features; large-scale runs enable only the sketch.
+func (c *Collector) EnableDelaySketch(alpha float64) {
+	c.sketchOn = true
+	c.sketch.Reset(alpha)
 }
 
 // EnablePerHopWait records, for every arc traversal, the time from joining
@@ -200,6 +214,9 @@ func (c *Collector) Deliver(now, genTime float64, hops, class int) {
 	if c.sampleDelays {
 		c.delaySample.Add(d)
 	}
+	if c.sketchOn {
+		c.sketch.Add(d)
+	}
 	if c.mixed {
 		if class >= 0 && class < maxDenseClass {
 			c.clsDense[class].Add(d)
@@ -245,6 +262,9 @@ func (c *Collector) StartMeasurement(now float64) {
 	if c.sampleDelays {
 		c.delaySample.Reset()
 	}
+	if c.sketchOn {
+		c.sketch.Clear()
+	}
 	c.departures = 0
 	c.generated = 0
 	c.droppedFault = 0
@@ -275,6 +295,16 @@ func (c *Collector) DelayQuantile(q float64) float64 {
 		return math.NaN()
 	}
 	return c.delaySample.Value(q)
+}
+
+// DelaySketch returns the delay quantile sketch when EnableDelaySketch was
+// called (nil otherwise). The pointer aliases collector state valid until the
+// next Reset: callers that outlive the run must Clone it.
+func (c *Collector) DelaySketch() *stats.DDSketch {
+	if !c.sketchOn {
+		return nil
+	}
+	return &c.sketch
 }
 
 // DelaySample returns the measured per-packet delays when delay sampling is

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/ringbuf"
+	"repro/internal/stats"
 	"repro/internal/xrand"
 )
 
@@ -330,6 +331,10 @@ func (s *System) Config() Config { return s.cfg }
 // reported; it costs one float64 per delivered packet.
 func (s *System) EnableDelaySample() { s.col.EnableDelaySample() }
 
+// EnableDelaySketch feeds every measured delay into a mergeable quantile
+// sketch with relative-error bound alpha; see Collector.EnableDelaySketch.
+func (s *System) EnableDelaySketch(alpha float64) { s.col.EnableDelaySketch(alpha) }
+
 // EnablePerHopWait records, for every arc traversal, the time from joining
 // the arc's queue to finishing transmission, aggregated per statistics group.
 // The hypercube experiments use it to measure the per-dimension contention
@@ -556,6 +561,11 @@ func (s *System) DelayQuantile(q float64) float64 { return s.col.DelayQuantile(q
 // was called (nil otherwise); see Collector.DelaySample for the aliasing and
 // ordering caveats.
 func (s *System) DelaySample() []float64 { return s.col.DelaySample() }
+
+// DelaySketch returns the delay quantile sketch when EnableDelaySketch was
+// called (nil otherwise); the pointer aliases collector state, so callers
+// that outlive the run must Clone it.
+func (s *System) DelaySketch() *stats.DDSketch { return s.col.DelaySketch() }
 
 // Snapshot closes the measurement window at the current simulation time and
 // returns the collected metrics. The simulation can continue afterwards.

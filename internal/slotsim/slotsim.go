@@ -80,6 +80,7 @@ import (
 	"math/bits"
 
 	"repro/internal/network"
+	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -185,6 +186,10 @@ type Config struct {
 	MaxBytes int64
 	// TrackQuantiles stores every measured delay for exact quantiles.
 	TrackQuantiles bool
+	// SketchAlpha, when positive, feeds every measured delay into a
+	// mergeable DDSketch with that relative-error bound (bounded memory,
+	// independent of TrackQuantiles). Zero disables the sketch.
+	SketchAlpha float64
 	// TrackPerHopWait records per-group arc sojourn times.
 	TrackPerHopWait bool
 	// SkipGroupPopulation disables the per-group time-weighted population
@@ -389,6 +394,11 @@ func (k *Kernel) DelayQuantile(q float64) float64 { return k.col.DelayQuantile(q
 // TrackQuantiles was set; see network.Collector.DelaySample for caveats.
 func (k *Kernel) DelaySample() []float64 { return k.col.DelaySample() }
 
+// DelaySketch returns the delay quantile sketch populated by the last Run
+// when SketchAlpha was set (nil otherwise); the pointer aliases kernel state,
+// so callers that outlive the run must Clone it.
+func (k *Kernel) DelaySketch() *stats.DDSketch { return k.col.DelaySketch() }
+
 // reset validates cfg and rebuilds all state in place.
 func (k *Kernel) reset(cfg Config) {
 	if cfg.NumArcs <= 0 {
@@ -544,6 +554,9 @@ func (k *Kernel) reset(cfg Config) {
 	k.col.Reset(cfg.NumGroups)
 	if cfg.TrackQuantiles {
 		k.col.EnableDelaySample()
+	}
+	if cfg.SketchAlpha > 0 {
+		k.col.EnableDelaySketch(cfg.SketchAlpha)
 	}
 	if cfg.TrackPerHopWait {
 		k.col.EnablePerHopWait()

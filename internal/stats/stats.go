@@ -1,8 +1,9 @@
 // Package stats provides the streaming statistics used by the routing
 // simulator: running means and variances (Welford's algorithm), time-weighted
-// averages for queue-length processes, histograms, P-squared quantile
-// estimation, batch-means confidence intervals and a Little's-law consistency
-// checker.
+// averages for queue-length processes, histograms, exact stored-sample
+// quantiles (Quantiles), a mergeable relative-error quantile sketch
+// (DDSketch), batch-means confidence intervals and a Little's-law
+// consistency checker.
 //
 // All collectors are plain value types with pointer receivers; none of them
 // allocate per observation, so they can be updated on the simulator's hot
@@ -53,9 +54,12 @@ func (t *Tally) Mean() float64 { return t.mean }
 func (t *Tally) Sum() float64 { return t.mean * float64(t.n) }
 
 // Variance returns the unbiased sample variance (n-1 denominator), or 0 for
-// fewer than two observations.
+// fewer than two observations. The result is clamped at zero: Welford's m2
+// is non-negative term by term, but Merge's pooled update can round a
+// mathematically zero m2 to a tiny negative float, and a negative variance
+// would surface as a NaN standard deviation.
 func (t *Tally) Variance() float64 {
-	if t.n < 2 {
+	if t.n < 2 || t.m2 <= 0 {
 		return 0
 	}
 	return t.m2 / float64(t.n-1)

@@ -9,6 +9,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/routing"
 	"repro/internal/slotsim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/internal/xrand"
 )
@@ -182,6 +183,10 @@ type runOutcome struct {
 	m        network.Metrics
 	q95, q99 float64
 	delays   []float64
+	// sketch is the run's delay quantile sketch when the scenario set
+	// TailQuantiles (nil otherwise). It is cloned out of the pooled
+	// collector, so it stays valid after the runner is recycled.
+	sketch *stats.DDSketch
 }
 
 // hyperRunner holds the reusable simulation state of one hypercube run —
@@ -313,6 +318,9 @@ func (r *hyperRunner) runEventDriven(cfg *hypercubeConfig) runOutcome {
 	if cfg.TrackQuantiles {
 		sys.EnableDelaySample()
 	}
+	if cfg.SketchAlpha > 0 {
+		sys.EnableDelaySketch(cfg.SketchAlpha)
+	}
 	if cfg.TrackPerDimensionWait {
 		sys.EnablePerHopWait()
 	}
@@ -333,6 +341,9 @@ func (r *hyperRunner) runEventDriven(cfg *hypercubeConfig) runOutcome {
 	out.q99 = sys.DelayQuantile(0.99)
 	if cfg.TrackQuantiles && cfg.ReturnDelays {
 		out.delays = append([]float64(nil), sys.DelaySample()...)
+	}
+	if cfg.SketchAlpha > 0 {
+		out.sketch = sys.DelaySketch().Clone()
 	}
 	return out
 }
@@ -368,6 +379,7 @@ func (r *hyperRunner) runSlotStepped(cfg *hypercubeConfig) runOutcome {
 	r.slotCfg.Dest = r
 	r.slotCfg.MaxBytes = cfg.MaxBytes
 	r.slotCfg.TrackQuantiles = cfg.TrackQuantiles
+	r.slotCfg.SketchAlpha = cfg.SketchAlpha
 	r.slotCfg.TrackPerHopWait = cfg.TrackPerDimensionWait
 	r.slotCfg.SkipGroupPopulation = cfg.SkipPerDimensionStats
 	r.slotCfg.TraceInterval = cfg.PopulationTraceInterval
@@ -377,6 +389,9 @@ func (r *hyperRunner) runSlotStepped(cfg *hypercubeConfig) runOutcome {
 	out.q99 = r.kernel.DelayQuantile(0.99)
 	if cfg.TrackQuantiles && cfg.ReturnDelays {
 		out.delays = append([]float64(nil), r.kernel.DelaySample()...)
+	}
+	if cfg.SketchAlpha > 0 {
+		out.sketch = r.kernel.DelaySketch().Clone()
 	}
 	return out
 }
@@ -457,6 +472,9 @@ func (r *butterflyRunner) runEventDriven(cfg *butterflyConfig) runOutcome {
 	if cfg.TrackQuantiles {
 		sys.EnableDelaySample()
 	}
+	if cfg.SketchAlpha > 0 {
+		sys.EnableDelaySketch(cfg.SketchAlpha)
+	}
 	if cfg.PopulationTraceInterval > 0 {
 		sys.EnablePopulationTrace(cfg.PopulationTraceInterval)
 	}
@@ -470,6 +488,9 @@ func (r *butterflyRunner) runEventDriven(cfg *butterflyConfig) runOutcome {
 	out.q99 = sys.DelayQuantile(0.99)
 	if cfg.TrackQuantiles && cfg.ReturnDelays {
 		out.delays = append([]float64(nil), sys.DelaySample()...)
+	}
+	if cfg.SketchAlpha > 0 {
+		out.sketch = sys.DelaySketch().Clone()
 	}
 	return out
 }
@@ -493,6 +514,7 @@ func (r *butterflyRunner) runSlotStepped(cfg *butterflyConfig) runOutcome {
 	r.slotCfg.Dest = r
 	r.slotCfg.MaxBytes = cfg.MaxBytes
 	r.slotCfg.TrackQuantiles = cfg.TrackQuantiles
+	r.slotCfg.SketchAlpha = cfg.SketchAlpha
 	r.slotCfg.TrackPerHopWait = false
 	r.slotCfg.SkipGroupPopulation = true
 	r.slotCfg.TraceInterval = cfg.PopulationTraceInterval
@@ -502,6 +524,9 @@ func (r *butterflyRunner) runSlotStepped(cfg *butterflyConfig) runOutcome {
 	out.q99 = r.kernel.DelayQuantile(0.99)
 	if cfg.TrackQuantiles && cfg.ReturnDelays {
 		out.delays = append([]float64(nil), r.kernel.DelaySample()...)
+	}
+	if cfg.SketchAlpha > 0 {
+		out.sketch = r.kernel.DelaySketch().Clone()
 	}
 	return out
 }

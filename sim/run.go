@@ -170,7 +170,48 @@ const (
 	MetricMeanDeflections     = "mean_deflections"
 	MetricInjectionBacklog    = "mean_injection_backlog"
 	MetricDeliveryRatio       = "delivery_ratio"
+	// The tail_* keys carry the sketch quantiles when TailQuantiles is set.
+	// They are deliberately distinct from delay_p95/delay_p99, which report
+	// the exact stored-sample quantiles of TrackQuantiles.
+	MetricTailP50  = "tail_p50"
+	MetricTailP90  = "tail_p90"
+	MetricTailP99  = "tail_p99"
+	MetricTailP999 = "tail_p999"
 )
+
+// DefaultSketchAlpha is the delay sketch's relative-error bound when the
+// scenario does not set SketchAlpha: quantile estimates within 1%.
+const DefaultSketchAlpha = 0.01
+
+// TailStats reports the delay tail measured through the mergeable quantile
+// sketch (Scenario.TailQuantiles): p50/p90/p99/p999 estimates, each within a
+// relative factor (1 ± Alpha) of the exact empirical quantile. For replicated
+// and sequential runs the quantiles are pooled over every delivered packet of
+// every replication (the sketches merge exactly), not averaged per run.
+type TailStats struct {
+	// Alpha is the sketch's relative-error bound.
+	Alpha float64 `json:"alpha"`
+	// Count is the number of delays the sketch absorbed.
+	Count int64 `json:"count"`
+	// P50, P90, P99 and P999 are the quantile estimates (NaN when no packet
+	// was delivered).
+	P50  float64 `json:"p50"`
+	P90  float64 `json:"p90"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+// tailStatsFromSketch reads the reported quantiles out of a delay sketch.
+func tailStatsFromSketch(s *stats.DDSketch) *TailStats {
+	return &TailStats{
+		Alpha: s.Alpha(),
+		Count: s.Count(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+		P999:  s.Quantile(0.999),
+	}
+}
 
 // Replication summarises one metric over independent replications.
 type Replication struct {
@@ -254,10 +295,23 @@ type Result struct {
 	// fault model; nil for faultless runs.
 	Faults *FaultStats `json:"faults,omitempty"`
 
+	// Tail carries the sketch-based tail quantiles when the scenario set
+	// TailQuantiles; nil otherwise, keeping sketch-less output byte-identical
+	// to pre-sketch builds.
+	Tail *TailStats `json:"tail,omitempty"`
+
+	// Precision reports the sequential-stopping outcome when the scenario
+	// had a "precision" block; nil otherwise.
+	Precision *PrecisionResult `json:"precision,omitempty"`
+
 	// Replicated maps metric keys (MetricMeanDelay, ...) to merged Welford
 	// tallies over Scenario.Replications independent runs. Nil for single
 	// runs.
 	Replicated map[string]Replication `json:"replicated,omitempty"`
+
+	// sketch is the run's delay sketch (single runs) or the exact merge over
+	// all replications; the replicated and sequential paths read it.
+	sketch *stats.DDSketch
 }
 
 // nanNull is a float64 that marshals NaN as null (and reads null back as
@@ -327,6 +381,19 @@ func (b *ButterflyStats) MarshalJSON() ([]byte, error) {
 		UniversalLowerBound nanNull `json:"universal_lower_bound"`
 		GreedyUpperBound    nanNull `json:"greedy_upper_bound"`
 	}{(*alias)(b), nanNull(b.UniversalLowerBound), nanNull(b.GreedyUpperBound)})
+}
+
+// MarshalJSON shadows the NaN-able quantile fields with their null-safe form
+// (all NaN when no packet was delivered).
+func (t *TailStats) MarshalJSON() ([]byte, error) {
+	type alias TailStats
+	return json.Marshal(struct {
+		*alias
+		P50  nanNull `json:"p50"`
+		P90  nanNull `json:"p90"`
+		P99  nanNull `json:"p99"`
+		P999 nanNull `json:"p999"`
+	}{(*alias)(t), nanNull(t.P50), nanNull(t.P90), nanNull(t.P99), nanNull(t.P999)})
 }
 
 // MarshalJSON shadows the NaN-able ratio and delay fields with their
@@ -415,6 +482,26 @@ func (b *ButterflyStats) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
+// UnmarshalJSON reads back the null-safe quantile fields.
+func (t *TailStats) UnmarshalJSON(data []byte) error {
+	type alias TailStats
+	aux := struct {
+		*alias
+		P50  nanNull `json:"p50"`
+		P90  nanNull `json:"p90"`
+		P99  nanNull `json:"p99"`
+		P999 nanNull `json:"p999"`
+	}{alias: (*alias)(t)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	t.P50 = float64(aux.P50)
+	t.P90 = float64(aux.P90)
+	t.P99 = float64(aux.P99)
+	t.P999 = float64(aux.P999)
+	return nil
+}
+
 // UnmarshalJSON reads back the null-safe ratio and delay fields.
 func (f *FaultStats) UnmarshalJSON(data []byte) error {
 	type alias FaultStats
@@ -463,6 +550,9 @@ func Run(ctx context.Context, sc Scenario) (*Result, error) {
 	}
 	if runTestHook != nil {
 		runTestHook(sc)
+	}
+	if sc.Precision != nil {
+		return runSequential(ctx, &sc, n)
 	}
 	if sc.Replications > 1 {
 		return runReplicated(ctx, &sc, n)
@@ -521,6 +611,10 @@ func runHypercubeOnce(cfg *hypercubeConfig) *Result {
 		DelayP99:   out.q99,
 		Delays:     out.delays,
 		Hypercube:  h,
+	}
+	if out.sketch != nil {
+		res.sketch = out.sketch
+		res.Tail = tailStatsFromSketch(out.sketch)
 	}
 	if cfg.Faults != nil {
 		res.Faults = faultStatsFromMetrics(&m)
@@ -610,6 +704,10 @@ func runButterflyOnce(cfg *butterflyConfig) *Result {
 		Delays:     out.delays,
 		Butterfly:  b,
 	}
+	if out.sketch != nil {
+		res.sketch = out.sketch
+		res.Tail = tailStatsFromSketch(out.sketch)
+	}
 	if cfg.Faults != nil {
 		res.Faults = faultStatsFromMetrics(&m)
 	}
@@ -637,10 +735,14 @@ func runButterflyOnce(cfg *butterflyConfig) *Result {
 // kernel actually measures are populated; everything deflection-specific
 // lives in the Deflection block.
 func runDeflectionOnce(cfg *deflectionConfig) *Result {
+	var sketch *stats.DDSketch
+	if cfg.SketchAlpha > 0 {
+		sketch = stats.NewDDSketch(cfg.SketchAlpha)
+	}
 	out, err := deflection.Run(deflection.Config{
 		D: cfg.D, Lambda: cfg.Lambda, P: cfg.P, Slots: cfg.Slots,
 		WarmupFraction: cfg.WarmupFraction, Seed: cfg.Seed,
-		ArcFailProb: cfg.ArcFailProb,
+		ArcFailProb: cfg.ArcFailProb, Sketch: sketch,
 	})
 	if err != nil {
 		// The scenario was validated; a failure here is a broken kernel
@@ -649,6 +751,10 @@ func runDeflectionOnce(cfg *deflectionConfig) *Result {
 		panic(fmt.Sprintf("sim: deflection kernel failed on a validated scenario: %v", err))
 	}
 	res := deflectionAnalyticResult(cfg)
+	if sketch != nil {
+		res.sketch = sketch
+		res.Tail = tailStatsFromSketch(sketch)
+	}
 	d := res.Deflection
 	// The kernel truncates the warm-up to whole slots; mirror that here so
 	// Elapsed and Throughput use exactly the window the packets were
@@ -725,7 +831,25 @@ func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, er
 			progress(doneReps, totalReps)
 		}
 	}
-	task := func(_ int, seed uint64) map[string]float64 {
+	merged, err := engine.RunSketchCtx(ctx, ecfg, replicationTask(sc, n))
+	if err != nil {
+		return nil, err
+	}
+	finishMergedResult(res, merged)
+	return res, nil
+}
+
+// sketchMetricName is the key the replication task files its delay sketch
+// under in the engine's sketch merge.
+const sketchMetricName = "delay"
+
+// replicationTask builds the engine task shared by the fixed-replication and
+// sequential-stopping paths: run one replication of the normalized scenario
+// on the given seed and report its scalar metrics plus (when TailQuantiles is
+// set) its delay sketch. The sketch a single run produces is already cloned
+// out of the pooled runner, so it is safe for the engine to retain.
+func replicationTask(sc *Scenario, n normalized) engine.SketchTask {
+	return func(_ int, seed uint64) (map[string]float64, map[string]*stats.DDSketch) {
 		var rep *Result
 		switch {
 		case n.hc != nil:
@@ -756,6 +880,12 @@ func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, er
 			m[MetricDelayP95] = rep.DelayP95
 			m[MetricDelayP99] = rep.DelayP99
 		}
+		if rep.Tail != nil {
+			m[MetricTailP50] = rep.Tail.P50
+			m[MetricTailP90] = rep.Tail.P90
+			m[MetricTailP99] = rep.Tail.P99
+			m[MetricTailP999] = rep.Tail.P999
+		}
 		if rep.Butterfly != nil {
 			m[MetricStraightUtilization] = rep.Butterfly.StraightUtilization
 			m[MetricVerticalUtilization] = rep.Butterfly.VerticalUtilization
@@ -767,17 +897,25 @@ func runReplicated(ctx context.Context, sc *Scenario, n normalized) (*Result, er
 		if rep.Faults != nil {
 			m[MetricDeliveryRatio] = rep.Faults.DeliveryRatio
 		}
-		return m
+		if rep.sketch == nil {
+			return m, nil
+		}
+		return m, map[string]*stats.DDSketch{sketchMetricName: rep.sketch}
 	}
-	merged, err := engine.RunCtx(ctx, ecfg, task)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// finishMergedResult copies an engine merge into the result: per-metric
+// replication summaries, and the pooled tail quantiles when the runs carried
+// a delay sketch.
+func finishMergedResult(res *Result, merged *engine.Result) {
 	res.Replicated = make(map[string]Replication, len(merged.Metrics))
 	for k, t := range merged.Metrics {
 		res.Replicated[k] = replicationFromTally(t)
 	}
-	return res, nil
+	if s := merged.Sketches[sketchMetricName]; s != nil {
+		res.sketch = s
+		res.Tail = tailStatsFromSketch(s)
+	}
 }
 
 // analyticResult assembles the pure-function part of a Result — parameters,

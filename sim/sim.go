@@ -298,6 +298,22 @@ type Scenario struct {
 
 	// TrackQuantiles stores every delay so exact quantiles can be reported.
 	TrackQuantiles bool `json:"track_quantiles,omitempty"`
+	// TailQuantiles feeds every measured delay into a mergeable DDSketch and
+	// reports p50/p90/p99/p999 with a guaranteed relative error
+	// (Result.Tail). Unlike TrackQuantiles the memory is bounded —
+	// O(log(max delay)/alpha) buckets instead of one float per packet — and
+	// the sketch merges exactly across replications, so replicated runs
+	// report pooled tail quantiles too. Works on every kernel, deflection
+	// included.
+	TailQuantiles bool `json:"tail_quantiles,omitempty"`
+	// SketchAlpha overrides the sketch's relative-error bound, in (0, 0.5);
+	// zero selects DefaultSketchAlpha. Requires TailQuantiles.
+	SketchAlpha float64 `json:"sketch_alpha,omitempty"`
+	// Precision, when non-nil, switches the scenario to sequential stopping:
+	// replications run in deterministic batches until the block's accuracy
+	// targets are met (or MaxReplications is reached). Mutually exclusive
+	// with setting Replications. See PrecisionSpec.
+	Precision *PrecisionSpec `json:"precision,omitempty"`
 	// ReturnDelays additionally copies the measured per-packet delays into
 	// the result; it requires TrackQuantiles.
 	ReturnDelays bool `json:"return_delays,omitempty"`

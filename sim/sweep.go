@@ -172,7 +172,8 @@ func (v Value) text(field string) (string, error) {
 // Axis is one sweep axis: the scenario field it drives and the values the
 // field takes. Valid fields are d, p, lambda, load_factor (aliases load,
 // rho), tau, horizon, warmup_fraction, seed, replications, router,
-// discipline, slotted, topology and arc_fail_prob.
+// discipline, slotted, topology, arc_fail_prob, tail_quantiles and
+// sketch_alpha.
 type Axis struct {
 	Field  string  `json:"field"`
 	Values []Value `json:"values"`
@@ -181,8 +182,8 @@ type Axis struct {
 // axisFields lists the canonical axis field names, sorted, for error messages.
 var axisFields = []string{
 	"arc_fail_prob", "d", "discipline", "horizon", "lambda", "load_factor",
-	"p", "replications", "router", "seed", "slotted", "tau", "topology",
-	"warmup_fraction",
+	"p", "replications", "router", "seed", "sketch_alpha", "slotted",
+	"tail_quantiles", "tau", "topology", "warmup_fraction",
 }
 
 // canonicalField maps accepted field spellings to the canonical name.
@@ -285,6 +286,17 @@ func applyAxis(sc *Scenario, field string, v Value) error {
 			return fmt.Errorf("sim: axis %q needs bool values, got %s", field, v)
 		}
 		sc.Slotted = v.b
+	case "tail_quantiles":
+		if v.kind != valueBool {
+			return fmt.Errorf("sim: axis %q needs bool values, got %s", field, v)
+		}
+		sc.TailQuantiles = v.b
+	case "sketch_alpha":
+		f, err := v.number(field)
+		if err != nil {
+			return err
+		}
+		sc.SketchAlpha = f
 	case "topology":
 		s, err := v.text(field)
 		if err != nil {
@@ -695,6 +707,12 @@ func cell(v float64) string {
 // record flattens the row into the rowColumns cells.
 func (r Row) record() []string {
 	sc, res := r.Scenario, r.Result
+	// Sequential-stopping points report the replication count the stopping
+	// rule actually ran, not the (unset) fixed count.
+	reps := sc.Replications
+	if res.Precision != nil {
+		reps = res.Precision.Replications
+	}
 	rec := make([]string, 0, len(rowColumns))
 	rec = append(rec,
 		string(res.Topology.Kind),
@@ -705,7 +723,7 @@ func (r Row) record() []string {
 		cell(res.Lambda),
 		cell(res.LoadFactor),
 		cell(sc.P),
-		strconv.Itoa(sc.Replications),
+		strconv.Itoa(reps),
 	)
 	meanDelay, ci95 := res.MeanDelay, res.Metrics.DelayCI95
 	meanHops, perNode, throughput := res.Metrics.MeanHops, res.MeanPacketsPerNode, res.Metrics.Throughput
@@ -754,6 +772,22 @@ type CSVSink struct {
 	// skip marks the rowColumns indices an axis column supersedes; computed
 	// from the first row (every row of a sweep has the same axes).
 	skip []bool
+	// tail appends the tail-quantile columns (tail_p50 .. tail_p999) when the
+	// first row carries a delay sketch; rows without one leave them empty.
+	tail bool
+}
+
+// tailColumns is the conditional tail-quantile column set, present only when
+// the sweep's first row recorded a delay sketch (scenario "tail_quantiles").
+var tailColumns = []string{"tail_p50", "tail_p90", "tail_p99", "tail_p999"}
+
+// tailCells flattens a row's tail quantiles into the tailColumns cells.
+func tailCells(res *Result) []string {
+	if res == nil || res.Tail == nil {
+		return []string{"", "", "", ""}
+	}
+	t := res.Tail
+	return []string{cell(t.P50), cell(t.P90), cell(t.P99), cell(t.P999)}
 }
 
 // NewCSVSink returns a CSV sink writing to w.
@@ -789,10 +823,14 @@ func (s *CSVSink) WriteRow(r Row) error {
 			}
 			header = append(header, col)
 		}
+		if r.Result != nil && r.Result.Tail != nil {
+			s.tail = true
+			header = append(header, tailColumns...)
+		}
 		writeRecord(header)
 		s.wroteHeader = true
 	}
-	rec := make([]string, 0, 1+len(r.Settings)+len(rowColumns))
+	rec := make([]string, 0, 1+len(r.Settings)+len(rowColumns)+len(tailColumns))
 	rec = append(rec, strconv.Itoa(r.Point))
 	for _, st := range r.Settings {
 		rec = append(rec, st.Value.String())
@@ -802,6 +840,9 @@ func (s *CSVSink) WriteRow(r Row) error {
 			continue
 		}
 		rec = append(rec, c)
+	}
+	if s.tail {
+		rec = append(rec, tailCells(r.Result)...)
 	}
 	writeRecord(rec)
 	_, err := io.WriteString(s.w, b.String())
@@ -934,7 +975,7 @@ func RunSweep(ctx context.Context, sw Sweep, sinks ...RowSink) ([]Row, error) {
 		sc.Parallelism = 1
 		sc.Progress = nil
 		sc.Pool = nil
-		if sw.Pool != nil && sc.Replications > 1 {
+		if sw.Pool != nil && (sc.Replications > 1 || sc.Precision != nil) {
 			sc.Pool = sw.Pool
 			sc.Parallelism = 0
 		}

@@ -27,6 +27,7 @@ type hypercubeConfig struct {
 	Slotted                 bool
 	Tau                     float64
 	TrackQuantiles          bool
+	SketchAlpha             float64
 	ReturnDelays            bool
 	TrackPerDimensionWait   bool
 	PopulationTraceInterval float64
@@ -48,6 +49,7 @@ type deflectionConfig struct {
 	WarmupFraction float64
 	Seed           uint64
 	ArcFailProb    float64
+	SketchAlpha    float64
 }
 
 // butterflyConfig is the normalized internal form of a butterfly scenario.
@@ -60,6 +62,7 @@ type butterflyConfig struct {
 	WarmupFraction          float64
 	Seed                    uint64
 	TrackQuantiles          bool
+	SketchAlpha             float64
 	ReturnDelays            bool
 	PopulationTraceInterval float64
 	ForceEventDriven        bool
@@ -85,6 +88,19 @@ type normalized struct {
 	hc *hypercubeConfig
 	bc *butterflyConfig
 	dc *deflectionConfig
+}
+
+// sketchAlpha resolves the delay-sketch resolution the kernels receive: zero
+// (sketch off) unless TailQuantiles is set, then the explicit SketchAlpha or
+// DefaultSketchAlpha.
+func (s *Scenario) sketchAlpha() float64 {
+	if !s.TailQuantiles {
+		return 0
+	}
+	if s.SketchAlpha > 0 {
+		return s.SketchAlpha
+	}
+	return DefaultSketchAlpha
 }
 
 // resolveFaults validates the scenario's faults block and resolves it into a
@@ -243,8 +259,24 @@ func (s *Scenario) normalize() (normalized, error) {
 	if s.ReturnDelays && !s.TrackQuantiles {
 		return none, fmt.Errorf("sim: ReturnDelays requires TrackQuantiles")
 	}
+	if s.SketchAlpha != 0 {
+		if !s.TailQuantiles {
+			return none, fmt.Errorf("sim: sketch_alpha requires tail_quantiles")
+		}
+		if math.IsNaN(s.SketchAlpha) || s.SketchAlpha <= 0 || s.SketchAlpha >= 0.5 {
+			return none, fmt.Errorf("sim: sketch_alpha = %v outside (0, 0.5)", s.SketchAlpha)
+		}
+	}
 	if s.Replications < 0 {
 		return none, fmt.Errorf("sim: negative replication count %d", s.Replications)
+	}
+	if s.Precision != nil {
+		if s.Replications > 1 {
+			return none, fmt.Errorf("sim: set either replications or precision, not both (precision decides the replication count itself)")
+		}
+		if err := s.Precision.validate(s.TailQuantiles); err != nil {
+			return none, err
+		}
 	}
 	if s.PopulationTraceInterval < 0 {
 		return none, fmt.Errorf("sim: negative population trace interval %v", s.PopulationTraceInterval)
@@ -296,6 +328,7 @@ func (s *Scenario) normalize() (normalized, error) {
 			WarmupFraction:          warmup,
 			Seed:                    s.Seed,
 			TrackQuantiles:          s.TrackQuantiles,
+			SketchAlpha:             s.sketchAlpha(),
 			ReturnDelays:            s.ReturnDelays,
 			PopulationTraceInterval: s.PopulationTraceInterval,
 			ForceEventDriven:        s.ForceEventDriven,
@@ -358,6 +391,7 @@ func (s *Scenario) normalize() (normalized, error) {
 			Slots:          int(s.Horizon),
 			WarmupFraction: warmup,
 			Seed:           s.Seed,
+			SketchAlpha:    s.sketchAlpha(),
 		}
 		if plan != nil {
 			dc.ArcFailProb = plan.arcFailProb
@@ -411,6 +445,7 @@ func (s *Scenario) normalize() (normalized, error) {
 		Slotted:                 s.Slotted,
 		Tau:                     s.Tau,
 		TrackQuantiles:          s.TrackQuantiles,
+		SketchAlpha:             s.sketchAlpha(),
 		ReturnDelays:            s.ReturnDelays,
 		TrackPerDimensionWait:   s.TrackPerDimensionWait,
 		PopulationTraceInterval: s.PopulationTraceInterval,
